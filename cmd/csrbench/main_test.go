@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csrplus/internal/bench"
+)
+
+func quickEnv(buf *bytes.Buffer) *bench.Env {
+	e := bench.NewEnv(buf).Quick()
+	// Tighten aggressively: this test only checks dispatch and rendering;
+	// runner behaviour is covered in internal/bench. The small flop budget
+	// TIME-guards every heavy baseline cell, leaving CSR+ and the renders.
+	e.ExtraScale *= 8
+	e.FlopBudget = 3e8
+	e.MemBudget = 16 << 20
+	return e
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickEnv(&buf), "table1", map[string]interface{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("table1 output missing")
+	}
+}
+
+func TestRunFigureDispatch(t *testing.T) {
+	cases := map[string]string{
+		"fig2":     "Figure 2",
+		"fig3":     "Figure 3",
+		"fig4":     "Figure 4",
+		"fig5":     "Figure 5",
+		"fig6":     "Figure 6",
+		"fig7":     "Figure 7",
+		"fig8":     "Figure 8",
+		"fig9":     "Figure 9",
+		"table3":   "Table 3",
+		"datasets": "stand-ins",
+		"rankeval": "ranking quality",
+		"ablation": "Ablation",
+	}
+	for exp, want := range cases {
+		exp, want := exp, want
+		t.Run(exp, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(quickEnv(&buf), exp, map[string]interface{}{}); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), want) {
+				t.Fatalf("%s output missing %q", exp, want)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickEnv(&buf), "fig99", map[string]interface{}{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	var buf bytes.Buffer
+	results := map[string]interface{}{}
+	if err := run(quickEnv(&buf), "fig2", results); err != nil {
+		t.Fatal(err)
+	}
+	if results["grid"] == nil {
+		t.Fatal("grid result not collected")
+	}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := writeJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back["grid"] == nil {
+		t.Fatal("grid missing from JSON")
+	}
+}

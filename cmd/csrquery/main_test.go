@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	// The paper's 6-node example graph.
+	edges := "3 0\n0 1\n2 1\n4 1\n3 2\n0 3\n4 3\n5 3\n2 4\n5 4\n3 5\n"
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte(edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseQueries(t *testing.T) {
+	qs, err := parseQueries("1, 2,3")
+	if err != nil || len(qs) != 3 || qs[0] != 1 || qs[2] != 3 {
+		t.Fatalf("qs=%v err=%v", qs, err)
+	}
+	if _, err := parseQueries(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := parseQueries("1,x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadGraphValidation(t *testing.T) {
+	if _, err := loadGraph("", 0, "", 0); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadGraph("FB", 0, "x", 3); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := loadGraph("", 0, "x.txt", 0); err == nil {
+		t.Fatal("graph without -n accepted")
+	}
+}
+
+func TestRunTableOutput(t *testing.T) {
+	path := writeTestGraph(t)
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, path, 6, "CSR+", 3, 0.6, "1", 3, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "n=6 m=11") {
+		t.Fatalf("missing graph line:\n%s", out)
+	}
+	if !strings.Contains(out, "node 3") {
+		t.Fatalf("top match (node 3, paper example) missing:\n%s", out)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeTestGraph(t)
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, path, 6, "CSR+", 3, 0.6, "1,3", 2, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Algorithm string `json:"algorithm"`
+		N         int    `json:"n"`
+		Queries   []int  `json:"queries"`
+		Matches   []struct {
+			Node  int     `json:"node"`
+			Score float64 `json:"score"`
+		} `json:"matches"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if body.Algorithm != "CSR+" || body.N != 6 || len(body.Matches) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, path, 6, "bogus", 3, 0.6, "1", 3, false, "", ""); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	if err := run(&buf, "", 0, path, 6, "CSR+", 3, 0.6, "99", 3, false, "", ""); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+	if err := run(&buf, "", 0, path, 6, "CSR+", 3, 0.6, "", 3, false, "", ""); err == nil {
+		t.Fatal("missing queries accepted")
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "P2P", 64, "", 0, "CSR+", 3, 0.6, "0,1", 2, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "top-2") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunIndexRoundTrip(t *testing.T) {
+	path := writeTestGraph(t)
+	ixPath := filepath.Join(t.TempDir(), "g.csrx")
+	var buf bytes.Buffer
+	// Build and persist.
+	if err := run(&buf, "", 0, path, 6, "CSR+", 3, 0.6, "1", 3, false, "", ixPath); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	// Serve from the persisted index.
+	buf.Reset()
+	if err := run(&buf, "", 0, path, 6, "CSR+", 3, 0.6, "1", 3, false, ixPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "node 3") {
+		t.Fatalf("index-served output wrong:\n%s", buf.String())
+	}
+	_ = first
+}

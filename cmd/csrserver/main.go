@@ -1,0 +1,257 @@
+// Command csrserver serves CoSimRank similarity search over HTTP — the
+// "online multi-source query" phase of CSR+ as a long-lived service: the
+// index is precomputed once at startup, queries are answered from it.
+//
+// Usage:
+//
+//	csrserver -dataset WT -addr :8080
+//	csrserver -graph edges.txt -n 100000 -r 8
+//
+// Endpoints:
+//
+//	GET /health                       liveness
+//	GET /stats                        graph + engine counters
+//	GET /topk?node=17&k=10            top-k most similar to one node
+//	GET /topk?nodes=17,42&k=10        top-k by aggregate similarity
+//	GET /similarity?node=17&targets=1,2,3   raw scores for chosen pairs
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"csrplus"
+
+	"csrplus/internal/cache"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "paper dataset stand-in: FB, P2P, YT, WT, TW, WB")
+	scale := flag.Int64("dscale", 0, "dataset downscale factor (0 = default)")
+	graphPath := flag.String("graph", "", "edge-list file")
+	n := flag.Int("n", 0, "node count for -graph")
+	algo := flag.String("algo", csrplus.AlgoCSRPlus, "algorithm")
+	rank := flag.Int("r", 5, "SVD rank / iteration count")
+	damping := flag.Float64("c", 0.6, "damping factor")
+	addr := flag.String("addr", ":8080", "listen address")
+	indexPath := flag.String("index", "", "load a persisted CSR+ index instead of precomputing")
+	saveIndex := flag.String("saveindex", "", "persist the precomputed CSR+ index to this path")
+	cacheSize := flag.Int("cache", 1024, "top-k result cache entries (0 disables)")
+	flag.Parse()
+
+	g, err := loadGraph(*dataset, *scale, *graphPath, *n)
+	if err != nil {
+		log.Fatalln("csrserver:", err)
+	}
+	var eng *csrplus.Engine
+	if *indexPath != "" {
+		log.Printf("loading index %s over n=%d m=%d ...", *indexPath, g.N(), g.M())
+		eng, err = csrplus.LoadEngine(g, *indexPath)
+	} else {
+		log.Printf("precomputing %s index over n=%d m=%d ...", *algo, g.N(), g.M())
+		eng, err = csrplus.NewEngine(g, csrplus.Options{Algorithm: *algo, Rank: *rank, Damping: *damping})
+	}
+	if err != nil {
+		log.Fatalln("csrserver:", err)
+	}
+	if *saveIndex != "" {
+		if err := eng.SaveIndex(*saveIndex); err != nil {
+			log.Fatalln("csrserver:", err)
+		}
+		log.Printf("index persisted to %s", *saveIndex)
+	}
+	st := eng.Stats()
+	log.Printf("ready in %v (peak %d bytes)", st.PrecomputeTime, st.PeakBytes)
+
+	var lru *cache.LRU
+	if *cacheSize > 0 {
+		lru = cache.New(*cacheSize)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(eng, lru),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalln("csrserver:", err)
+		}
+	}()
+	log.Printf("listening on %s", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Println("csrserver: shutdown:", err)
+	}
+}
+
+func loadGraph(dataset string, scale int64, graphPath string, n int) (*csrplus.Graph, error) {
+	switch {
+	case dataset != "" && graphPath != "":
+		return nil, fmt.Errorf("use either -dataset or -graph, not both")
+	case dataset != "":
+		return csrplus.GenerateDataset(dataset, scale)
+	case graphPath != "":
+		if n <= 0 {
+			return nil, fmt.Errorf("-graph requires -n")
+		}
+		return csrplus.LoadGraph(graphPath, n)
+	default:
+		return nil, fmt.Errorf("one of -dataset or -graph is required")
+	}
+}
+
+// newMux wires the HTTP routes around one engine and an optional top-k
+// result cache (nil disables caching). Split from main so the handlers are
+// testable with httptest.
+func newMux(eng *csrplus.Engine, lru *cache.LRU) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := eng.Stats()
+		body := map[string]interface{}{
+			"algorithm":          st.Algorithm,
+			"n":                  st.N,
+			"m":                  st.M,
+			"precompute_seconds": st.PrecomputeTime.Seconds(),
+			"peak_bytes":         st.PeakBytes,
+		}
+		if lru != nil {
+			hits, misses := lru.Stats()
+			body["cache_hits"] = hits
+			body["cache_misses"] = misses
+			body["cache_entries"] = lru.Len()
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		queries, err := queryNodes(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		k := 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+				return
+			}
+		}
+		var cacheKey string
+		if lru != nil {
+			ids := make([]string, len(queries))
+			for i, q := range queries {
+				ids[i] = strconv.Itoa(q)
+			}
+			cacheKey = fmt.Sprintf("topk|%s|%d", strings.Join(ids, ","), k)
+			if cached, ok := lru.Get(cacheKey); ok {
+				writeJSON(w, http.StatusOK, map[string]interface{}{
+					"queries": queries, "matches": cached, "cached": true})
+				return
+			}
+		}
+		var matches []csrplus.Match
+		if len(queries) == 1 {
+			matches, err = eng.TopK(queries[0], k)
+		} else {
+			matches, err = eng.TopKMulti(queries, k)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if lru != nil {
+			lru.Put(cacheKey, matches)
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"queries": queries, "matches": matches})
+	})
+	mux.HandleFunc("/similarity", func(w http.ResponseWriter, r *http.Request) {
+		queries, err := queryNodes(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		targets, err := parseIDs(r.URL.Query().Get("targets"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cols, err := eng.Query(queries)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		type pair struct {
+			Query  int     `json:"query"`
+			Target int     `json:"target"`
+			Score  float64 `json:"score"`
+		}
+		out := make([]pair, 0, len(queries)*len(targets))
+		for j, q := range queries {
+			for _, tgt := range targets {
+				if tgt < 0 || tgt >= len(cols[j]) {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("target %d out of range", tgt))
+					return
+				}
+				out = append(out, pair{q, tgt, cols[j][tgt]})
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"pairs": out})
+	})
+	return mux
+}
+
+func queryNodes(r *http.Request) ([]int, error) {
+	q := r.URL.Query()
+	if s := q.Get("nodes"); s != "" {
+		return parseIDs(s)
+	}
+	if s := q.Get("node"); s != "" {
+		return parseIDs(s)
+	}
+	return nil, fmt.Errorf("node or nodes parameter required")
+}
+
+func parseIDs(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty id list")
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", p)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Println("csrserver: encode:", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"csrplus"
+
+	"csrplus/internal/cache"
+)
+
+func testEngine(t *testing.T) *csrplus.Engine {
+	t.Helper()
+	g, err := csrplus.NewGraph(6, [][2]int{
+		{3, 0}, {0, 1}, {2, 1}, {4, 1}, {3, 2},
+		{0, 3}, {4, 3}, {5, 3}, {2, 4}, {5, 4}, {3, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHealth(t *testing.T) {
+	srv := httptest.NewServer(newMux(testEngine(t), nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/health")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("code=%d body=%v", code, body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv := httptest.NewServer(newMux(testEngine(t), nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d", code)
+	}
+	if body["algorithm"] != "CSR+" || body["n"].(float64) != 6 {
+		t.Fatalf("body=%v", body)
+	}
+}
+
+func TestTopKSingle(t *testing.T) {
+	srv := httptest.NewServer(newMux(testEngine(t), nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/topk?node=1&k=3")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%v", code, body)
+	}
+	matches := body["matches"].([]interface{})
+	if len(matches) != 3 {
+		t.Fatalf("matches=%v", matches)
+	}
+	first := matches[0].(map[string]interface{})
+	if int(first["node"].(float64)) != 3 {
+		t.Fatalf("top match %v, want node 3", first)
+	}
+}
+
+func TestTopKMulti(t *testing.T) {
+	srv := httptest.NewServer(newMux(testEngine(t), nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/topk?nodes=1,3&k=2")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%v", code, body)
+	}
+	if len(body["matches"].([]interface{})) != 2 {
+		t.Fatalf("body=%v", body)
+	}
+}
+
+func TestSimilarityPairs(t *testing.T) {
+	srv := httptest.NewServer(newMux(testEngine(t), nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/similarity?node=1&targets=3,4")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%v", code, body)
+	}
+	pairs := body["pairs"].([]interface{})
+	if len(pairs) != 2 {
+		t.Fatalf("pairs=%v", pairs)
+	}
+	p0 := pairs[0].(map[string]interface{})
+	if p0["score"].(float64) <= 0 {
+		t.Fatalf("pair score %v", p0)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := httptest.NewServer(newMux(testEngine(t), nil))
+	defer srv.Close()
+	for _, path := range []string{
+		"/topk",                         // missing node
+		"/topk?node=zzz",                // unparsable id
+		"/topk?node=99",                 // out of range
+		"/topk?node=1&k=0",              // bad k
+		"/similarity?node=1",            // missing targets
+		"/similarity?node=1&targets=99", // target out of range
+	} {
+		code, body := get(t, srv, path)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: code=%d body=%v", path, code, body)
+		}
+		if body["error"] == "" {
+			t.Fatalf("%s: no error message", path)
+		}
+	}
+}
+
+func TestLoadGraphValidation(t *testing.T) {
+	if _, err := loadGraph("", 0, "", 0); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadGraph("FB", 0, "x.txt", 5); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := loadGraph("", 0, "x.txt", 0); err == nil {
+		t.Fatal("-graph without -n accepted")
+	}
+}
+
+func TestTopKCachePath(t *testing.T) {
+	lru := cache.New(8)
+	srv := httptest.NewServer(newMux(testEngine(t), lru))
+	defer srv.Close()
+	code, first := get(t, srv, "/topk?node=1&k=2")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d", code)
+	}
+	if first["cached"] != nil {
+		t.Fatal("first request marked cached")
+	}
+	code, second := get(t, srv, "/topk?node=1&k=2")
+	if code != http.StatusOK || second["cached"] != true {
+		t.Fatalf("second request not cached: %v", second)
+	}
+	// Same node, different k must miss.
+	_, third := get(t, srv, "/topk?node=1&k=3")
+	if third["cached"] == true {
+		t.Fatal("different k hit the cache")
+	}
+	// Stats expose counters.
+	_, stats := get(t, srv, "/stats")
+	if stats["cache_hits"].(float64) < 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+// BenchmarkTopKHandler measures end-to-end request throughput of the
+// /topk route, cached and uncached.
+func BenchmarkTopKHandler(b *testing.B) {
+	g, err := csrplus.NewGraph(6, [][2]int{
+		{3, 0}, {0, 1}, {2, 1}, {4, 1}, {3, 2},
+		{0, 3}, {4, 3}, {5, 3}, {2, 4}, {5, 4}, {3, 5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, lru *cache.LRU) {
+		srv := httptest.NewServer(newMux(eng, lru))
+		defer srv.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(srv.URL + "/topk?node=1&k=3")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+	b.Run("cached", func(b *testing.B) { run(b, cache.New(64)) })
+}

@@ -1,0 +1,98 @@
+// Command csrstat prints structural statistics of a graph — the numbers
+// needed to sanity-check a dataset before indexing it (and the evidence
+// behind DESIGN.md §5's stand-in matching).
+//
+// Usage:
+//
+//	csrstat -dataset TW
+//	csrstat -graph edges.txt -n 100000 -hubs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"csrplus/internal/graph"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "paper dataset stand-in: FB, P2P, YT, WT, TW, WB")
+	scale := flag.Int64("dscale", 0, "dataset downscale factor (0 = default)")
+	graphPath := flag.String("graph", "", "edge-list file")
+	n := flag.Int("n", 0, "node count for -graph")
+	hubs := flag.Int("hubs", 5, "number of top in-degree hubs to list")
+	flag.Parse()
+
+	if err := run(os.Stdout, *dataset, *scale, *graphPath, *n, *hubs); err != nil {
+		fmt.Fprintln(os.Stderr, "csrstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, dataset string, scale int64, graphPath string, n, hubs int) error {
+	g, err := load(dataset, scale, graphPath, n)
+	if err != nil {
+		return err
+	}
+	st := g.ComputeStats()
+	fmt.Fprintf(out, "nodes:         %d\n", st.N)
+	fmt.Fprintf(out, "edges:         %d\n", st.M)
+	fmt.Fprintf(out, "avg degree:    %.2f\n", st.AvgDegree)
+	fmt.Fprintf(out, "max in/out:    %d / %d\n", st.MaxInDeg, st.MaxOutDeg)
+	fmt.Fprintf(out, "zero in/out:   %d / %d\n", st.ZeroInDeg, st.ZeroOutDeg)
+
+	_, wcc := g.WeakComponents()
+	_, scc := g.StrongComponents()
+	fmt.Fprintf(out, "components:    %d weak, %d strong\n", wcc, scc)
+
+	hist := g.InDegreeHistogram()
+	fmt.Fprintf(out, "heavy-tailed:  %t (max in-degree %.0fx mean)\n",
+		hist.PowerLawish(10), float64(hist.Max)/nonzero(hist.Mean))
+	fmt.Fprintf(out, "in-degree histogram (power-of-two bins):\n")
+	for k, c := range hist.Bins {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  [%6d, %6d): %d\n", 1<<k, 1<<(k+1), c)
+	}
+	if hubs > 0 {
+		in := g.InDegrees()
+		fmt.Fprintf(out, "top in-degree hubs:\n")
+		for _, h := range g.TopHubs(hubs) {
+			fmt.Fprintf(out, "  node %-10d in-degree %d\n", h, in[h])
+		}
+	}
+	return nil
+}
+
+func nonzero(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+func load(dataset string, scale int64, graphPath string, n int) (*graph.Graph, error) {
+	switch {
+	case dataset != "" && graphPath != "":
+		return nil, fmt.Errorf("use either -dataset or -graph, not both")
+	case dataset != "":
+		d, err := graph.DatasetByKey(dataset)
+		if err != nil {
+			return nil, err
+		}
+		if scale <= 0 {
+			scale = d.Scale
+		}
+		return d.GenerateScaled(scale)
+	case graphPath != "":
+		if n <= 0 {
+			return nil, fmt.Errorf("-graph requires -n")
+		}
+		return graph.Load(graphPath, n)
+	default:
+		return nil, fmt.Errorf("one of -dataset or -graph is required")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunOnFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	edges := "0 1\n2 1\n3 1\n0 2\n1 0\n"
+	if err := os.WriteFile(path, []byte(edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, path, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nodes:         4", "edges:         5", "components:", "top in-degree hubs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Node 1 (in-degree 3) must lead the hub list.
+	if !strings.Contains(out, "node 1") {
+		t.Fatalf("hub list wrong:\n%s", out)
+	}
+}
+
+func TestRunOnDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "P2P", 64, "", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "heavy-tailed:  false") {
+		t.Fatalf("P2P stand-in should not be heavy-tailed:\n%s", buf.String())
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	if _, err := load("", 0, "", 0); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := load("FB", 0, "x", 1); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := load("", 0, "x.txt", 0); err == nil {
+		t.Fatal("graph without -n accepted")
+	}
+	if _, err := load("NOPE", 0, "", 0); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  string
+	}{
+		{"er", "er"}, {"ba", "ba"}, {"ws", "ws"}, {"rmat", "rmat"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := build("", 0, tc.gen, 100, 400, 4, 0.1, 7, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() < 100 || g.M() == 0 {
+				t.Fatalf("n=%d m=%d", g.N(), g.M())
+			}
+		})
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	g, err := build("P2P", 64, "", 0, 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 22687/64 {
+		t.Fatalf("n=%d", g.N())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := build("", 0, "", 0, 0, 0, 0, 0, 0); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := build("FB", 0, "er", 10, 10, 0, 0, 0, 0); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := build("NOPE", 0, "", 0, 0, 0, 0, 0, 0); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := run("", 0, "er", 50, 200, 0, 0, 0, 3, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 200 {
+		t.Fatalf("wrote %d edges, want 200", lines)
+	}
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run("", 0, "er", 50, 200, 0, 0, 0, 3, ""); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Algorithm comparison — every CoSimRank method in this repository run on
+// the same graph and queries, with timings and agreement against the
+// exact reference. A miniature of the paper's Figure 2 driven purely
+// through the public API.
+//
+//	go run ./examples/algorithms
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"csrplus"
+)
+
+func main() {
+	g, err := csrplus.GenerateDataset("P2P", 32) // ~700-node Gnutella
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := []int{3, 57, 250, 500, 700}
+	fmt.Printf("graph: n=%d m=%d, |Q|=%d\n\n", g.N(), g.M(), len(queries))
+
+	// Exact reference first.
+	exact, err := csrplus.NewEngine(g, csrplus.Options{Algorithm: csrplus.AlgoExact, Eps: 1e-9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := exact.Query(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %12s %12s %14s %12s\n",
+		"algorithm", "precompute", "query", "avg |err|", "peak bytes")
+	for _, algo := range csrplus.Algorithms() {
+		start := time.Now()
+		eng, err := csrplus.NewEngine(g, csrplus.Options{Algorithm: algo, Rank: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		precompute := time.Since(start)
+		start = time.Now()
+		got, err := eng.Query(queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		query := time.Since(start)
+		fmt.Printf("%-10s %12v %12v %14.3e %12d\n",
+			algo, precompute.Round(time.Microsecond), query.Round(time.Microsecond),
+			avgAbsErr(got, want), eng.Stats().PeakBytes)
+	}
+	fmt.Println("\nnote: the iterative methods run K = r = 5 series terms (the")
+	fmt.Println("paper's fairness rule), so their residual error is the series")
+	fmt.Println("tail; CSR+/CSR-NI's is the rank-5 truncation; Exact's is ~0.")
+}
+
+func avgAbsErr(got, want [][]float64) float64 {
+	sum, count := 0.0, 0
+	for j := range want {
+		for i := range want[j] {
+			sum += math.Abs(got[j][i] - want[j][i])
+			count++
+		}
+	}
+	return sum / float64(count)
+}

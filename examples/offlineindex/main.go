@@ -1,0 +1,92 @@
+// Offline/online split — deploying CSR+ the way its two-phase design
+// intends: phase I (SVD + subspace solve) runs once, offline; the
+// resulting index is persisted; query serving loads it in milliseconds
+// and never touches the expensive path again.
+//
+//	go run ./examples/offlineindex
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"csrplus"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "csrplus-offline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	indexPath := filepath.Join(dir, "wt.csrx")
+
+	// --- Offline: build the graph, precompute, persist. ---
+	g, err := csrplus.GenerateDataset("WT", 200) // ~12k-node talk graph
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	precompute := time.Since(start)
+	if err := eng.SaveIndex(indexPath); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(indexPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline: graph n=%d m=%d, precompute %v, index file %d KiB\n",
+		g.N(), g.M(), precompute.Round(time.Millisecond), info.Size()/1024)
+
+	// --- Online: load and serve. ---
+	start = time.Now()
+	server, err := csrplus.LoadEngine(g, indexPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	load := time.Since(start)
+
+	queries := []int{10, 200, 3000}
+	start = time.Now()
+	cols, err := server.Query(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := time.Since(start)
+	fmt.Printf("online:  index load %v, |Q|=%d multi-source query %v\n",
+		load.Round(time.Microsecond), len(queries), query.Round(time.Microsecond))
+
+	// Answers from the loaded index must match the freshly built engine.
+	fresh, err := eng.Query(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxDiff := 0.0
+	for j := range queries {
+		for i := range cols[j] {
+			if d := cols[j][i] - fresh[j][i]; d > maxDiff || -d > maxDiff {
+				if d < 0 {
+					d = -d
+				}
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("verify:  max |loaded - fresh| = %g\n", maxDiff)
+	top, err := server.TopK(queries[0], 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sample:  top-5 similar to node %d: ", queries[0])
+	for _, m := range top {
+		fmt.Printf("%d(%.3f) ", m.Node, m.Score)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,93 @@
+// Synonym expansion — the application CoSimRank was conceived for
+// (Rothe & Schütze 2014) and the paper's first cited use case [10].
+//
+// A small word graph is built from dependency-style co-occurrence: an
+// edge w1 -> w2 means "w1 modifies / co-occurs with w2". CoSimRank's
+// recursion ("words are similar when the words pointing at them are
+// similar") then surfaces synonym candidates that share contexts without
+// ever co-occurring themselves.
+//
+//	go run ./examples/synonyms
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csrplus"
+)
+
+// vocabulary and context graph: content words link to the context words
+// they appear with. Synonym pairs (car/automobile, quick/fast, big/large)
+// share contexts but never link to each other.
+var vocab = []string{
+	"car", "automobile", "truck", // 0-2: vehicles
+	"quick", "fast", "slow", // 3-5: speed adjectives
+	"big", "large", "small", // 6-8: size adjectives
+	"engine", "road", "wheel", // 9-11: vehicle contexts
+	"runner", "delivery", // 12-13: speed contexts
+	"house", "city", // 14-15: size contexts
+}
+
+// cooccur maps each content word to its context words with corpus
+// counts — the weighted edges make frequent contexts dominate the
+// transition distribution (csrplus.NewWeightedGraph).
+var cooccur = map[string]map[string]float64{
+	"car":        {"engine": 12, "road": 20, "wheel": 8},
+	"automobile": {"engine": 6, "road": 9, "wheel": 4},
+	"truck":      {"engine": 7, "road": 11, "delivery": 9},
+	"quick":      {"runner": 10, "delivery": 6},
+	"fast":       {"runner": 14, "delivery": 7, "car": 3},
+	"slow":       {"runner": 5, "road": 4},
+	"big":        {"house": 15, "city": 9, "truck": 2},
+	"large":      {"house": 11, "city": 7},
+	"small":      {"house": 8, "wheel": 2},
+}
+
+func main() {
+	index := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		index[w] = i
+	}
+	var edges []csrplus.WeightedEdge
+	for w, ctxs := range cooccur {
+		for ctx, count := range ctxs {
+			// Both directions: sharing a context should count regardless
+			// of the dependency's direction.
+			edges = append(edges,
+				csrplus.WeightedEdge{From: index[w], To: index[ctx], Weight: count},
+				csrplus.WeightedEdge{From: index[ctx], To: index[w], Weight: count})
+		}
+	}
+	g, err := csrplus.NewWeightedGraph(len(vocab), edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 8, Damping: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, probe := range []string{"car", "quick", "big"} {
+		top, err := eng.TopK(index[probe], 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("synonym candidates for %q:\n", probe)
+		for i, m := range top {
+			fmt.Printf("  %d. %-12s %.4f\n", i+1, vocab[m.Node], m.Score)
+		}
+	}
+
+	// The headline check: "automobile" must top "car"'s list even though
+	// the two words never co-occur.
+	top, err := eng.TopK(index["car"], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if vocab[top[0].Node] == "automobile" {
+		fmt.Println("\n✓ car/automobile found without direct co-occurrence")
+	} else {
+		fmt.Printf("\n✗ expected automobile, got %s\n", vocab[top[0].Node])
+	}
+}

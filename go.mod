@@ -1,0 +1,3 @@
+module csrplus
+
+go 1.22

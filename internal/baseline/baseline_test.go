@@ -1,0 +1,382 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+	"csrplus/internal/memtrack"
+	"csrplus/internal/sparse"
+	"csrplus/internal/svd"
+)
+
+// paperGraph builds the 6-node graph of Figure 1 / Example 3.6.
+func paperGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	edges := [][2]int{
+		{3, 0}, {0, 1}, {2, 1}, {4, 1}, {3, 2},
+		{0, 3}, {4, 3}, {5, 3}, {2, 4}, {5, 4}, {3, 5},
+	}
+	coo := sparse.NewCOO(6, 6)
+	for _, e := range edges {
+		if err := coo.Add(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return graph.New(coo)
+}
+
+func testGraph(t testing.TB, n int, m int64, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := graph.ErdosRenyi(n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// truncatedSeries computes Σ_{k=0}^{K} cᵏ (Qᵀ)ᵏQᵏ densely — the reference
+// all iterative baselines with K terms must match exactly.
+func truncatedSeries(t testing.TB, g *graph.Graph, c float64, kTerms int) *dense.Mat {
+	t.Helper()
+	q, err := g.Transition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd := q.ToDense()
+	s := dense.Eye(g.N())
+	for k := 0; k < kTerms; k++ {
+		s = dense.Mul(dense.Mul(qd.T(), s), qd).Scale(c).AddEye(1)
+	}
+	return s
+}
+
+func queryAll(t testing.TB, r Runner, g *graph.Graph) *dense.Mat {
+	t.Helper()
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	s, err := r.Query(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		r, err := New(name, Config{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Fatalf("Name() = %q, want %q", r.Name(), name)
+		}
+	}
+	if _, err := New("bogus", Config{}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestQueryBeforePrecompute(t *testing.T) {
+	for _, name := range Names() {
+		r, err := New(name, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Query([]int{0}); !errors.Is(err, ErrNotPrecomputed) {
+			t.Fatalf("%s: err = %v, want ErrNotPrecomputed", name, err)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := paperGraph(t)
+	for _, name := range Names() {
+		r, err := New(name, Config{Rank: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Precompute(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := r.Query(nil); !errors.Is(err, ErrQuery) {
+			t.Fatalf("%s empty query: err = %v", name, err)
+		}
+		if _, err := r.Query([]int{99}); !errors.Is(err, ErrQuery) {
+			t.Fatalf("%s oob query: err = %v", name, err)
+		}
+	}
+}
+
+func TestITMatchesTruncatedSeries(t *testing.T) {
+	g := testGraph(t, 30, 150, 40)
+	r := NewIT(Config{Rank: 5})
+	if err := r.Precompute(g); err != nil {
+		t.Fatal(err)
+	}
+	got := queryAll(t, r, g)
+	want := truncatedSeries(t, g, 0.6, 5)
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("IT deviates from 5-term series by %g", got.Sub(want).MaxAbs())
+	}
+}
+
+func TestRLSMatchesIT(t *testing.T) {
+	// RLS evaluates the same truncated series per query; columns must
+	// agree with IT to rounding.
+	g := testGraph(t, 30, 150, 41)
+	it := NewIT(Config{Rank: 5})
+	rls := NewRLS(Config{Rank: 5})
+	if err := it.Precompute(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := rls.Precompute(g); err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{0, 3, 17, 29}
+	a, err := it.Query(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rls.Query(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b, 1e-10) {
+		t.Fatalf("RLS deviates from IT by %g", a.Sub(b).MaxAbs())
+	}
+}
+
+func TestExactConverged(t *testing.T) {
+	// Exact must agree with a long truncated series.
+	g := testGraph(t, 25, 120, 42)
+	e := NewExact(Config{Eps: 1e-10})
+	if err := e.Precompute(g); err != nil {
+		t.Fatal(err)
+	}
+	if e.SeriesTerms() < 10 {
+		t.Fatalf("SeriesTerms = %d, suspiciously small", e.SeriesTerms())
+	}
+	got := queryAll(t, e, g)
+	want := truncatedSeries(t, g, 0.6, 80)
+	if !got.Equal(want, 1e-8) {
+		t.Fatalf("Exact deviates from converged series by %g", got.Sub(want).MaxAbs())
+	}
+}
+
+func TestNIMatchesCSRPlusLossless(t *testing.T) {
+	// §4.2.3: "the accuracy of CSR+ and CSR-NI is exactly the same" —
+	// both reduce the same rank-r linear system.
+	for _, seed := range []int64{50, 51} {
+		g := testGraph(t, 40, 200, seed)
+		cfg := Config{Rank: 5, SVD: svd.Options{Seed: 9, PowerIters: 4}}
+		ni := NewNI(cfg)
+		cp := NewCSRPlus(cfg)
+		if err := ni.Precompute(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Precompute(g); err != nil {
+			t.Fatal(err)
+		}
+		queries := []int{0, 5, 11, 39}
+		a, err := ni.Query(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cp.Query(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// NI inverts the system exactly; CSR+ truncates the series at
+		// eps=1e-5, so agreement is to that eps, not machine precision.
+		if !a.Equal(b, 1e-4) {
+			t.Fatalf("seed %d: NI vs CSR+ deviate by %g", seed, a.Sub(b).MaxAbs())
+		}
+	}
+}
+
+func TestNIMatchesExactAtFullRank(t *testing.T) {
+	g := paperGraph(t)
+	ni := NewNI(Config{Rank: 6, SVD: svd.Options{PowerIters: 8, Oversample: 6}})
+	if err := ni.Precompute(g); err != nil {
+		t.Fatal(err)
+	}
+	got := queryAll(t, ni, g)
+	want := truncatedSeries(t, g, 0.6, 80)
+	if !got.Equal(want, 1e-6) {
+		t.Fatalf("full-rank NI deviates from exact by %g", got.Sub(want).MaxAbs())
+	}
+}
+
+func TestCoSimMateMatchesExact(t *testing.T) {
+	g := testGraph(t, 25, 120, 43)
+	cm := NewCoSimMate(Config{Eps: 1e-8})
+	if err := cm.Precompute(g); err != nil {
+		t.Fatal(err)
+	}
+	if cm.Squarings() < 3 {
+		t.Fatalf("Squarings = %d", cm.Squarings())
+	}
+	got := queryAll(t, cm, g)
+	want := truncatedSeries(t, g, 0.6, 100)
+	if !got.Equal(want, 1e-6) {
+		t.Fatalf("CoSimMate deviates from exact by %g", got.Sub(want).MaxAbs())
+	}
+}
+
+func TestRPCoSimApproximatesSeries(t *testing.T) {
+	// Statistical agreement: with a healthy sketch width the JL estimate
+	// of the 5-term series should land close to the truth.
+	g := testGraph(t, 40, 200, 44)
+	rp := NewRPCoSim(Config{Rank: 5, SketchDim: 4096, SVD: svd.Options{Seed: 3}})
+	if err := rp.Precompute(g); err != nil {
+		t.Fatal(err)
+	}
+	got := queryAll(t, rp, g)
+	want := truncatedSeries(t, g, 0.6, 5)
+	diff, err := AvgDiff(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 0.02 {
+		t.Fatalf("RP-CoSim AvgDiff %g too large for d=4096", diff)
+	}
+}
+
+func TestAvgDiff(t *testing.T) {
+	a := dense.NewMatFrom(2, 2, []float64{1, 2, 3, 4})
+	b := dense.NewMatFrom(2, 2, []float64{1, 2, 3, 8})
+	d, err := AvgDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-15 {
+		t.Fatalf("AvgDiff = %v, want 1", d)
+	}
+	if _, err := AvgDiff(a, dense.NewMat(3, 2)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestEstimateBytesSanity(t *testing.T) {
+	for _, name := range Names() {
+		r, err := New(name, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small := r.EstimateBytes(100, 500, 10)
+		big := r.EstimateBytes(10000, 50000, 10)
+		if small <= 0 {
+			t.Fatalf("%s: estimate %d <= 0", name, small)
+		}
+		if big <= small {
+			t.Fatalf("%s: estimate not growing with n (%d vs %d)", name, small, big)
+		}
+	}
+	// NI's quadratic-in-n footprint must dwarf CSR+'s linear one.
+	ni, _ := New("CSR-NI", Config{})
+	cp, _ := New("CSR+", Config{})
+	n, m := 10000, int64(50000)
+	if ni.EstimateBytes(n, m, 100) < 100*cp.EstimateBytes(n, m, 100) {
+		t.Fatal("NI estimate suspiciously close to CSR+")
+	}
+}
+
+func TestMemoryAccountingAcrossRunners(t *testing.T) {
+	g := paperGraph(t)
+	for _, name := range Names() {
+		tr := memtrack.New()
+		r, err := New(name, Config{Rank: 3, Tracker: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Precompute(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := r.Query([]int{1, 3}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Peak() == 0 {
+			t.Fatalf("%s recorded no memory", name)
+		}
+		if tr.PeakByPrefix("query/") <= 0 {
+			t.Fatalf("%s recorded no query memory", name)
+		}
+	}
+}
+
+func TestSeriesLength(t *testing.T) {
+	// c=0.6, eps=1e-5: need c^K < eps(1-c) → K ≈ 25.
+	k := seriesLength(0.6, 1e-5)
+	if k < 20 || k > 30 {
+		t.Fatalf("seriesLength = %d", k)
+	}
+	if got := seriesLength(0.1, 0.99); got != 1 {
+		t.Fatalf("floor = %d, want 1", got)
+	}
+}
+
+func TestAllRunnersAgreeOnPaperExample(t *testing.T) {
+	// Integration: every algorithm at matched settings lands within low-
+	// rank/statistical tolerance of the exact [S]_{*,{b,d}}.
+	g := paperGraph(t)
+	want := truncatedSeries(t, g, 0.6, 80)
+	queries := []int{1, 3}
+	wantBlock := dense.NewMat(6, 2)
+	for j, q := range queries {
+		for i := 0; i < 6; i++ {
+			wantBlock.Set(i, j, want.At(i, q))
+		}
+	}
+	tolerances := map[string]float64{
+		"CSR+": 0.35, "CSR-NI": 0.35, // rank-3 truncation error on n=6
+		"CSR-IT": 0.12, "CSR-RLS": 0.12, // 5-term truncation
+		"CoSimMate": 1e-6, "RP-CoSim": 0.25, "Exact": 1e-5,
+	}
+	for _, name := range Names() {
+		r, err := New(name, Config{Rank: 3, SketchDim: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Precompute(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := r.Query(queries)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if dev := got.Sub(wantBlock).MaxAbs(); dev > tolerances[name] {
+			t.Fatalf("%s deviates from exact by %g (tol %g)", name, dev, tolerances[name])
+		}
+	}
+}
+
+// TestEstimateUpperBoundsMeasured: each Runner's EstimateBytes must upper-
+// bound the analytic peak its tracker actually records — the invariant the
+// harness's memory guard depends on (an under-estimate would let a cell
+// run that should have been guarded).
+func TestEstimateUpperBoundsMeasured(t *testing.T) {
+	g := testGraph(t, 120, 700, 55)
+	queries := []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+	for _, name := range Names() {
+		tr := memtrack.New()
+		r, err := New(name, Config{Rank: 5, Tracker: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := r.EstimateBytes(g.N(), g.M(), len(queries))
+		if err := r.Precompute(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := r.Query(queries); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if peak := tr.Peak(); est < peak {
+			t.Fatalf("%s: estimate %d below measured peak %d", name, est, peak)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+)
+
+// CoSimMate is Yu & McCann's all-pairs repeated-squaring method [11]
+// (Table 1 of the paper): with T₀ = Q and S₀ = I,
+//
+//	S_{j+1} = S_j + c^(2^j) · T_jᵀ S_j T_j,   T_{j+1} = T_j²,
+//
+// after j squarings S_j holds the first 2^j series terms, so the iteration
+// count shrinks exponentially — at the price of dense n x n intermediates
+// (O(n²) memory, O(n³ log₂ K) time), which is exactly why the paper rules
+// it out for high-dimensional use. Implemented as the related-work
+// extension baseline; feasible on small graphs only.
+type CoSimMate struct {
+	cfg Config
+	n   int
+	s   *dense.Mat
+}
+
+// NewCoSimMate returns an unprecomputed CoSimMate runner.
+func NewCoSimMate(cfg Config) *CoSimMate { return &CoSimMate{cfg: cfg.WithDefaults()} }
+
+// Name implements Runner.
+func (a *CoSimMate) Name() string { return "CoSimMate" }
+
+// EstimateBytes implements Runner: three resident n x n dense matrices
+// (S, T and the squaring scratch).
+func (a *CoSimMate) EstimateBytes(n int, m int64, q int) int64 {
+	return 4*int64(n)*int64(n)*8 + int64(n)*int64(q)*8
+}
+
+// EstimateFlops implements Runner: each squaring step performs three
+// dense n x n products.
+func (a *CoSimMate) EstimateFlops(n int, m int64, q int) int64 {
+	n64 := int64(n)
+	return 3*int64(a.Squarings())*n64*n64*n64 + n64*int64(q)
+}
+
+// Squarings returns the number of squaring steps needed for the
+// configured accuracy: ⌈log₂(K+1)⌉ over the plain series length K.
+func (a *CoSimMate) Squarings() int {
+	k := seriesLength(a.cfg.Damping, a.cfg.Eps)
+	return int(math.Ceil(math.Log2(float64(k + 1))))
+}
+
+// Precompute implements Runner.
+func (a *CoSimMate) Precompute(g *graph.Graph) error {
+	q, err := g.Transition()
+	if err != nil {
+		return fmt.Errorf("baseline: CoSimMate: %w", err)
+	}
+	a.n = g.N()
+	track := a.cfg.Tracker
+	t := q.ToDense()
+	track.Alloc("precompute/T", t.Bytes())
+	s := dense.Eye(a.n)
+	track.Alloc("precompute/S", s.Bytes())
+	weight := a.cfg.Damping
+	for j := a.Squarings(); j > 0; j-- {
+		// S ← S + weight · Tᵀ S T.
+		st := dense.Mul(s, t)
+		track.Alloc("precompute/scratch", st.Bytes())
+		tst := dense.TMul(t, st)
+		s.AddInPlace(tst.Scale(weight))
+		track.Free("precompute/scratch", st.Bytes())
+		t = dense.Mul(t, t)
+		weight *= weight
+	}
+	a.s = s
+	return nil
+}
+
+// Query implements Runner by column slicing.
+func (a *CoSimMate) Query(queries []int) (*dense.Mat, error) {
+	if a.s == nil {
+		return nil, ErrNotPrecomputed
+	}
+	if err := validateQueries(queries, a.n); err != nil {
+		return nil, err
+	}
+	out := dense.NewMat(a.n, len(queries))
+	a.cfg.Tracker.Alloc("query/S", out.Bytes())
+	for j, q := range queries {
+		for i := 0; i < a.n; i++ {
+			out.Set(i, j, a.s.At(i, q))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"fmt"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+	"csrplus/internal/sparse"
+)
+
+// RLS is CSR-RLS, Kusumoto et al.'s linearised single-source scheme [2]
+// applied to CoSimRank: for each query q the truncated series
+//
+//	[S]_{*,q} = Σ_{k=0}^{K} cᵏ (Qᵀ)ᵏ Qᵏ e_q
+//
+// is evaluated term by term — the k-th term costs k extra backward SpMVs,
+// the "many repeated matrix product operations" the paper attributes to
+// this baseline (§4.2.1). Per query: O(K²·m) time; memory stays linear.
+// Unlike IT, every additional query repeats the whole evaluation, so total
+// time grows linearly with |Q| (the paper's Figure 5 behaviour).
+type RLS struct {
+	cfg Config
+	q   *sparse.CSR
+}
+
+// NewRLS returns an unprecomputed RLS runner.
+func NewRLS(cfg Config) *RLS { return &RLS{cfg: cfg.WithDefaults()} }
+
+// Name implements Runner.
+func (a *RLS) Name() string { return "CSR-RLS" }
+
+// EstimateBytes implements Runner: the transition matrix, K+1 forward
+// vectors plus scratch, and the n x |Q| result block.
+func (a *RLS) EstimateBytes(n int, m int64, q int) int64 {
+	return csrBytes(n, m) + int64(a.cfg.Rank+3)*int64(n)*8 + int64(n)*int64(q)*8
+}
+
+// EstimateFlops implements Runner: per query, K forward SpMVs plus
+// K(K+1)/2 backward ones — O(|Q|·K²·m).
+func (a *RLS) EstimateFlops(n int, m int64, q int) int64 {
+	k := int64(a.cfg.Rank)
+	return int64(q) * (k + k*(k+1)/2) * m
+}
+
+// Precompute implements Runner; RLS is query-time, only Q is kept.
+func (a *RLS) Precompute(g *graph.Graph) error {
+	q, err := g.Transition()
+	if err != nil {
+		return fmt.Errorf("baseline: RLS: %w", err)
+	}
+	a.q = q
+	a.cfg.Tracker.Alloc("precompute/Q", q.Bytes())
+	return nil
+}
+
+// Query implements Runner.
+func (a *RLS) Query(queries []int) (*dense.Mat, error) {
+	if a.q == nil {
+		return nil, ErrNotPrecomputed
+	}
+	n, _ := a.q.Dims()
+	if err := validateQueries(queries, n); err != nil {
+		return nil, err
+	}
+	k := a.cfg.Rank // iteration count equals r, the paper's fairness rule
+	c := a.cfg.Damping
+	out := dense.NewMat(n, len(queries))
+	a.cfg.Tracker.Alloc("query/S", out.Bytes())
+	fwd := make([][]float64, k+1)
+	for i := range fwd {
+		fwd[i] = make([]float64, n)
+	}
+	a.cfg.Tracker.Alloc("query/fwd", int64(k+3)*int64(n)*8)
+	cur := make([]float64, n)
+	nxt := make([]float64, n)
+	for col, q := range queries {
+		// Forward pass: v_j = Qʲ e_q.
+		for i := range fwd[0] {
+			fwd[0][i] = 0
+		}
+		fwd[0][q] = 1
+		for j := 1; j <= k; j++ {
+			a.q.MulVec(fwd[j-1], fwd[j])
+		}
+		// Term-by-term backward passes: the j-th term re-applies Qᵀ j
+		// times from scratch (no Horner sharing) — faithful to the
+		// baseline's redundancy.
+		acc := make([]float64, n)
+		acc[q] = 1 // k = 0 term
+		weight := 1.0
+		for j := 1; j <= k; j++ {
+			weight *= c
+			copy(cur, fwd[j])
+			for step := 0; step < j; step++ {
+				nxt = a.q.MulVecT(cur, nxt)
+				cur, nxt = nxt, cur
+			}
+			dense.Axpy(weight, cur, acc)
+		}
+		out.SetCol(col, acc)
+	}
+	a.cfg.Tracker.Free("query/fwd", int64(k+3)*int64(n)*8)
+	return out, nil
+}

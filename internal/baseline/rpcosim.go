@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+	"csrplus/internal/sparse"
+)
+
+// RPCoSim is Yang's random-projection estimator [9] (Table 1): the PPR
+// inner products (Qᵏe_x)ᵀ(Qᵏe_q) are approximated through a
+// Johnson-Lindenstrauss sketch. With a Gaussian R (n x d) the sketches
+// W_k = (1/√d)·Rᵀ Qᵏ (d x n) satisfy E[(W_k)ᵀ W_k] = (Qᵏ)ᵀQᵏ, so
+//
+//	[S]_{*,q} ≈ e_q + Σ_{k=1}^{K} cᵏ · W_kᵀ (W_k e_q),
+//
+// with the k = 0 term taken exactly (it is just the identity). Precompute
+// is O(K·d·m); each query is O(K·d·n); memory is O(K·d·n) for the stored
+// sketches. Variance decays as 1/d.
+type RPCoSim struct {
+	cfg Config
+	n   int
+	w   []*dense.Mat // W_1..W_K, each d x n
+}
+
+// NewRPCoSim returns an unprecomputed RP-CoSim runner.
+func NewRPCoSim(cfg Config) *RPCoSim { return &RPCoSim{cfg: cfg.WithDefaults()} }
+
+// Name implements Runner.
+func (a *RPCoSim) Name() string { return "RP-CoSim" }
+
+// EstimateBytes implements Runner: K stored d x n sketches plus the query
+// block.
+func (a *RPCoSim) EstimateBytes(n int, m int64, q int) int64 {
+	return int64(a.cfg.Rank+1)*int64(a.cfg.SketchDim)*int64(n)*8 +
+		csrBytes(n, m) + int64(n)*int64(q)*8
+}
+
+// EstimateFlops implements Runner: K sketched sparse passes of width d,
+// plus O(K·d·n) per query.
+func (a *RPCoSim) EstimateFlops(n int, m int64, q int) int64 {
+	k, d := int64(a.cfg.Rank), int64(a.cfg.SketchDim)
+	return k*d*m + int64(q)*k*d*int64(n)
+}
+
+// Precompute implements Runner: draw the sketch and push it through K
+// sparse passes.
+func (a *RPCoSim) Precompute(g *graph.Graph) error {
+	q, err := g.Transition()
+	if err != nil {
+		return fmt.Errorf("baseline: RP-CoSim: %w", err)
+	}
+	a.n = g.N()
+	track := a.cfg.Tracker
+	track.Alloc("precompute/Q", q.Bytes())
+	d := a.cfg.SketchDim
+	rng := rand.New(rand.NewSource(a.cfg.SVD.Seed + 77))
+	w0 := dense.NewMat(d, a.n)
+	inv := 1 / math.Sqrt(float64(d))
+	for i := range w0.Data {
+		w0.Data[i] = rng.NormFloat64() * inv
+	}
+	a.w = make([]*dense.Mat, 0, a.cfg.Rank)
+	cur := w0
+	for k := 1; k <= a.cfg.Rank; k++ {
+		cur = sparse.DenseMulCSR(cur, q) // W_k = W_{k-1} Q
+		a.w = append(a.w, cur)
+		track.Alloc("precompute/W", cur.Bytes())
+	}
+	return nil
+}
+
+// Query implements Runner.
+func (a *RPCoSim) Query(queries []int) (*dense.Mat, error) {
+	if a.w == nil {
+		return nil, ErrNotPrecomputed
+	}
+	if err := validateQueries(queries, a.n); err != nil {
+		return nil, err
+	}
+	out := dense.NewMat(a.n, len(queries))
+	a.cfg.Tracker.Alloc("query/S", out.Bytes())
+	d := a.cfg.SketchDim
+	col := make([]float64, d)
+	for j, q := range queries {
+		acc := make([]float64, a.n)
+		acc[q] = 1 // exact k = 0 term
+		weight := 1.0
+		for _, wk := range a.w {
+			weight *= a.cfg.Damping
+			wk.Col(q, col)
+			// acc += weight · W_kᵀ col.
+			for row := 0; row < d; row++ {
+				cv := weight * col[row]
+				if cv == 0 {
+					continue
+				}
+				dense.Axpy(cv, wk.Row(row), acc)
+			}
+		}
+		out.SetCol(j, acc)
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package bench
+
+// grid.go drives the dataset x algorithm grid shared by Figure 2 (total
+// time) and Figure 6 (total memory): the four evaluated algorithms on all
+// six datasets at the paper's defaults (|Q| = 100, c = 0.6, r = 5).
+
+import "fmt"
+
+// GridAlgos are the four competitors of Figures 2 and 6, in paper order.
+var GridAlgos = []string{"CSR+", "CSR-RLS", "CSR-IT", "CSR-NI"}
+
+// GridDatasets are the six evaluation graphs in paper order.
+var GridDatasets = []string{"FB", "P2P", "YT", "WT", "TW", "WB"}
+
+// Grid holds the measurements behind Figures 2 and 6.
+type Grid struct {
+	Datasets []string
+	Algos    []string
+	// Cells[dataset][algo]
+	Cells map[string]map[string]Measurement
+}
+
+// RunGrid executes the full grid under the Env's guards.
+func (e *Env) RunGrid() (*Grid, error) {
+	g := &Grid{
+		Datasets: GridDatasets,
+		Algos:    GridAlgos,
+		Cells:    make(map[string]map[string]Measurement),
+	}
+	for _, ds := range g.Datasets {
+		gr, err := e.Dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		queries := e.SampleQueries(gr, DefaultQuerySize)
+		g.Cells[ds] = make(map[string]Measurement)
+		for _, algo := range g.Algos {
+			m, err := e.RunCell(algo, e.Config(DefaultRank), ds, gr, queries)
+			if err != nil {
+				return nil, err
+			}
+			g.Cells[ds][algo] = m
+		}
+	}
+	return g, nil
+}
+
+// RenderFig2 prints the Figure 2 view: total time per algorithm/dataset.
+func (g *Grid) RenderFig2(e *Env) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 2: Total Time on Real Datasets (|Q|=%d, c=%.1f, r=%d)", DefaultQuerySize, DefaultDamping, DefaultRank),
+		Header: append([]string{"Dataset", "n", "m"}, g.Algos...),
+	}
+	for _, ds := range g.Datasets {
+		any := g.Cells[ds][g.Algos[0]]
+		row := []string{ds, fmt.Sprint(any.N), fmt.Sprint(any.M)}
+		for _, algo := range g.Algos {
+			row = append(row, fmtCellTime(g.Cells[ds][algo]))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(e.Out)
+}
+
+// RenderFig6 prints the Figure 6 view: total (peak analytic) memory.
+func (g *Grid) RenderFig6(e *Env) {
+	t := &Table{
+		Title:  "Figure 6: Total Memory on Real Datasets (analytic peak bytes)",
+		Header: append([]string{"Dataset"}, g.Algos...),
+	}
+	for _, ds := range g.Datasets {
+		row := []string{ds}
+		for _, algo := range g.Algos {
+			row = append(row, fmtCellBytes(g.Cells[ds][algo]))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(e.Out)
+}

@@ -1,0 +1,121 @@
+package bench
+
+// rankeval.go is an extension experiment beyond the paper's Table 3:
+// element-wise AvgDiff says little about whether top-k retrieval survives
+// the rank-r truncation, so this experiment reports ranking-quality
+// metrics (Precision@10, NDCG@10, Spearman ρ) of CSR+ columns against
+// exact CoSimRank columns across ranks.
+
+import (
+	"fmt"
+
+	"csrplus/internal/baseline"
+	"csrplus/internal/eval"
+)
+
+// RankEvalCell aggregates ranking quality at one rank (means over the
+// sampled query columns).
+type RankEvalCell struct {
+	Rank        int
+	PrecisionAt float64
+	NDCGAt      float64
+	Spearman    float64
+}
+
+// RankEvalResult maps dataset -> per-rank cells.
+type RankEvalResult struct {
+	K        int // cutoff for Precision@k / NDCG@k
+	Queries  int
+	Ranks    []int
+	Datasets []string
+	Cells    map[string][]RankEvalCell
+}
+
+// RankEvalRanks is the default rank sweep for the extension experiment.
+var RankEvalRanks = []int{5, 10, 25, 50}
+
+// RunRankEval measures ranking quality on the two full-size datasets.
+func (e *Env) RunRankEval(ranks []int) (*RankEvalResult, error) {
+	if len(ranks) == 0 {
+		ranks = RankEvalRanks
+	}
+	const k = 10
+	const nq = 20
+	res := &RankEvalResult{K: k, Queries: nq, Ranks: ranks,
+		Datasets: Table3Datasets, Cells: make(map[string][]RankEvalCell)}
+	for _, ds := range res.Datasets {
+		g, err := e.Dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		queries := e.SampleQueries(g, nq)
+		exCfg := e.Config(DefaultRank)
+		exCfg.Eps = 1e-9
+		ex := baseline.NewExact(exCfg)
+		if err := ex.Precompute(g); err != nil {
+			return nil, err
+		}
+		want, err := ex.Query(queries)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range ranks {
+			rank := r
+			if rank > g.N() {
+				rank = g.N()
+			}
+			cp := baseline.NewCSRPlus(e.Config(rank))
+			if err := cp.Precompute(g); err != nil {
+				return nil, err
+			}
+			got, err := cp.Query(queries)
+			if err != nil {
+				return nil, err
+			}
+			cell := RankEvalCell{Rank: rank}
+			for j := range queries {
+				a := got.Col(j, nil)
+				b := want.Col(j, nil)
+				p, err := eval.PrecisionAtK(a, b, k)
+				if err != nil {
+					return nil, fmt.Errorf("bench: rankeval: %w", err)
+				}
+				g10, err := eval.NDCGAtK(a, b, k)
+				if err != nil {
+					return nil, fmt.Errorf("bench: rankeval: %w", err)
+				}
+				rho, err := eval.SpearmanRho(a, b)
+				if err != nil {
+					return nil, fmt.Errorf("bench: rankeval: %w", err)
+				}
+				cell.PrecisionAt += p
+				cell.NDCGAt += g10
+				cell.Spearman += rho
+			}
+			cell.PrecisionAt /= float64(len(queries))
+			cell.NDCGAt /= float64(len(queries))
+			cell.Spearman /= float64(len(queries))
+			res.Cells[ds] = append(res.Cells[ds], cell)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the ranking-quality table.
+func (r *RankEvalResult) Render(e *Env) {
+	t := &Table{
+		Title: fmt.Sprintf("Extension: ranking quality of CSR+ vs exact (means over %d queries)",
+			r.Queries),
+		Header: []string{"Dataset", "r", fmt.Sprintf("Precision@%d", r.K),
+			fmt.Sprintf("NDCG@%d", r.K), "Spearman ρ"},
+	}
+	for _, ds := range r.Datasets {
+		for _, c := range r.Cells[ds] {
+			t.AddRow(ds, fmt.Sprint(c.Rank),
+				fmt.Sprintf("%.3f", c.PrecisionAt),
+				fmt.Sprintf("%.3f", c.NDCGAt),
+				fmt.Sprintf("%.3f", c.Spearman))
+		}
+	}
+	t.Render(e.Out)
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"csrplus/internal/memtrack"
+)
+
+// Table is a simple aligned ASCII table used by every experiment reporter.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table, aligned, to w (nil w discards).
+func (t *Table) Render(w io.Writer) {
+	if w == nil {
+		return
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	fmt.Fprintln(w, line(t.Header))
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// fmtDuration renders a duration compactly for table cells.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// fmtCellTime renders a measurement's total time, or its guard marker.
+func fmtCellTime(m Measurement) string {
+	if m.Skipped {
+		return skipMarker(m)
+	}
+	return fmtDuration(m.TotalTime())
+}
+
+// fmtCellBytes renders a measurement's peak memory; skipped cells show
+// the guard marker with the analytic estimate in parentheses, matching
+// how the paper reports crashed entries.
+func fmtCellBytes(m Measurement) string {
+	if m.Skipped {
+		return fmt.Sprintf("%s(est %s)", skipMarker(m), memtrack.Human(m.EstBytes))
+	}
+	return memtrack.Human(m.PeakBytes)
+}
+
+func skipMarker(m Measurement) string {
+	return "✗" + m.Reason
+}
+
+// fmtBytes renders a raw byte count for table cells.
+func fmtBytes(b int64) string { return memtrack.Human(b) }

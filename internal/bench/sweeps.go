@@ -1,0 +1,211 @@
+package bench
+
+// sweeps.go drives the parameter sweeps shared by Figures 3/7 (CSR+ phase
+// breakdown vs |Q|), Figures 4/8 (rank sweep) and Figures 5/9 (query-size
+// sweep).
+
+import "fmt"
+
+// SweepDatasets are the four graphs the paper's sweep figures show.
+var SweepDatasets = []string{"FB", "P2P", "WT", "TW"}
+
+// DefaultRanks is Figure 4/8's rank sweep.
+var DefaultRanks = []int{5, 10, 15, 20, 25}
+
+// DefaultQuerySizes is Figure 5/9's |Q| sweep.
+var DefaultQuerySizes = []int{100, 200, 300, 400, 500}
+
+// DefaultPhaseQuerySizes is Figure 3/7's |Q| sweep.
+var DefaultPhaseQuerySizes = []int{100, 300, 500, 700}
+
+// Sweep holds one-parameter sweep measurements for several algorithms on
+// several datasets: Cells[dataset][algo][i] corresponds to X[i].
+type Sweep struct {
+	Param    string // "r" or "|Q|"
+	X        []int
+	Datasets []string
+	Algos    []string
+	Cells    map[string]map[string][]Measurement
+}
+
+// RunRankSweep measures every grid algorithm across ranks (Figures 4/8);
+// iterative baselines honour the paper's fairness rule K = r.
+func (e *Env) RunRankSweep(ranks []int) (*Sweep, error) {
+	if len(ranks) == 0 {
+		ranks = DefaultRanks
+	}
+	s := &Sweep{Param: "r", X: ranks, Datasets: SweepDatasets, Algos: GridAlgos,
+		Cells: make(map[string]map[string][]Measurement)}
+	for _, ds := range s.Datasets {
+		gr, err := e.Dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		queries := e.SampleQueries(gr, DefaultQuerySize)
+		s.Cells[ds] = make(map[string][]Measurement)
+		for _, algo := range s.Algos {
+			for _, r := range ranks {
+				m, err := e.RunCell(algo, e.Config(r), ds, gr, queries)
+				if err != nil {
+					return nil, err
+				}
+				s.Cells[ds][algo] = append(s.Cells[ds][algo], m)
+			}
+		}
+	}
+	return s, nil
+}
+
+// RunQuerySweep measures every grid algorithm across |Q| (Figures 5/9).
+func (e *Env) RunQuerySweep(sizes []int) (*Sweep, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultQuerySizes
+	}
+	s := &Sweep{Param: "|Q|", X: sizes, Datasets: SweepDatasets, Algos: GridAlgos,
+		Cells: make(map[string]map[string][]Measurement)}
+	for _, ds := range s.Datasets {
+		gr, err := e.Dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		s.Cells[ds] = make(map[string][]Measurement)
+		for _, algo := range s.Algos {
+			for _, q := range sizes {
+				queries := e.SampleQueries(gr, q)
+				m, err := e.RunCell(algo, e.Config(DefaultRank), ds, gr, queries)
+				if err != nil {
+					return nil, err
+				}
+				s.Cells[ds][algo] = append(s.Cells[ds][algo], m)
+			}
+		}
+	}
+	return s, nil
+}
+
+// renderTime prints the time view of a sweep (Figures 4 and 5).
+func (s *Sweep) renderTime(e *Env, title string) {
+	for _, ds := range s.Datasets {
+		t := &Table{
+			Title:  fmt.Sprintf("%s — %s", title, ds),
+			Header: append([]string{s.Param}, s.Algos...),
+		}
+		for i, x := range s.X {
+			row := []string{fmt.Sprint(x)}
+			for _, algo := range s.Algos {
+				row = append(row, fmtCellTime(s.Cells[ds][algo][i]))
+			}
+			t.AddRow(row...)
+		}
+		t.Render(e.Out)
+	}
+}
+
+// renderMemory prints the memory view of a sweep (Figures 8 and 9).
+func (s *Sweep) renderMemory(e *Env, title string) {
+	for _, ds := range s.Datasets {
+		t := &Table{
+			Title:  fmt.Sprintf("%s — %s", title, ds),
+			Header: append([]string{s.Param}, s.Algos...),
+		}
+		for i, x := range s.X {
+			row := []string{fmt.Sprint(x)}
+			for _, algo := range s.Algos {
+				row = append(row, fmtCellBytes(s.Cells[ds][algo][i]))
+			}
+			t.AddRow(row...)
+		}
+		t.Render(e.Out)
+	}
+}
+
+// RenderFig4 prints the rank sweep's CPU-time view.
+func (s *Sweep) RenderFig4(e *Env) { s.renderTime(e, "Figure 4: Effect of Low Rank r on CPU Time") }
+
+// RenderFig8 prints the rank sweep's memory view.
+func (s *Sweep) RenderFig8(e *Env) { s.renderMemory(e, "Figure 8: Effect of Low Rank r on Memory") }
+
+// RenderFig5 prints the query-size sweep's CPU-time view.
+func (s *Sweep) RenderFig5(e *Env) { s.renderTime(e, "Figure 5: Effect of Query Size |Q| on CPU Time") }
+
+// RenderFig9 prints the query-size sweep's memory view.
+func (s *Sweep) RenderFig9(e *Env) { s.renderMemory(e, "Figure 9: Effect of Query Size |Q| on Memory") }
+
+// PhaseSweep holds CSR+'s per-phase costs across |Q| (Figures 3 and 7).
+type PhaseSweep struct {
+	X        []int
+	Datasets []string
+	// Pre[dataset] is the (query-independent) precompute measurement;
+	// QueryCells[dataset][i] the query phase at X[i] sources.
+	Pre        map[string]Measurement
+	QueryCells map[string][]Measurement
+}
+
+// RunPhaseSweep measures CSR+'s two phases separately across |Q| on all
+// six datasets.
+func (e *Env) RunPhaseSweep(sizes []int) (*PhaseSweep, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultPhaseQuerySizes
+	}
+	s := &PhaseSweep{X: sizes, Datasets: GridDatasets,
+		Pre:        make(map[string]Measurement),
+		QueryCells: make(map[string][]Measurement)}
+	for _, ds := range s.Datasets {
+		gr, err := e.Dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		for i, q := range sizes {
+			queries := e.SampleQueries(gr, q)
+			m, err := e.RunCell("CSR+", e.Config(DefaultRank), ds, gr, queries)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				s.Pre[ds] = m
+			}
+			s.QueryCells[ds] = append(s.QueryCells[ds], m)
+		}
+	}
+	return s, nil
+}
+
+// RenderFig3 prints the phase-time breakdown.
+func (s *PhaseSweep) RenderFig3(e *Env) {
+	t := &Table{
+		Title:  "Figure 3: Time of Each Phase for CSR+ (preprocessing is |Q|-independent)",
+		Header: append([]string{"Dataset", "preprocess"}, queryHeaders(s.X)...),
+	}
+	for _, ds := range s.Datasets {
+		row := []string{ds, fmtDuration(s.Pre[ds].PrecompTime)}
+		for _, m := range s.QueryCells[ds] {
+			row = append(row, fmtDuration(m.QueryTime))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(e.Out)
+}
+
+// RenderFig7 prints the phase-memory breakdown.
+func (s *PhaseSweep) RenderFig7(e *Env) {
+	t := &Table{
+		Title:  "Figure 7: Memory of Each Phase for CSR+ (analytic bytes)",
+		Header: append([]string{"Dataset", "preprocess"}, queryHeaders(s.X)...),
+	}
+	for _, ds := range s.Datasets {
+		row := []string{ds, fmtBytes(s.Pre[ds].PrecompBytes)}
+		for _, m := range s.QueryCells[ds] {
+			row = append(row, fmtBytes(m.QueryBytes))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(e.Out)
+}
+
+func queryHeaders(sizes []int) []string {
+	hs := make([]string, len(sizes))
+	for i, q := range sizes {
+		hs[i] = fmt.Sprintf("query|Q|=%d", q)
+	}
+	return hs
+}

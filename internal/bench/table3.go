@@ -1,0 +1,136 @@
+package bench
+
+// table3.go reproduces Table 3: the AvgDiff accuracy of CSR+ (and CSR-NI
+// where it fits in memory) against exact CoSimRank on FB and P2P, with
+// |Q| = 100 and r ∈ {25, 50, 100, 200}.
+
+import (
+	"fmt"
+
+	"csrplus/internal/baseline"
+)
+
+// Table3Datasets are the accuracy-experiment graphs.
+var Table3Datasets = []string{"FB", "P2P"}
+
+// Table3Ranks is the paper's rank sweep for Table 3.
+var Table3Ranks = []int{25, 50, 100, 200}
+
+// Table3Cell is one accuracy measurement.
+type Table3Cell struct {
+	Rank       int
+	AvgDiff    float64
+	NIAvgDiff  float64 // NaN-free only when NIRan
+	NIRan      bool    // CSR-NI fits under the budget and was run
+	NISkipNote string  // guard marker when it did not
+}
+
+// Table3Result maps dataset -> per-rank cells.
+type Table3Result struct {
+	Ranks    []int
+	Datasets []string
+	Cells    map[string][]Table3Cell
+}
+
+// RunTable3 measures AvgDiff for CSR+ (and CSR-NI when feasible) against
+// the exact reference.
+func (e *Env) RunTable3(ranks []int) (*Table3Result, error) {
+	if len(ranks) == 0 {
+		ranks = Table3Ranks
+	}
+	res := &Table3Result{Ranks: ranks, Datasets: Table3Datasets,
+		Cells: make(map[string][]Table3Cell)}
+	for _, ds := range res.Datasets {
+		gr, err := e.Dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		queries := e.SampleQueries(gr, DefaultQuerySize)
+		// Exact reference once per dataset.
+		exCfg := e.Config(DefaultRank)
+		exCfg.Eps = 1e-9
+		ex := baseline.NewExact(exCfg)
+		if err := ex.Precompute(gr); err != nil {
+			return nil, err
+		}
+		want, err := ex.Query(queries)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range ranks {
+			rank := r
+			if rank > gr.N() {
+				rank = gr.N() // quick-mode stand-ins can be tiny
+			}
+			cell := Table3Cell{Rank: rank}
+			// Heavier sketch than the speed experiments: Table 3 measures
+			// the rank-truncation error, so the SVD itself must be close
+			// to exact (the paper's MATLAB svds is), not merely good
+			// enough for retrieval.
+			cfg := e.Config(rank)
+			cfg.SVD.PowerIters = 5
+			cfg.SVD.Oversample = 16
+			cp := baseline.NewCSRPlus(cfg)
+			if err := cp.Precompute(gr); err != nil {
+				return nil, err
+			}
+			got, err := cp.Query(queries)
+			if err != nil {
+				return nil, err
+			}
+			if cell.AvgDiff, err = baseline.AvgDiff(got, want); err != nil {
+				return nil, err
+			}
+			// CSR-NI "as long as it survives" (paper §4.2.3): its tensor
+			// products rarely fit, so consult the guards first.
+			ni := baseline.NewNI(e.Config(rank))
+			estB := ni.EstimateBytes(gr.N(), gr.M(), len(queries))
+			estF := ni.EstimateFlops(gr.N(), gr.M(), len(queries))
+			switch {
+			case e.MemBudget > 0 && estB > e.MemBudget:
+				cell.NISkipNote = "✗MEM"
+			case e.FlopBudget > 0 && estF > e.FlopBudget:
+				cell.NISkipNote = "✗TIME"
+			default:
+				if err := ni.Precompute(gr); err != nil {
+					return nil, err
+				}
+				gotNI, err := ni.Query(queries)
+				if err != nil {
+					return nil, err
+				}
+				if cell.NIAvgDiff, err = baseline.AvgDiff(gotNI, want); err != nil {
+					return nil, err
+				}
+				cell.NIRan = true
+			}
+			res.Cells[ds] = append(res.Cells[ds], cell)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the Table 3 view.
+func (r *Table3Result) Render(e *Env) {
+	t := &Table{
+		Title:  fmt.Sprintf("Table 3: Error (AvgDiff) for CSR+ and CSR-NI, |Q|=%d", DefaultQuerySize),
+		Header: []string{"Dataset"},
+	}
+	for _, rank := range r.Ranks {
+		t.Header = append(t.Header, fmt.Sprintf("r=%d", rank))
+	}
+	for _, ds := range r.Datasets {
+		row := []string{ds}
+		for _, c := range r.Cells[ds] {
+			cell := fmt.Sprintf("%.4e", c.AvgDiff)
+			if c.NIRan {
+				cell += fmt.Sprintf(" (NI %.4e)", c.NIAvgDiff)
+			} else {
+				cell += fmt.Sprintf(" (NI %s)", c.NISkipNote)
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	t.Render(e.Out)
+}

@@ -1,0 +1,88 @@
+// Package cache provides a small, concurrency-safe LRU used by csrserver
+// to memoise top-k query results. CoSimRank queries against a static index
+// are pure functions of (query set, k), so caching is safe and turns the
+// common repeated-query pattern into O(1).
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used map from string keys to
+// arbitrary values. The zero value is unusable; use New.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent
+	items    map[string]*list.Element
+
+	hits, misses int64
+}
+
+type entry struct {
+	key   string
+	value interface{}
+}
+
+// New returns an LRU holding at most capacity entries.
+// It panics if capacity < 1: a cache that can hold nothing is a caller bug.
+func New(capacity int) *LRU {
+	if capacity < 1 {
+		panic("cache: capacity must be >= 1")
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and whether it was present, refreshing the
+// entry's recency.
+func (c *LRU) Get(key string) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Put inserts or refreshes key -> value, evicting the least-recently-used
+// entry when full.
+func (c *LRU) Put(key string, value interface{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry).key)
+		}
+	}
+	c.items[key] = c.order.PushFront(&entry{key, value})
+}
+
+// Len returns the current entry count.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *LRU) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

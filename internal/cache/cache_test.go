@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // refresh a
+	c.Put("c", 3) // evicts b (least recent)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite refresh")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if v, _ := c.Get("a"); v.(int) != 9 {
+		t.Fatalf("value = %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("zz")
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCapacityOnePanicsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestCapacityOne(t *testing.T) {
+	c := New(1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived capacity-1 eviction")
+	}
+	if v, ok := c.Get("b"); !ok || v.(int) != 2 {
+		t.Fatal("b lost")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%100)
+				if v, ok := c.Get(key); ok {
+					if v.(string) != key {
+						t.Errorf("corrupt value for %s: %v", key, v)
+						return
+					}
+				} else {
+					c.Put(key, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}

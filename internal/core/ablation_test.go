@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+	"csrplus/internal/svd"
+)
+
+// TestSolversAgree checks the three subspace solvers produce the same P
+// (and therefore the same similarities) within the series-truncation eps:
+// the ablation variants are slower, never different.
+func TestSolversAgree(t *testing.T) {
+	g, err := graph.ErdosRenyi(40, 200, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{0, 7, 25}
+	var base [][]float64
+	for _, solver := range []SubspaceSolver{SolverSquaring, SolverPlain, SolverExplicitLambda} {
+		ix, err := Precompute(g, Options{Rank: 6, Eps: 1e-9, Solver: solver,
+			SVD: svd.Options{Seed: 5}})
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		s, err := ix.Query(queries, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		if base == nil {
+			base = make([][]float64, len(queries))
+			for j := range queries {
+				base[j] = s.Col(j, nil)
+			}
+			continue
+		}
+		for j := range queries {
+			col := s.Col(j, nil)
+			for i := range col {
+				diff := col[i] - base[j][i]
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 1e-6 {
+					t.Fatalf("%v deviates at (%d,%d): %g", solver, i, j, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	if SolverSquaring.String() != "squaring" ||
+		SolverPlain.String() != "plain-iteration" ||
+		SolverExplicitLambda.String() != "explicit-lambda" {
+		t.Fatal("solver names wrong")
+	}
+	if SubspaceSolver(9).String() == "" {
+		t.Fatal("unknown solver name empty")
+	}
+}
+
+func TestUnknownSolverRejected(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := Precompute(g, Options{Rank: 3, Solver: SubspaceSolver(9)}); !errors.Is(err, ErrParams) {
+		t.Fatalf("err = %v, want ErrParams", err)
+	}
+}
+
+func TestPlainSolverDivergenceGuard(t *testing.T) {
+	u := dense.Eye(2)
+	v := dense.Eye(2)
+	s := []float64{40, 40}
+	if _, _, err := SolveSubspacePlain(u, s, v, 0.6, 1e-5); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+// TestQueryDenseMatchesQuery: the un-optimised dense query must return
+// exactly the same block as Theorem 3.5's route.
+func TestQueryDenseMatchesQuery(t *testing.T) {
+	g := paperGraph(t)
+	ix, err := Precompute(g, Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{1, 3, 5}
+	fast, err := ix.Query(queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ix.QueryDense(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Equal(slow, 1e-12) {
+		t.Fatalf("dense query deviates by %g", fast.Sub(slow).MaxAbs())
+	}
+}
+
+func TestQueryDenseValidation(t *testing.T) {
+	g := paperGraph(t)
+	ix, err := Precompute(g, Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.QueryDense(nil); !errors.Is(err, ErrParams) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ix.QueryDense([]int{9}); !errors.Is(err, ErrQuery) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package core implements CSR+, the paper's primary contribution: a
+// multi-source CoSimRank search algorithm (Algorithm 1) that runs in
+// O(r(m + n(r + |Q|))) time and O(rn) memory by combining a rank-r
+// truncated SVD of the transition matrix with a repeated-squaring solve of
+// the r x r subspace equation P = c H P Hᵀ + I_r (Theorems 3.1–3.5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+	"csrplus/internal/memtrack"
+	"csrplus/internal/svd"
+)
+
+// Default parameter values from the paper's §4.1.
+const (
+	DefaultDamping = 0.6
+	DefaultRank    = 5
+	DefaultEps     = 1e-5
+)
+
+// ErrDiverged is returned (wrapped) when the subspace iteration blows up.
+// The compressed operator H = VᵀUΣ is not guaranteed contractive for every
+// graph/rank combination; the paper assumes convergence, we verify it.
+var ErrDiverged = errors.New("core: subspace iteration diverged")
+
+// ErrParams is returned (wrapped) for out-of-range parameters.
+var ErrParams = errors.New("core: invalid parameters")
+
+// ErrQuery is returned (wrapped) for out-of-range query node ids.
+var ErrQuery = errors.New("core: query node out of range")
+
+// Options configures Precompute.
+type Options struct {
+	// Damping is the CoSimRank damping factor c in (0, 1). Default 0.6.
+	Damping float64
+	// Rank is the SVD target rank r. Default 5.
+	Rank int
+	// Eps is the desired accuracy of the subspace solve. Default 1e-5.
+	Eps float64
+	// SVD tunes the truncated SVD driver.
+	SVD svd.Options
+	// Solver selects the subspace solve; the zero value is the paper's
+	// repeated squaring. The alternatives exist for the ablation study
+	// (see ablation.go).
+	Solver SubspaceSolver
+	// Tracker, when non-nil, receives analytic memory accounting.
+	Tracker *memtrack.Tracker
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = DefaultDamping
+	}
+	if o.Rank == 0 {
+		o.Rank = DefaultRank
+	}
+	if o.Eps == 0 {
+		o.Eps = DefaultEps
+	}
+	return o
+}
+
+func (o Options) validate(n int) error {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		return fmt.Errorf("core: damping %v not in (0, 1): %w", o.Damping, ErrParams)
+	}
+	if o.Rank < 1 || o.Rank > n {
+		return fmt.Errorf("core: rank %d not in [1, %d]: %w", o.Rank, n, ErrParams)
+	}
+	if o.Eps <= 0 || o.Eps >= 1 {
+		return fmt.Errorf("core: eps %v not in (0, 1): %w", o.Eps, ErrParams)
+	}
+	return nil
+}
+
+// Index holds CSR+'s precomputed state (Algorithm 1, phase I): the factors
+// Z and U such that [S]_{*,Q} = [I_n]_{*,Q} + c · Z · [U]_{Q,*}ᵀ. Both are
+// n x r, giving the paper's O(rn) resident memory.
+type Index struct {
+	n       int
+	c       float64
+	rank    int
+	iters   int        // repeated-squaring iterations performed
+	z       *dense.Mat // U (Σ P Σ), n x r
+	u       *dense.Mat // left singular vectors, n x r
+	sigma   []float64  // singular values (diagnostics)
+	precomp time.Duration
+}
+
+// N returns the node count the index was built for.
+func (ix *Index) N() int { return ix.n }
+
+// Rank returns the SVD rank of the index.
+func (ix *Index) Rank() int { return ix.rank }
+
+// Damping returns the damping factor baked into the index.
+func (ix *Index) Damping() float64 { return ix.c }
+
+// Iterations returns the number of repeated-squaring steps performed.
+func (ix *Index) Iterations() int { return ix.iters }
+
+// SingularValues returns the retained singular values (descending).
+func (ix *Index) SingularValues() []float64 {
+	return append([]float64(nil), ix.sigma...)
+}
+
+// PrecomputeTime returns the wall-clock duration of index construction.
+func (ix *Index) PrecomputeTime() time.Duration { return ix.precomp }
+
+// Bytes reports the resident memory of the index: the Z and U factors —
+// the O(rn) of Theorem 3.7.
+func (ix *Index) Bytes() int64 {
+	return ix.z.Bytes() + ix.u.Bytes() + int64(len(ix.sigma))*8
+}
+
+// SquaringIterations returns the paper's iteration bound
+// max{0, ⌊log₂ log_c ε⌋ + 1} for the repeated-squaring loop.
+func SquaringIterations(c, eps float64) int {
+	k := int(math.Floor(math.Log2(math.Log(eps)/math.Log(c)))) + 1
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// Precompute runs phase I of Algorithm 1 on g and returns the query-ready
+// index.
+func Precompute(g *graph.Graph, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(g.N()); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	track := opts.Tracker
+	n, r, c := g.N(), opts.Rank, opts.Damping
+
+	// Line 1: column-normalised adjacency Q.
+	q, err := g.Transition()
+	if err != nil {
+		return nil, fmt.Errorf("core: precompute: %w", err)
+	}
+	track.Alloc("precompute/Q", q.Bytes())
+
+	// Line 2: rank-r SVD. Algorithm 1 is phrased over the operator that
+	// acts as S ← c M S Mᵀ + I, i.e. M = Qᵀ (the paper's Example 3.6
+	// prints the factors of Qᵀ under the name Q = UΣVᵀ). Decomposing
+	// Q ≈ U Σ Vᵀ therefore gives M = Qᵀ ≈ V Σ Uᵀ: the roles of U and V
+	// swap. First-order sanity check: S ≈ I + cQᵀQ = I + cVΣ²Vᵀ.
+	fac, err := svd.Truncated(q, r, opts.SVD)
+	if err != nil {
+		return nil, fmt.Errorf("core: precompute: truncated SVD: %w", err)
+	}
+	um, vm := fac.V, fac.U // left/right singular vectors of M = Qᵀ
+	track.Alloc("precompute/USV", fac.Bytes())
+	track.Free("precompute/Q", q.Bytes()) // Q not needed past the SVD
+
+	// Lines 3–5: subspace solve (variant-selectable for the ablation).
+	var p *dense.Mat
+	var iters int
+	switch opts.Solver {
+	case SolverSquaring:
+		p, iters, err = SolveSubspace(um, fac.S, vm, c, opts.Eps)
+	case SolverPlain:
+		p, iters, err = SolveSubspacePlain(um, fac.S, vm, c, opts.Eps)
+	case SolverExplicitLambda:
+		p, err = SolveSubspaceLambda(um, fac.S, vm, c)
+	default:
+		err = fmt.Errorf("core: unknown solver %d: %w", int(opts.Solver), ErrParams)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: precompute: %w", err)
+	}
+	track.Alloc("precompute/P", p.Bytes())
+
+	// Line 6: Z = U (Σ P Σ).
+	z := BuildZ(um, fac.S, p)
+	track.Alloc("precompute/Z", z.Bytes())
+	track.Free("precompute/P", p.Bytes())
+
+	return &Index{
+		n:       n,
+		c:       c,
+		rank:    r,
+		iters:   iters,
+		z:       z,
+		u:       um,
+		sigma:   fac.S,
+		precomp: time.Since(start),
+	}, nil
+}
+
+// SolveSubspace runs lines 3–5 of Algorithm 1: form H₀ = VᵀUΣ and solve
+// P = c H P Hᵀ + I_r by repeated squaring,
+//
+//	P_{k+1} = P_k + c^(2^k) H_k P_k H_kᵀ,  H_{k+1} = H_k²,
+//
+// for max{0, ⌊log₂ log_c ε⌋ + 1} iterations. It returns the converged P and
+// the iteration count, or ErrDiverged when the compressed operator is not
+// contractive enough for the series to stay bounded.
+func SolveSubspace(u *dense.Mat, s []float64, v *dense.Mat, c, eps float64) (*dense.Mat, int, error) {
+	r := len(s)
+	// H0 = Vᵀ U Σ — O(nr²) time, O(r²) result.
+	h := dense.TMul(v, u)
+	for i := 0; i < r; i++ {
+		row := h.Row(i)
+		for j := 0; j < r; j++ {
+			row[j] *= s[j]
+		}
+	}
+	p := dense.Eye(r)
+	kmax := SquaringIterations(c, eps)
+	// The divergence guard bounds ‖P‖_max by the exact series' worst case:
+	// entries of the CoSimRank matrix are at most 1/(1-c) when the series
+	// converges; the compressed series can legitimately overshoot only by
+	// modest spectral leakage, so a generous fixed multiple is safe.
+	limit := 1e6 / (1 - c)
+	weight := c // c^(2^k)
+	for k := 0; k < kmax; k++ {
+		// P ← P + weight · H P Hᵀ
+		hp := dense.Mul(h, p)
+		hpht := dense.MulT(hp, h)
+		p.AddInPlace(hpht.Scale(weight))
+		if p.HasNaN() || p.MaxAbs() > limit {
+			return nil, k + 1, fmt.Errorf("core: after %d squaring steps ‖P‖=%g: %w", k+1, p.MaxAbs(), ErrDiverged)
+		}
+		h = dense.Mul(h, h)
+		weight *= weight
+	}
+	return p, kmax, nil
+}
+
+// BuildZ computes line 6 of Algorithm 1: Z = U (Σ P Σ).
+func BuildZ(u *dense.Mat, s []float64, p *dense.Mat) *dense.Mat {
+	r := len(s)
+	sps := dense.NewMat(r, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < r; j++ {
+			sps.Set(i, j, s[i]*p.At(i, j)*s[j])
+		}
+	}
+	return dense.Mul(u, sps)
+}
+
+// Query runs phase II of Algorithm 1: it returns the n x |Q| block
+// [S]_{*,Q} = [I_n]_{*,Q} + c · Z · [U]_{Q,*}ᵀ. Column j of the result
+// holds the CoSimRank similarity of every node with queries[j]. It returns
+// ErrQuery (wrapped) for out-of-range node ids and ErrParams for an empty
+// query set.
+func (ix *Index) Query(queries []int, track *memtrack.Tracker) (*dense.Mat, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: empty query set: %w", ErrParams)
+	}
+	for _, q := range queries {
+		if q < 0 || q >= ix.n {
+			return nil, fmt.Errorf("core: node %d not in [0, %d): %w", q, ix.n, ErrQuery)
+		}
+	}
+	// [U]_{Q,*} is |Q| x r; Z [U]_{Q,*}ᵀ is n x |Q|.
+	uq := ix.u.PickRows(queries)
+	track.Alloc("query/UQ", uq.Bytes())
+	s := dense.MulT(ix.z, uq)
+	track.Alloc("query/S", s.Bytes())
+	s.Scale(ix.c)
+	for j, q := range queries {
+		s.Set(q, j, s.At(q, j)+1)
+	}
+	return s, nil
+}
+
+// QueryPair returns the single similarity value [S]_{a,b} in O(r) time:
+// δ_{ab} + c·⟨Z_{a,*}, U_{b,*}⟩ — the single-pair special case the
+// original CoSimRank paper optimised for, free once the index exists.
+func (ix *Index) QueryPair(a, b int) (float64, error) {
+	if a < 0 || a >= ix.n || b < 0 || b >= ix.n {
+		return 0, fmt.Errorf("core: pair (%d, %d) not in [0, %d): %w", a, b, ix.n, ErrQuery)
+	}
+	s := ix.c * dense.Dot(ix.z.Row(a), ix.u.Row(b))
+	if a == b {
+		s++
+	}
+	return s, nil
+}
+
+// QueryOne returns the single-source similarity vector [S]_{*,q}.
+func (ix *Index) QueryOne(q int) ([]float64, error) {
+	s, err := ix.Query([]int{q}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.Col(0, nil), nil
+}

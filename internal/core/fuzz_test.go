@@ -1,0 +1,36 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIndex: arbitrary bytes must never panic the index reader, and
+// anything it accepts must be a queryable index.
+func FuzzReadIndex(f *testing.F) {
+	ix, err := Precompute(paperGraph(f), Options{Rank: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:8])
+	f.Add([]byte("CSRXgarbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if loaded.N() < 1 || loaded.Rank() < 1 {
+			t.Fatal("accepted index with empty shape")
+		}
+		if _, err := loaded.Query([]int{0}, nil); err != nil {
+			t.Fatalf("accepted index cannot answer queries: %v", err)
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package core
+
+// persist.go implements binary serialisation of a precomputed Index so the
+// expensive phase I of Algorithm 1 can run once (offline, on a beefy box)
+// and the cheap phase II can be served from anywhere — the deployment
+// split the paper's preprocessing/query architecture implies.
+//
+// Format (little endian):
+//
+//	magic   [4]byte  "CSRX"
+//	version uint32   currently 1
+//	n       uint64   node count
+//	rank    uint64   SVD rank r
+//	c       float64  damping factor
+//	iters   uint64   squaring iterations performed
+//	sigma   [rank]float64
+//	z       [n*rank]float64   (row-major)
+//	u       [n*rank]float64   (row-major)
+//	crc     uint32   IEEE CRC-32 of everything after the magic
+//
+// The CRC detects truncation and bit rot; version gates format evolution.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"csrplus/internal/dense"
+)
+
+var indexMagic = [4]byte{'C', 'S', 'R', 'X'}
+
+// indexVersion is the current on-disk format version.
+const indexVersion = 1
+
+// maxIndexElems caps n*rank at load time so a corrupt header cannot make
+// the reader attempt a multi-terabyte allocation.
+const maxIndexElems = 1 << 34
+
+// ErrCorrupt is returned (wrapped) when an index file fails validation.
+var ErrCorrupt = errors.New("core: corrupt index file")
+
+// WriteTo serialises the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := &countingWriter{w: bw}
+	if _, err := n.Write(indexMagic[:]); err != nil {
+		return n.n, fmt.Errorf("core: writing index magic: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	body := io.MultiWriter(n, crc)
+	le := binary.LittleEndian
+	if err := binary.Write(body, le, uint32(indexVersion)); err != nil {
+		return n.n, fmt.Errorf("core: writing index version: %w", err)
+	}
+	header := []uint64{uint64(ix.n), uint64(ix.rank), math.Float64bits(ix.c), uint64(ix.iters)}
+	for _, s := range header {
+		if err := binary.Write(body, le, s); err != nil {
+			return n.n, fmt.Errorf("core: writing index header: %w", err)
+		}
+	}
+	for _, block := range [][]float64{ix.sigma, ix.z.Data, ix.u.Data} {
+		if err := writeFloats(body, block); err != nil {
+			return n.n, fmt.Errorf("core: writing index payload: %w", err)
+		}
+	}
+	if err := binary.Write(n, le, crc.Sum32()); err != nil {
+		return n.n, fmt.Errorf("core: writing index checksum: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return n.n, fmt.Errorf("core: flushing index: %w", err)
+	}
+	return n.n, nil
+}
+
+// ReadIndex deserialises an index written by WriteTo, validating magic,
+// version, shape bounds and checksum.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading index magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: bad magic %q: %w", magic, ErrCorrupt)
+	}
+	crc := crc32.NewIEEE()
+	body := io.TeeReader(br, crc)
+	le := binary.LittleEndian
+	var version uint32
+	if err := binary.Read(body, le, &version); err != nil {
+		return nil, fmt.Errorf("core: reading index version: %w", err)
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("core: index version %d, want %d: %w", version, indexVersion, ErrCorrupt)
+	}
+	var nNodes, rank, iters uint64
+	var cBits uint64
+	for _, dst := range []*uint64{&nNodes, &rank, &cBits, &iters} {
+		if err := binary.Read(body, le, dst); err != nil {
+			return nil, fmt.Errorf("core: reading index header: %w", err)
+		}
+	}
+	c := math.Float64frombits(cBits)
+	if nNodes == 0 || rank == 0 || rank > nNodes || nNodes*rank > maxIndexElems {
+		return nil, fmt.Errorf("core: implausible index shape n=%d r=%d: %w", nNodes, rank, ErrCorrupt)
+	}
+	if c <= 0 || c >= 1 || math.IsNaN(c) {
+		return nil, fmt.Errorf("core: implausible damping %v: %w", c, ErrCorrupt)
+	}
+	sigma, err := readFloats(body, int(rank))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading sigma: %w", err)
+	}
+	zdata, err := readFloats(body, int(nNodes*rank))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading Z: %w", err)
+	}
+	udata, err := readFloats(body, int(nNodes*rank))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading U: %w", err)
+	}
+	sum := crc.Sum32()
+	var want uint32
+	if err := binary.Read(br, le, &want); err != nil {
+		return nil, fmt.Errorf("core: reading checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("core: checksum %08x, want %08x: %w", sum, want, ErrCorrupt)
+	}
+	return &Index{
+		n:     int(nNodes),
+		c:     c,
+		rank:  int(rank),
+		iters: int(iters),
+		z:     dense.NewMatFrom(int(nNodes), int(rank), zdata),
+		u:     dense.NewMatFrom(int(nNodes), int(rank), udata),
+		sigma: sigma,
+	}, nil
+}
+
+// SaveIndex writes the index to path atomically (write to a temp file in
+// the same directory, then rename).
+func SaveIndex(ix *Index, path string) error {
+	tmp, err := os.CreateTemp(pathDir(path), ".csrx-*")
+	if err != nil {
+		return fmt.Errorf("core: SaveIndex: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := ix.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: SaveIndex: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: SaveIndex: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex reads an index from path.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: LoadIndex: %w", err)
+	}
+	defer f.Close()
+	ix, err := ReadIndex(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: LoadIndex %s: %w", path, err)
+	}
+	return ix, nil
+}
+
+func pathDir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+func writeFloats(w io.Writer, data []float64) error {
+	buf := make([]byte, 8*4096)
+	le := binary.LittleEndian
+	for len(data) > 0 {
+		chunk := len(data)
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		for i := 0; i < chunk; i++ {
+			le.PutUint64(buf[i*8:], math.Float64bits(data[i]))
+		}
+		if _, err := w.Write(buf[:chunk*8]); err != nil {
+			return err
+		}
+		data = data[chunk:]
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, count int) ([]float64, error) {
+	// Grow the slice only as bytes actually arrive: a forged header
+	// claiming a huge payload on a short stream must fail after one
+	// chunk, not commit a multi-gigabyte allocation up front.
+	const chunkElems = 4096
+	capHint := count
+	if capHint > chunkElems {
+		capHint = chunkElems
+	}
+	out := make([]float64, 0, capHint)
+	buf := make([]byte, 8*chunkElems)
+	le := binary.LittleEndian
+	for off := 0; off < count; {
+		chunk := count - off
+		if chunk > chunkElems {
+			chunk = chunkElems
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*8]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < chunk; i++ {
+			out = append(out, math.Float64frombits(le.Uint64(buf[i*8:])))
+		}
+		off += chunk
+	}
+	return out, nil
+}
+
+// countingWriter tracks bytes written for WriteTo's contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+func buildIndex(t *testing.T) *Index {
+	t.Helper()
+	ix, err := Precompute(paperGraph(t), Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ix.N() || back.Rank() != ix.Rank() || back.Damping() != ix.Damping() || back.Iterations() != ix.Iterations() {
+		t.Fatalf("metadata mismatch: %+v vs %+v", back, ix)
+	}
+	// Queries through the deserialised index must be bit-identical.
+	want, err := ix.Query([]int{1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Query([]int{1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Fatal("loaded index answers differently")
+	}
+	sig := back.SingularValues()
+	for i, s := range ix.SingularValues() {
+		if sig[i] != s {
+			t.Fatal("singular values not preserved")
+		}
+	}
+}
+
+func TestSaveLoadIndexFile(t *testing.T) {
+	ix := buildIndex(t)
+	path := filepath.Join(t.TempDir(), "fb.csrx")
+	if err := SaveIndex(ix, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ix.N() {
+		t.Fatal("load mismatch")
+	}
+}
+
+func TestLoadIndexMissingFile(t *testing.T) {
+	if _, err := LoadIndex(filepath.Join(t.TempDir(), "nope.csrx")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestReadIndexBadMagic(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("NOPExxxxxxxxxxxxxxxx"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadIndexTruncated(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 5, 20, len(full) / 2, len(full) - 2} {
+		if _, err := ReadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestReadIndexBitFlip(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a payload bit (past the header) — the CRC must catch it.
+	data[len(data)-20] ^= 0x40
+	if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadIndexVersionMismatch(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadIndexImplausibleShape(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Overwrite n (offset 8: magic 4 + version 4) with an absurd value.
+	for i := 0; i < 8; i++ {
+		data[8+i] = 0xFF
+	}
+	if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteToPropagatesWriteErrors(t *testing.T) {
+	ix := buildIndex(t)
+	if _, err := ix.WriteTo(failingWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"csrplus/internal/graph"
+	"csrplus/internal/sparse"
+)
+
+// buildCore builds a graph from edges and runs CSR+ plus the dense exact
+// reference, returning both similarity matrices for all nodes.
+func runBoth(t *testing.T, n int, edges [][2]int, rank int) (got, want [][]float64) {
+	t.Helper()
+	coo := sparse.NewCOO(n, n)
+	for _, e := range edges {
+		if err := coo.Add(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := graph.New(coo)
+	ix, err := Precompute(g, Options{Rank: rank, Eps: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	s, err := ix.Query(all, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactCoSimRank(t, g, DefaultDamping, 80)
+	got = make([][]float64, n)
+	want = make([][]float64, n)
+	for j := 0; j < n; j++ {
+		got[j] = s.Col(j, nil)
+		want[j] = exact.Col(j, nil)
+	}
+	return got, want
+}
+
+func assertClose(t *testing.T, got, want [][]float64, tol float64) {
+	t.Helper()
+	for j := range want {
+		for i := range want[j] {
+			if math.Abs(got[j][i]-want[j][i]) > tol {
+				t.Fatalf("S[%d][%d] = %v, want %v", i, j, got[j][i], want[j][i])
+			}
+		}
+	}
+}
+
+func TestDAGFullRank(t *testing.T) {
+	// Diamond DAG: full-rank CSR+ must be exact despite zero-in-degree
+	// roots (zero transition columns) and nilpotent Q.
+	got, want := runBoth(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}, 4)
+	assertClose(t, got, want, 1e-8)
+	// Nodes 1 and 2 share in-neighbour {0}: similarity must be positive.
+	if got[1][2] <= 0 {
+		t.Fatalf("siblings have similarity %v", got[1][2])
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	// All leaves point at the hub; leaves have no in-edges at all.
+	n := 10
+	edges := make([][2]int, 0, n-1)
+	for leaf := 1; leaf < n; leaf++ {
+		edges = append(edges, [2]int{leaf, 0})
+	}
+	got, want := runBoth(t, n, edges, n)
+	assertClose(t, got, want, 1e-8)
+	// With no in-edges anywhere except the hub, S = I + c·(hub column
+	// structure); leaf-leaf similarity is exactly 0.
+	if got[1][2] != 0 && math.Abs(got[1][2]) > 1e-10 {
+		t.Fatalf("leaf-leaf similarity %v, want 0", got[1][2])
+	}
+}
+
+func TestSelfLoops(t *testing.T) {
+	got, want := runBoth(t, 3, [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 1}}, 3)
+	assertClose(t, got, want, 1e-7)
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	// Two 2-cycles with no connection: cross-component similarity must be
+	// (numerically) zero; within-component structure preserved.
+	got, want := runBoth(t, 4, [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}}, 4)
+	assertClose(t, got, want, 1e-8)
+	if math.Abs(got[0][2]) > 1e-8 || math.Abs(got[1][3]) > 1e-8 {
+		t.Fatalf("cross-component similarity nonzero: %v, %v", got[0][2], got[1][3])
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	coo := sparse.NewCOO(1, 1)
+	g := graph.New(coo)
+	ix, err := Precompute(g, Options{Rank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := ix.QueryOne(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(col[0]-1) > 1e-12 {
+		t.Fatalf("isolated node self-similarity %v, want 1", col[0])
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	// K_{2,3} directed left -> right: all right nodes share the identical
+	// in-neighbourhood, so their pairwise similarities are all equal.
+	edges := [][2]int{}
+	for _, l := range []int{0, 1} {
+		for _, r := range []int{2, 3, 4} {
+			edges = append(edges, [2]int{l, r})
+		}
+	}
+	got, want := runBoth(t, 5, edges, 5)
+	assertClose(t, got, want, 1e-8)
+	if math.Abs(got[2][3]-got[2][4]) > 1e-10 || math.Abs(got[3][4]-got[2][3]) > 1e-10 {
+		t.Fatalf("identical in-neighbourhoods scored differently: %v %v %v",
+			got[2][3], got[2][4], got[3][4])
+	}
+	if got[2][3] <= 0 {
+		t.Fatal("shared in-neighbourhood scored zero")
+	}
+}

@@ -1,0 +1,183 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the flop count above which GEMM fans out across
+// goroutines. Below it the goroutine overhead dominates.
+const parallelThreshold = 1 << 20
+
+// Mul returns a*b. It panics if the inner dimensions differ.
+//
+// The kernel is an ikj-ordered blocked product: the inner loop runs along
+// contiguous rows of b and the output, which keeps it vectorisable and
+// cache-friendly without assembly. Rows of the output are partitioned
+// across GOMAXPROCS goroutines for large products; each output element is
+// still accumulated by exactly one goroutine in a fixed order, so results
+// are deterministic.
+func Mul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: Mul %dx%d * %dx%d: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	mulInto(out, a, b)
+	return out
+}
+
+func mulInto(out, a, b *Mat) {
+	flops := a.Rows * a.Cols * b.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers == 1 || a.Rows == 1 {
+		mulRange(out, a, b, 0, a.Rows)
+		return
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulRange computes rows [lo, hi) of out = a*b.
+func mulRange(out, a, b *Mat, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*p : (i+1)*p]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulT returns a * bᵀ without materialising bᵀ.
+func MulT(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulT %dx%d * (%dx%d)ᵀ: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
+	}
+	out := NewMat(a.Rows, b.Rows)
+	n := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*n : (j+1)*n]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TMul returns aᵀ * b without materialising aᵀ.
+func TMul(a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dense: TMul (%dx%d)ᵀ * %dx%d: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
+	}
+	out := NewMat(a.Cols, b.Cols)
+	p := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*p : (k+1)*p]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*p : (i+1)*p]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a * x as a fresh vector. It panics on dimension mismatch.
+func MulVec(a *Mat, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("dense: MulVec %dx%d * vec(%d): %v", a.Rows, a.Cols, len(x), ErrShape))
+	}
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Dot returns the inner product of x and y. It panics on length mismatch.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dense: Dot len %d vs %d: %v", len(x), len(y), ErrShape))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			ssq = 1 + ssq*(scale/a)*(scale/a)
+			scale = a
+		} else {
+			ssq += (a / scale) * (a / scale)
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Axpy computes y += alpha*x in place. It panics on length mismatch.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dense: Axpy len %d vs %d: %v", len(x), len(y), ErrShape))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies x by alpha in place.
+func ScaleVec(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}

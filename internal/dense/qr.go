@@ -1,0 +1,145 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRThin computes the thin QR factorisation of an m x n matrix a (m >= n)
+// using Householder reflections: a = Q R with Q (m x n) having orthonormal
+// columns and R (n x n) upper triangular.
+//
+// The randomized truncated SVD uses this as its range orthonormaliser; it
+// replaces MATLAB's qr(Y, 0).
+func QRThin(a *Mat) (q, r *Mat, err error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, nil, fmt.Errorf("dense: QRThin %dx%d needs rows >= cols: %w", m, n, ErrShape)
+	}
+	work := a.Clone()
+	// betas[k] and the essential part of each Householder vector (stored
+	// below the diagonal of work) define Q implicitly.
+	betas := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		normx := 0.0
+		for i := k; i < m; i++ {
+			v := work.At(i, k)
+			normx += v * v
+		}
+		normx = math.Sqrt(normx)
+		if normx == 0 {
+			betas[k] = 0
+			continue
+		}
+		alpha := work.At(k, k)
+		sign := 1.0
+		if alpha < 0 {
+			sign = -1.0
+		}
+		v1 := alpha + sign*normx
+		betas[k] = sign * v1 / normx // = vᵀv / (2 * normx * v1) normalised form below
+		// Store v/v1 below diagonal; diagonal of R gets -sign*normx.
+		for i := k + 1; i < m; i++ {
+			work.Set(i, k, work.At(i, k)/v1)
+		}
+		work.Set(k, k, -sign*normx)
+		// Apply reflector to remaining columns: A -= beta * v (vᵀ A).
+		beta := betas[k]
+		for j := k + 1; j < n; j++ {
+			s := work.At(k, j) // v_k = 1 implicitly
+			for i := k + 1; i < m; i++ {
+				s += work.At(i, k) * work.At(i, j)
+			}
+			s *= beta
+			work.Set(k, j, work.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				work.Set(i, j, work.At(i, j)-s*work.At(i, k))
+			}
+		}
+	}
+	// Extract R.
+	r = NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+	// Accumulate thin Q by applying reflectors to I_{m x n}, backwards.
+	q = NewMat(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		beta := betas[k]
+		if beta == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			s := q.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += work.At(i, k) * q.At(i, j)
+			}
+			s *= beta
+			q.Set(k, j, q.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-s*work.At(i, k))
+			}
+		}
+	}
+	return q, r, nil
+}
+
+// Orthonormalize returns a matrix with orthonormal columns spanning the
+// column space of a, dropping numerically dependent columns. It is QRThin
+// followed by a rank check on R's diagonal: columns whose |r_kk| falls
+// below tol * |r_00| are replaced by fresh unit vectors orthogonal to the
+// rest (deterministic coordinate vectors re-orthogonalised by modified
+// Gram-Schmidt), so the result always has full column rank.
+func Orthonormalize(a *Mat, tol float64) (*Mat, error) {
+	q, r, err := QRThin(a)
+	if err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	r00 := math.Abs(r.At(0, 0))
+	if r00 == 0 {
+		r00 = 1
+	}
+	for k := 0; k < r.Rows; k++ {
+		if math.Abs(r.At(k, k)) > tol*r00 {
+			continue
+		}
+		// Deficient column: substitute a coordinate vector orthogonalised
+		// against all current columns (two MGS passes for stability).
+		col := make([]float64, q.Rows)
+		for e := 0; e < q.Rows; e++ {
+			for i := range col {
+				col[i] = 0
+			}
+			col[e] = 1
+			for pass := 0; pass < 2; pass++ {
+				for j := 0; j < q.Cols; j++ {
+					if j == k {
+						continue
+					}
+					d := 0.0
+					for i := 0; i < q.Rows; i++ {
+						d += q.At(i, j) * col[i]
+					}
+					for i := 0; i < q.Rows; i++ {
+						col[i] -= d * q.At(i, j)
+					}
+				}
+			}
+			if nrm := Norm2(col); nrm > 1e-8 {
+				ScaleVec(1/nrm, col)
+				q.SetCol(k, col)
+				break
+			}
+		}
+	}
+	return q, nil
+}

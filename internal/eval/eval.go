@@ -1,0 +1,173 @@
+// Package eval provides ranking-quality metrics for comparing an
+// approximate similarity algorithm's orderings against exact CoSimRank.
+// The paper reports only element-wise AvgDiff (its Table 3); operationally
+// what matters for top-k retrieval is whether the *ordering* survives the
+// low-rank truncation, so the harness's extension experiment also reports
+// Precision@k, NDCG@k, and Kendall/Spearman rank correlations.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrLength is returned (wrapped) when paired inputs have different sizes.
+var ErrLength = errors.New("eval: length mismatch")
+
+// rankOrder returns indices sorted by descending score (ascending index
+// among ties, for determinism).
+func rankOrder(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// PrecisionAtK returns |topk(approx) ∩ topk(exact)| / k: how much of the
+// true top-k the approximation retrieves. k is clamped to the input size.
+func PrecisionAtK(approx, exact []float64, k int) (float64, error) {
+	if len(approx) != len(exact) {
+		return 0, fmt.Errorf("eval: PrecisionAtK %d vs %d: %w", len(approx), len(exact), ErrLength)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("eval: PrecisionAtK k=%d", k)
+	}
+	if k > len(exact) {
+		k = len(exact)
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	truth := map[int]bool{}
+	for _, i := range rankOrder(exact)[:k] {
+		truth[i] = true
+	}
+	hits := 0
+	for _, i := range rankOrder(approx)[:k] {
+		if truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k), nil
+}
+
+// NDCGAtK returns the normalised discounted cumulative gain of the
+// approximate ordering, using the exact scores as graded relevance.
+// 1.0 means the approximate order is as good as the exact order.
+func NDCGAtK(approx, exact []float64, k int) (float64, error) {
+	if len(approx) != len(exact) {
+		return 0, fmt.Errorf("eval: NDCGAtK %d vs %d: %w", len(approx), len(exact), ErrLength)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("eval: NDCGAtK k=%d", k)
+	}
+	if k > len(exact) {
+		k = len(exact)
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	dcg := 0.0
+	for pos, i := range rankOrder(approx)[:k] {
+		dcg += exact[i] / math.Log2(float64(pos)+2)
+	}
+	ideal := 0.0
+	for pos, i := range rankOrder(exact)[:k] {
+		ideal += exact[i] / math.Log2(float64(pos)+2)
+	}
+	if ideal == 0 {
+		return 1, nil // all-zero relevance: any order is ideal
+	}
+	return dcg / ideal, nil
+}
+
+// KendallTau returns the Kendall rank correlation (tau-a) between two
+// score vectors: +1 identical order, −1 reversed, ~0 unrelated.
+// O(n²) — intended for evaluation-sized vectors, not full graphs.
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: KendallTau %d vs %d: %w", len(a), len(b), ErrLength)
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("eval: KendallTau needs >= 2 items, got %d", n)
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch prod := da * db; {
+			case prod > 0:
+				concordant++
+			case prod < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs), nil
+}
+
+// SpearmanRho returns the Spearman rank correlation between two score
+// vectors (Pearson correlation of their rank sequences, average ranks for
+// ties).
+func SpearmanRho(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: SpearmanRho %d vs %d: %w", len(a), len(b), ErrLength)
+	}
+	if len(a) < 2 {
+		return 0, fmt.Errorf("eval: SpearmanRho needs >= 2 items, got %d", len(a))
+	}
+	ra := ranksWithTies(a)
+	rb := ranksWithTies(b)
+	return pearson(ra, rb)
+}
+
+// ranksWithTies assigns 1-based ranks, averaging over tied groups.
+func ranksWithTies(scores []float64) []float64 {
+	order := rankOrder(scores)
+	ranks := make([]float64, len(scores))
+	for pos := 0; pos < len(order); {
+		end := pos
+		for end+1 < len(order) && scores[order[end+1]] == scores[order[pos]] {
+			end++
+		}
+		avg := float64(pos+end)/2 + 1
+		for k := pos; k <= end; k++ {
+			ranks[order[k]] = avg
+		}
+		pos = end + 1
+	}
+	return ranks
+}
+
+func pearson(x, y []float64) (float64, error) {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, errors.New("eval: zero variance")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}

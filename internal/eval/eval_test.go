@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionAtK(t *testing.T) {
+	exact := []float64{0.9, 0.8, 0.7, 0.1, 0.05}
+	same := append([]float64(nil), exact...)
+	p, err := PrecisionAtK(same, exact, 3)
+	if err != nil || p != 1 {
+		t.Fatalf("p=%v err=%v", p, err)
+	}
+	// Approximation swaps rank 3 and 4: top-3 loses one member.
+	approx := []float64{0.9, 0.8, 0.1, 0.7, 0.05}
+	p, err = PrecisionAtK(approx, exact, 3)
+	if err != nil || math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("p=%v err=%v", p, err)
+	}
+}
+
+func TestPrecisionAtKClampsAndErrors(t *testing.T) {
+	if p, err := PrecisionAtK([]float64{1, 2}, []float64{1, 2}, 10); err != nil || p != 1 {
+		t.Fatalf("clamp: p=%v err=%v", p, err)
+	}
+	if _, err := PrecisionAtK([]float64{1}, []float64{1, 2}, 1); !errors.Is(err, ErrLength) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := PrecisionAtK([]float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestNDCGPerfectAndDegraded(t *testing.T) {
+	exact := []float64{3, 2, 1, 0}
+	if g, err := NDCGAtK(exact, exact, 4); err != nil || math.Abs(g-1) > 1e-12 {
+		t.Fatalf("perfect NDCG=%v err=%v", g, err)
+	}
+	reversed := []float64{0, 1, 2, 3}
+	g, err := NDCGAtK(reversed, exact, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g >= 1 || g <= 0 {
+		t.Fatalf("reversed NDCG=%v, want (0, 1)", g)
+	}
+}
+
+func TestNDCGZeroRelevance(t *testing.T) {
+	if g, err := NDCGAtK([]float64{1, 2}, []float64{0, 0}, 2); err != nil || g != 1 {
+		t.Fatalf("g=%v err=%v", g, err)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if tau, err := KendallTau(a, a); err != nil || tau != 1 {
+		t.Fatalf("identical tau=%v err=%v", tau, err)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if tau, err := KendallTau(a, rev); err != nil || tau != -1 {
+		t.Fatalf("reversed tau=%v err=%v", tau, err)
+	}
+	if _, err := KendallTau([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := KendallTau([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrLength) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSpearmanRho(t *testing.T) {
+	a := []float64{10, 20, 30, 40}
+	b := []float64{1, 2, 3, 4}
+	if rho, err := SpearmanRho(a, b); err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("rho=%v err=%v", rho, err)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if rho, err := SpearmanRho(a, rev); err != nil || math.Abs(rho+1) > 1e-12 {
+		t.Fatalf("rho=%v err=%v", rho, err)
+	}
+	if _, err := SpearmanRho([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := ranksWithTies([]float64{5, 5, 3})
+	// Two tied leaders share rank (1+2)/2 = 1.5; the third gets 3.
+	if r[0] != 1.5 || r[1] != 1.5 || r[2] != 3 {
+		t.Fatalf("ranks = %v", r)
+	}
+}
+
+// Property: tau and rho are +1 for any strictly monotone transform.
+func TestMonotoneInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		// Ensure distinct values so the order is strict.
+		for i := range a {
+			a[i] += float64(i) * 1e-9
+		}
+		b := make([]float64, n)
+		for i, v := range a {
+			b[i] = math.Exp(v) // strictly monotone
+		}
+		tau, err := KendallTau(a, b)
+		if err != nil || math.Abs(tau-1) > 1e-12 {
+			return false
+		}
+		rho, err := SpearmanRho(a, b)
+		return err == nil && math.Abs(rho-1) > -1 && math.Abs(rho-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: precision@k and NDCG@k are 1 when approx == exact.
+func TestSelfAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+		k := 1 + rng.Intn(n)
+		p, err := PrecisionAtK(a, a, k)
+		if err != nil || p != 1 {
+			return false
+		}
+		g, err := NDCGAtK(a, a, k)
+		return err == nil && math.Abs(g-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package simrank
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"csrplus/internal/baseline"
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+	"csrplus/internal/sparse"
+)
+
+// paperGraph is the 6-node graph of the paper's Figure 1.
+func paperGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	edges := [][2]int{
+		{3, 0}, {0, 1}, {2, 1}, {4, 1}, {3, 2},
+		{0, 3}, {4, 3}, {5, 3}, {2, 4}, {5, 4}, {3, 5},
+	}
+	coo := sparse.NewCOO(6, 6)
+	for _, e := range edges {
+		if err := coo.Add(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return graph.New(coo)
+}
+
+func TestSimRankBasics(t *testing.T) {
+	g := paperGraph(t)
+	s, err := Compute(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	for a := 0; a < n; a++ {
+		if s.At(a, a) != 1 {
+			t.Fatalf("S[%d][%d] = %v, want 1 (SimRank's base case)", a, a, s.At(a, a))
+		}
+		for b := 0; b < n; b++ {
+			v := s.At(a, b)
+			if v < 0 || v > 1+1e-12 {
+				t.Fatalf("S[%d][%d] = %v out of [0, 1]", a, b, v)
+			}
+			if math.Abs(v-s.At(b, a)) > 1e-12 {
+				t.Fatal("SimRank not symmetric")
+			}
+		}
+	}
+	// b and d share in-neighbours {a, e}: similarity must be positive.
+	if s.At(1, 3) <= 0 {
+		t.Fatalf("S[b][d] = %v", s.At(1, 3))
+	}
+}
+
+// TestScaledCoSimRankIdentity verifies the pivotal claim of the paper's
+// §2 ([13]'s result): the solution of Li et al.'s Eq. (4) equals
+// (1−c) x the CoSimRank matrix of Eq. (1).
+func TestScaledCoSimRankIdentity(t *testing.T) {
+	g := paperGraph(t)
+	c := 0.6
+	sPrime, err := ScaledCoSimRank(g, c, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := baseline.NewExact(baseline.Config{Damping: c, Eps: 1e-10})
+	if err := ex.Precompute(g); err != nil {
+		t.Fatal(err)
+	}
+	all := []int{0, 1, 2, 3, 4, 5}
+	coSim, err := ex.Query(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := (1 - c) * coSim.At(i, j)
+			if math.Abs(sPrime.At(i, j)-want) > 1e-7 {
+				t.Fatalf("S'[%d][%d] = %v, want (1-c)*CoSim = %v",
+					i, j, sPrime.At(i, j), want)
+			}
+		}
+	}
+}
+
+// TestScaledCoSimRankIsNotSimRank verifies the other half of §2: Eq. (4)
+// does NOT solve the true SimRank equation — the entrywise max against I
+// makes real SimRank differ off the diagonal too.
+func TestScaledCoSimRankIsNotSimRank(t *testing.T) {
+	g := paperGraph(t)
+	c := 0.6
+	sPrime, err := ScaledCoSimRank(g, c, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Compute(g, Options{Damping: c, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonals already differ by construction; the substantive check is
+	// an off-diagonal difference beyond numerical noise.
+	maxOff := 0.0
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			if d := math.Abs(sPrime.At(i, j) - sim.At(i, j)); d > maxOff {
+				maxOff = d
+			}
+		}
+	}
+	if maxOff < 1e-3 {
+		t.Fatalf("scaled CoSimRank and SimRank agree off-diagonal to %g — they must differ", maxOff)
+	}
+}
+
+func TestSimRankDanglingNodes(t *testing.T) {
+	// A node with no in-neighbours is similar only to itself.
+	coo := sparse.NewCOO(3, 3)
+	if err := coo.Add(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(coo)
+	s, err := Compute(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0, 2) != 0 || s.At(2, 2) != 1 {
+		t.Fatalf("dangling-node similarities wrong: %v / %v", s.At(0, 2), s.At(2, 2))
+	}
+}
+
+func TestSimRankParamValidation(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := Compute(g, Options{Damping: 1.5}); !errors.Is(err, ErrParams) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Compute(g, Options{Iterations: -1}); !errors.Is(err, ErrParams) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ScaledCoSimRank(g, 2, 10); !errors.Is(err, ErrParams) {
+		t.Fatalf("err = %v", err)
+	}
+	empty := graph.New(sparse.NewCOO(0, 0))
+	if _, err := Compute(empty, Options{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestSimRankMonotoneConvergence(t *testing.T) {
+	// SimRank scores increase monotonically with iteration count (the
+	// classic lower-bound iteration).
+	g, err := graph.ErdosRenyi(30, 150, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *dense.Mat
+	for _, k := range []int{2, 5, 10} {
+		s, err := Compute(g, Options{Iterations: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			for i, v := range s.Data {
+				if v < prev.Data[i]-1e-12 {
+					t.Fatalf("score decreased between iterations at %d", i)
+				}
+			}
+		}
+		prev = s
+	}
+}

@@ -1,0 +1,108 @@
+// Package sparse provides the sparse-matrix substrate for the CSR+
+// reproduction: COO (coordinate) triples as the ingestion format — the
+// storage scheme the paper's §4.1 "Graph Storage" describes — and CSR
+// (compressed sparse row) as the compute format, with the SpMV/SpMM
+// kernels every CoSimRank algorithm in this repository is built on.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrIndex is returned (wrapped) for out-of-range row/column indices.
+var ErrIndex = errors.New("sparse: index out of range")
+
+// Triple is one COO entry (Row, Col, Val), i.e. the {(x, y, w)} triple of
+// the paper's COO description.
+type Triple struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO is a coordinate-format sparse matrix under construction. Duplicate
+// entries are allowed and are summed when converting to CSR — the usual
+// COO contract.
+type COO struct {
+	rows, cols int
+	entries    []Triple
+}
+
+// NewCOO returns an empty COO matrix of the given shape.
+// It panics if rows or cols is negative.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: NewCOO(%d, %d): negative dimension", rows, cols))
+	}
+	return &COO{rows: rows, cols: cols}
+}
+
+// Dims returns the matrix shape.
+func (c *COO) Dims() (rows, cols int) { return c.rows, c.cols }
+
+// NNZ returns the number of stored entries (duplicates counted).
+func (c *COO) NNZ() int { return len(c.entries) }
+
+// Add appends entry (i, j, v). It returns ErrIndex (wrapped) when the
+// coordinates fall outside the matrix.
+func (c *COO) Add(i, j int, v float64) error {
+	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
+		return fmt.Errorf("sparse: COO.Add(%d, %d) on %dx%d: %w", i, j, c.rows, c.cols, ErrIndex)
+	}
+	c.entries = append(c.entries, Triple{i, j, v})
+	return nil
+}
+
+// Grow reserves capacity for n further entries.
+func (c *COO) Grow(n int) {
+	if cap(c.entries)-len(c.entries) < n {
+		grown := make([]Triple, len(c.entries), len(c.entries)+n)
+		copy(grown, c.entries)
+		c.entries = grown
+	}
+}
+
+// ToCSR converts to CSR, sorting by (row, col) and summing duplicates.
+// The receiver's entry slice is sorted in place as a side effect.
+func (c *COO) ToCSR() *CSR {
+	sort.Slice(c.entries, func(a, b int) bool {
+		ea, eb := c.entries[a], c.entries[b]
+		if ea.Row != eb.Row {
+			return ea.Row < eb.Row
+		}
+		return ea.Col < eb.Col
+	})
+	// Count unique entries per row (after merging duplicates).
+	m := &CSR{rows: c.rows, cols: c.cols, RowPtr: make([]int64, c.rows+1)}
+	uniq := 0
+	for k := 0; k < len(c.entries); {
+		j := k + 1
+		for j < len(c.entries) && c.entries[j].Row == c.entries[k].Row && c.entries[j].Col == c.entries[k].Col {
+			j++
+		}
+		uniq++
+		k = j
+	}
+	m.ColIdx = make([]int32, uniq)
+	m.Val = make([]float64, uniq)
+	pos := 0
+	for k := 0; k < len(c.entries); {
+		e := c.entries[k]
+		sum := e.Val
+		j := k + 1
+		for j < len(c.entries) && c.entries[j].Row == e.Row && c.entries[j].Col == e.Col {
+			sum += c.entries[j].Val
+			j++
+		}
+		m.ColIdx[pos] = int32(e.Col)
+		m.Val[pos] = sum
+		m.RowPtr[e.Row+1]++
+		pos++
+		k = j
+	}
+	for i := 0; i < c.rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}

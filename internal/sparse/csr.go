@@ -1,0 +1,270 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"csrplus/internal/dense"
+)
+
+// CSR is a compressed-sparse-row matrix: row i's entries live at positions
+// RowPtr[i] .. RowPtr[i+1] in ColIdx/Val, with ColIdx sorted ascending
+// within each row. Column indices are int32 (the reproduction's graphs stay
+// under 2³¹ nodes); row pointers are int64 so edge counts may exceed 2³¹.
+type CSR struct {
+	rows, cols int
+	RowPtr     []int64
+	ColIdx     []int32
+	Val        []float64
+}
+
+// Dims returns the matrix shape.
+func (m *CSR) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	return &CSR{
+		rows:   m.rows,
+		cols:   m.cols,
+		RowPtr: append([]int64(nil), m.RowPtr...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int64 { return int64(len(m.ColIdx)) }
+
+// Bytes reports the memory footprint of the matrix payload in bytes.
+func (m *CSR) Bytes() int64 {
+	return int64(len(m.RowPtr))*8 + int64(len(m.ColIdx))*4 + int64(len(m.Val))*8
+}
+
+// At returns element (i, j) by binary search within row i. O(log nnz(row)).
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: CSR.At(%d, %d) on %dx%d: %v", i, j, m.rows, m.cols, ErrIndex))
+	}
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := int(m.ColIdx[mid]); {
+		case c == j:
+			return m.Val[mid]
+		case c < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// Transpose returns the transpose of m, still in CSR (equivalently, m in
+// CSC). O(nnz + rows + cols).
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		rows:   m.cols,
+		cols:   m.rows,
+		RowPtr: make([]int64, m.cols+1),
+		ColIdx: make([]int32, len(m.ColIdx)),
+		Val:    make([]float64, len(m.Val)),
+	}
+	for _, j := range m.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < m.cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int64, m.cols)
+	copy(next, t.RowPtr[:m.cols])
+	for i := 0; i < m.rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := m.ColIdx[p]
+			q := next[j]
+			t.ColIdx[q] = int32(i)
+			t.Val[q] = m.Val[p]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// MulVec computes y = m * x, reusing y when it has the right length.
+// It panics on dimension mismatch.
+func (m *CSR) MulVec(x, y []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec %dx%d * vec(%d)", m.rows, m.cols, len(x)))
+	}
+	if len(y) != m.rows {
+		y = make([]float64, m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.ColIdx[p]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecT computes y = mᵀ * x without materialising the transpose,
+// reusing y when it has the right length. It panics on dimension mismatch.
+func (m *CSR) MulVecT(x, y []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVecT (%dx%d)ᵀ * vec(%d)", m.rows, m.cols, len(x)))
+	}
+	if len(y) != m.cols {
+		y = make([]float64, m.cols)
+	} else {
+		for i := range y {
+			y[i] = 0
+		}
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			y[m.ColIdx[p]] += m.Val[p] * xi
+		}
+	}
+	return y
+}
+
+// MulDense computes m * b for a dense b, i.e. the SpMM kernel used by the
+// truncated SVD (A * Omega) and by the dense-iteration baselines. Output
+// rows are partitioned across GOMAXPROCS goroutines for large products;
+// each row is written by exactly one goroutine in a fixed order, so the
+// result is deterministic.
+func (m *CSR) MulDense(b *dense.Mat) *dense.Mat {
+	if m.cols != b.Rows {
+		panic(fmt.Sprintf("sparse: MulDense %dx%d * %dx%d", m.rows, m.cols, b.Rows, b.Cols))
+	}
+	out := dense.NewMat(m.rows, b.Cols)
+	parallelRows(m.rows, m.NNZ()*int64(b.Cols), func(lo, hi int) {
+		k := b.Cols
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*k : (i+1)*k]
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				v := m.Val[p]
+				brow := b.Data[int(m.ColIdx[p])*k : (int(m.ColIdx[p])+1)*k]
+				for c, bv := range brow {
+					orow[c] += v * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// parallelRows runs body over [0, rows) split into contiguous chunks, one
+// per worker, when the flop estimate justifies the goroutine overhead.
+func parallelRows(rows int, flops int64, body func(lo, hi int)) {
+	const threshold = 1 << 21
+	workers := runtime.GOMAXPROCS(0)
+	if flops < threshold || workers == 1 || rows < 2*workers {
+		body(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulDenseT computes mᵀ * b for a dense b without materialising mᵀ.
+func (m *CSR) MulDenseT(b *dense.Mat) *dense.Mat {
+	if m.rows != b.Rows {
+		panic(fmt.Sprintf("sparse: MulDenseT (%dx%d)ᵀ * %dx%d", m.rows, m.cols, b.Rows, b.Cols))
+	}
+	out := dense.NewMat(m.cols, b.Cols)
+	k := b.Cols
+	for i := 0; i < m.rows; i++ {
+		brow := b.Data[i*k : (i+1)*k]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			v := m.Val[p]
+			orow := out.Data[int(m.ColIdx[p])*k : (int(m.ColIdx[p])+1)*k]
+			for c, bv := range brow {
+				orow[c] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// DenseMulCSR computes b * m for a dense b — the right-side SpMM used by
+// the all-pairs iteration S ← c QᵀS Q + I, whose inner step is (QᵀS)Q.
+func DenseMulCSR(b *dense.Mat, m *CSR) *dense.Mat {
+	if b.Cols != m.rows {
+		panic(fmt.Sprintf("sparse: DenseMulCSR %dx%d * %dx%d", b.Rows, b.Cols, m.rows, m.cols))
+	}
+	out := dense.NewMat(b.Rows, m.cols)
+	for i := 0; i < b.Rows; i++ {
+		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+		orow := out.Data[i*m.cols : (i+1)*m.cols]
+		for k, bv := range brow {
+			if bv == 0 {
+				continue
+			}
+			for p := m.RowPtr[k]; p < m.RowPtr[k+1]; p++ {
+				orow[m.ColIdx[p]] += bv * m.Val[p]
+			}
+		}
+	}
+	return out
+}
+
+// ToDense materialises the matrix densely — test/reference use only.
+func (m *CSR) ToDense() *dense.Mat {
+	out := dense.NewMat(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out.Set(i, int(m.ColIdx[p]), m.Val[p])
+		}
+	}
+	return out
+}
+
+// ScaleColumns multiplies column j by s[j], in place. Used to build the
+// column-normalised transition matrix Q = A * D⁻¹.
+func (m *CSR) ScaleColumns(s []float64) {
+	if len(s) != m.cols {
+		panic(fmt.Sprintf("sparse: ScaleColumns len %d on %d cols", len(s), m.cols))
+	}
+	for p, j := range m.ColIdx {
+		m.Val[p] *= s[j]
+	}
+}
+
+// ColSums returns the per-column sums of the matrix.
+func (m *CSR) ColSums() []float64 {
+	sums := make([]float64, m.cols)
+	for p, j := range m.ColIdx {
+		sums[j] += m.Val[p]
+	}
+	return sums
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }

@@ -1,0 +1,128 @@
+package sparse
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrMalformed is returned (wrapped) when an edge-list stream cannot be
+// parsed.
+var ErrMalformed = errors.New("sparse: malformed edge list")
+
+// ReadEdgeList parses a SNAP-style whitespace-separated edge list
+// ("src dst" per line, '#' comments and blank lines ignored) into a COO
+// matrix with value 1 per edge. Node ids must be in [0, n). The dst stream
+// is the matrix column, matching the reproduction's convention that entry
+// (u, v) represents the edge u -> v.
+func ReadEdgeList(r io.Reader, n int) (*COO, error) {
+	coo := NewCOO(n, n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: %q has %d fields, need 2: %w", line, text, len(fields), ErrMalformed)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad source %q: %w", line, fields[0], ErrMalformed)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad target %q: %w", line, fields[1], ErrMalformed)
+		}
+		if err := coo.Add(u, v, 1); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sparse: reading edge list: %w", err)
+	}
+	return coo, nil
+}
+
+// ReadWeightedEdgeList parses a whitespace-separated weighted edge list
+// ("src dst weight" per line, '#' comments and blank lines ignored) into
+// a COO matrix. Node ids must be in [0, n); weights must parse as floats
+// (duplicates sum on conversion).
+func ReadWeightedEdgeList(r io.Reader, n int) (*COO, error) {
+	coo := NewCOO(n, n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("line %d: %q has %d fields, need 3: %w", line, text, len(fields), ErrMalformed)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad source %q: %w", line, fields[0], ErrMalformed)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad target %q: %w", line, fields[1], ErrMalformed)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad weight %q: %w", line, fields[2], ErrMalformed)
+		}
+		if err := coo.Add(u, v, w); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sparse: reading weighted edge list: %w", err)
+	}
+	return coo, nil
+}
+
+// WriteWeightedEdgeList emits m as "src dst weight" lines.
+func WriteWeightedEdgeList(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	rows, _ := m.Dims()
+	for i := 0; i < rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i, m.ColIdx[p], m.Val[p]); err != nil {
+				return fmt.Errorf("sparse: writing weighted edge list: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sparse: flushing weighted edge list: %w", err)
+	}
+	return nil
+}
+
+// WriteEdgeList emits the nonzero pattern of m as a "src dst" edge list.
+// Values are not written; the format carries structure only.
+func WriteEdgeList(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	rows, _ := m.Dims()
+	for i := 0; i < rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", i, m.ColIdx[p]); err != nil {
+				return fmt.Errorf("sparse: writing edge list: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sparse: flushing edge list: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package sparse
+
+// matrixmarket.go implements the MatrixMarket coordinate exchange format
+// (the other lingua franca of sparse-matrix tooling besides raw edge
+// lists), so graphs and transition matrices can move between this library
+// and MATLAB/SciPy — the ecosystems the paper's original implementation
+// lived in.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// mmHeader is the banner this writer emits and the reader accepts (along
+// with the "pattern" variant, which carries structure only).
+const (
+	mmBannerReal    = "%%MatrixMarket matrix coordinate real general"
+	mmBannerPattern = "%%MatrixMarket matrix coordinate pattern general"
+)
+
+// WriteMatrixMarket emits m in coordinate real general format.
+// MatrixMarket indices are 1-based.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	rows, cols := m.Dims()
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d %d\n", mmBannerReal, rows, cols, m.NNZ()); err != nil {
+		return fmt.Errorf("sparse: writing MatrixMarket header: %w", err)
+	}
+	for i := 0; i < rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColIdx[p]+1, m.Val[p]); err != nil {
+				return fmt.Errorf("sparse: writing MatrixMarket entry: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sparse: flushing MatrixMarket: %w", err)
+	}
+	return nil
+}
+
+// ReadMatrixMarket parses coordinate-format MatrixMarket input, accepting
+// "real" (explicit values) and "pattern" (implicit value 1) variants.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input: %w", ErrMalformed)
+	}
+	banner := strings.ToLower(strings.Join(strings.Fields(sc.Text()), " "))
+	pattern := false
+	switch banner {
+	case strings.ToLower(mmBannerReal):
+	case strings.ToLower(mmBannerPattern):
+		pattern = true
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket banner %q: %w", sc.Text(), ErrMalformed)
+	}
+	// Size line (skipping % comments).
+	var rows, cols int
+	var nnz int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, ErrMalformed)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket dimensions %dx%d nnz=%d: %w", rows, cols, nnz, ErrMalformed)
+	}
+	coo := NewCOO(rows, cols)
+	coo.Grow(int(nnz))
+	var read int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry %q has %d fields, want %d: %w", line, len(fields), want, ErrMalformed)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket row %q: %w", fields[0], ErrMalformed)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket col %q: %w", fields[1], ErrMalformed)
+		}
+		v := 1.0
+		if !pattern {
+			if v, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("sparse: bad MatrixMarket value %q: %w", fields[2], ErrMalformed)
+			}
+		}
+		if err := coo.Add(i-1, j-1, v); err != nil {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry (%d, %d): %w", i, j, err)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sparse: reading MatrixMarket: %w", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: MatrixMarket header promised %d entries, found %d: %w", nnz, read, ErrMalformed)
+	}
+	return coo.ToCSR(), nil
+}

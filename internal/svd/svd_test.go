@@ -1,0 +1,284 @@
+package svd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/sparse"
+)
+
+// lowRankCSR builds a sparse-ish matrix of exact rank k as a sum of k
+// outer products, returning both the CSR and dense forms.
+func lowRankCSR(rng *rand.Rand, n, k int) (*sparse.CSR, *dense.Mat) {
+	ref := dense.NewMat(n, n)
+	for t := 0; t < k; t++ {
+		u := make([]float64, n)
+		v := make([]float64, n)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+			v[i] = rng.NormFloat64()
+		}
+		w := float64(k - t) // descending weights → distinct singular values
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ref.Set(i, j, ref.At(i, j)+w*u[i]*v[j])
+			}
+		}
+	}
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := ref.At(i, j); v != 0 {
+				if err := coo.Add(i, j, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return coo.ToCSR(), ref
+}
+
+// randomSparse builds a random sparse matrix and its dense mirror.
+func randomSparse(rng *rand.Rand, n int, density float64) (*sparse.CSR, *dense.Mat) {
+	coo := sparse.NewCOO(n, n)
+	ref := dense.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				if err := coo.Add(i, j, v); err != nil {
+					panic(err)
+				}
+				ref.Set(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR(), ref
+}
+
+func checkFactors(t *testing.T, res *Result, n, r int) {
+	t.Helper()
+	if !res.U.IsShape(n, r) || !res.V.IsShape(n, r) || len(res.S) != r {
+		t.Fatalf("factor shapes U%dx%d S%d V%dx%d, want n=%d r=%d",
+			res.U.Rows, res.U.Cols, len(res.S), res.V.Rows, res.V.Cols, n, r)
+	}
+	if g := dense.TMul(res.U, res.U); !g.Equal(dense.Eye(r), 1e-8) {
+		t.Fatalf("U not orthonormal (dev %g)", g.Sub(dense.Eye(r)).MaxAbs())
+	}
+	if g := dense.TMul(res.V, res.V); !g.Equal(dense.Eye(r), 1e-8) {
+		t.Fatalf("V not orthonormal (dev %g)", g.Sub(dense.Eye(r)).MaxAbs())
+	}
+	for i := 1; i < r; i++ {
+		if res.S[i] > res.S[i-1]+1e-10 {
+			t.Fatalf("S not sorted: %v", res.S)
+		}
+	}
+}
+
+func TestTruncatedExactRankRecovery(t *testing.T) {
+	for _, method := range []Method{Randomized, Lanczos} {
+		t.Run(method.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(30))
+			a, ref := lowRankCSR(rng, 40, 4)
+			res, err := Truncated(a, 4, Options{Method: method})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkFactors(t, res, 40, 4)
+			recon := dense.Mul(dense.Mul(res.U, dense.Diag(res.S)), res.V.T())
+			if !recon.Equal(ref, 1e-6*ref.MaxAbs()) {
+				t.Fatalf("rank-4 matrix not recovered exactly (maxdiff %g)",
+					recon.Sub(ref).MaxAbs())
+			}
+		})
+	}
+}
+
+func TestTruncatedLeadingSingularValues(t *testing.T) {
+	// On a general matrix, the truncated S must match the top of the full
+	// dense SVD spectrum.
+	rng := rand.New(rand.NewSource(31))
+	a, ref := randomSparse(rng, 30, 0.4)
+	full, err := dense.SVDJacobi(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []Method{Randomized, Lanczos} {
+		t.Run(method.String(), func(t *testing.T) {
+			res, err := Truncated(a, 5, Options{Method: method, Oversample: 12, PowerIters: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkFactors(t, res, 30, 5)
+			for i := 0; i < 5; i++ {
+				if rel := math.Abs(res.S[i]-full.S[i]) / full.S[0]; rel > 1e-4 {
+					t.Fatalf("S[%d] = %v, want %v (rel err %g)", i, res.S[i], full.S[i], rel)
+				}
+			}
+		})
+	}
+}
+
+func TestTruncatedColumnStochastic(t *testing.T) {
+	// The actual CSR+ workload: column-normalised adjacency of a random
+	// directed graph. Check the rank-r factors give the best rank-r
+	// Frobenius error within a modest factor of optimal.
+	rng := rand.New(rand.NewSource(32))
+	n := 60
+	coo := sparse.NewCOO(n, n)
+	ref := dense.NewMat(n, n)
+	for j := 0; j < n; j++ {
+		deg := 1 + rng.Intn(5)
+		seen := map[int]bool{}
+		for d := 0; d < deg; d++ {
+			i := rng.Intn(n)
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+		}
+		for i := range seen {
+			v := 1 / float64(len(seen))
+			if err := coo.Add(i, j, v); err != nil {
+				panic(err)
+			}
+			ref.Set(i, j, v)
+		}
+	}
+	a := coo.ToCSR()
+	full, err := dense.SVDJacobi(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 8
+	optimal := 0.0
+	for i := r; i < n; i++ {
+		optimal += full.S[i] * full.S[i]
+	}
+	optimal = math.Sqrt(optimal)
+	for _, method := range []Method{Randomized, Lanczos} {
+		res, err := Truncated(a, r, Options{Method: method, Oversample: 10, PowerIters: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon := dense.Mul(dense.Mul(res.U, dense.Diag(res.S)), res.V.T())
+		got := recon.Sub(ref).FrobNorm()
+		if got > optimal*1.1+1e-10 {
+			t.Fatalf("%v: rank-%d error %g, optimal %g", method, r, got, optimal)
+		}
+	}
+}
+
+func TestTruncatedRankErrors(t *testing.T) {
+	a := sparse.NewCOO(5, 5).ToCSR()
+	for _, r := range []int{0, -1, 6} {
+		if _, err := Truncated(a, r, Options{}); !errors.Is(err, ErrRank) {
+			t.Fatalf("rank %d: err = %v, want ErrRank", r, err)
+		}
+	}
+}
+
+func TestTruncatedUnknownMethod(t *testing.T) {
+	a := sparse.NewCOO(5, 5).ToCSR()
+	if _, err := Truncated(a, 2, Options{Method: Method(99)}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if Method(99).String() == "" {
+		t.Fatal("Method.String empty")
+	}
+}
+
+func TestTruncatedZeroMatrix(t *testing.T) {
+	a := sparse.NewCOO(10, 10).ToCSR()
+	for _, method := range []Method{Randomized, Lanczos} {
+		res, err := Truncated(a, 3, Options{Method: method})
+		if err != nil {
+			t.Fatalf("%v on zero matrix: %v", method, err)
+		}
+		for _, s := range res.S {
+			if s > 1e-10 {
+				t.Fatalf("%v: zero matrix has singular value %g", method, s)
+			}
+		}
+	}
+}
+
+func TestTruncatedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a, _ := randomSparse(rng, 25, 0.3)
+	for _, method := range []Method{Randomized, Lanczos} {
+		r1, err := Truncated(a, 4, Options{Method: method, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Truncated(a, 4, Options{Method: method, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r1.U.Equal(r2.U, 0) || !r1.V.Equal(r2.V, 0) {
+			t.Fatalf("%v: same seed produced different factors", method)
+		}
+	}
+}
+
+func TestResultBytes(t *testing.T) {
+	res := &Result{U: dense.NewMat(10, 3), S: make([]float64, 3), V: dense.NewMat(10, 3)}
+	want := int64(10*3*8 + 3*8 + 10*3*8)
+	if res.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", res.Bytes(), want)
+	}
+}
+
+func TestTruncatedRectangular(t *testing.T) {
+	// Non-square inputs (tall and wide) must work in both drivers.
+	rng := rand.New(rand.NewSource(34))
+	for _, dims := range [][2]int{{40, 25}, {25, 40}} {
+		coo := sparse.NewCOO(dims[0], dims[1])
+		ref := dense.NewMat(dims[0], dims[1])
+		for i := 0; i < dims[0]; i++ {
+			for j := 0; j < dims[1]; j++ {
+				if rng.Float64() < 0.3 {
+					v := rng.NormFloat64()
+					if err := coo.Add(i, j, v); err != nil {
+						panic(err)
+					}
+					ref.Set(i, j, v)
+				}
+			}
+		}
+		a := coo.ToCSR()
+		full, err := dense.SVDJacobi(tallOf(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, method := range []Method{Randomized, Lanczos} {
+			res, err := Truncated(a, 4, Options{Method: method, Oversample: 10, PowerIters: 5})
+			if err != nil {
+				t.Fatalf("%v %v: %v", method, dims, err)
+			}
+			if !res.U.IsShape(dims[0], 4) || !res.V.IsShape(dims[1], 4) {
+				t.Fatalf("%v: factor shapes %dx%d / %dx%d", method,
+					res.U.Rows, res.U.Cols, res.V.Rows, res.V.Cols)
+			}
+			for i := 0; i < 4; i++ {
+				// Interior values converge last; 0.5% of S[0] is the
+				// realistic bar at this few-step budget.
+				if rel := math.Abs(res.S[i]-full.S[i]) / full.S[0]; rel > 5e-3 {
+					t.Fatalf("%v %v: S[%d]=%v want %v", method, dims, i, res.S[i], full.S[i])
+				}
+			}
+		}
+	}
+}
+
+// tallOf transposes wide matrices so the dense reference SVD (rows >=
+// cols) applies; singular values are transpose-invariant.
+func tallOf(m *dense.Mat) *dense.Mat {
+	if m.Rows >= m.Cols {
+		return m
+	}
+	return m.T()
+}

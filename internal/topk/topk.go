@@ -1,0 +1,69 @@
+// Package topk selects the k highest-scoring nodes from a similarity
+// column using a bounded min-heap — O(n log k) instead of a full sort,
+// which matters when similarity searches over million-node graphs only
+// need a short result list.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Item pairs a node id with its similarity score.
+type Item struct {
+	Node  int
+	Score float64
+}
+
+// itemHeap is a min-heap on Score (ties broken by larger Node so that the
+// final output, after reversal, lists smaller ids first among equals).
+type itemHeap []Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Node > h[j].Node
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Select returns the k highest-scoring items of scores, ordered by
+// descending score (ascending node id among ties). exclude, when >= 0,
+// drops that node (callers typically exclude the query node itself).
+// k <= 0 returns nil; k beyond the candidate count returns all candidates.
+func Select(scores []float64, k, exclude int) []Item {
+	if k <= 0 {
+		return nil
+	}
+	h := make(itemHeap, 0, k)
+	for node, score := range scores {
+		if node == exclude {
+			continue
+		}
+		if len(h) < k {
+			heap.Push(&h, Item{node, score})
+			continue
+		}
+		if h[0].Score < score || (h[0].Score == score && h[0].Node > node) {
+			h[0] = Item{node, score}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Item(h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -1,0 +1,113 @@
+package topk
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectBasic(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.7, 0.3}
+	got := Select(scores, 3, -1)
+	want := []Item{{1, 0.9}, {3, 0.7}, {2, 0.5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectExclude(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5}
+	got := Select(scores, 2, 1)
+	if len(got) != 2 || got[0].Node != 2 || got[1].Node != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelectKLargerThanN(t *testing.T) {
+	got := Select([]float64{0.2, 0.1}, 10, -1)
+	if len(got) != 2 {
+		t.Fatalf("got %d items", len(got))
+	}
+}
+
+func TestSelectNonPositiveK(t *testing.T) {
+	if Select([]float64{1}, 0, -1) != nil || Select([]float64{1}, -2, -1) != nil {
+		t.Fatal("k <= 0 should return nil")
+	}
+}
+
+func TestSelectTiesPreferSmallerNode(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	got := Select(scores, 2, -1)
+	if got[0].Node != 0 || got[1].Node != 1 {
+		t.Fatalf("ties broken wrong: %v", got)
+	}
+}
+
+func TestSelectEmpty(t *testing.T) {
+	if got := Select(nil, 3, -1); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: Select(k) returns exactly the top k of a full sort.
+func TestSelectAgainstSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		got := Select(scores, k, -1)
+		ref := make([]Item, n)
+		for i, s := range scores {
+			ref[i] = Item{i, s}
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].Score != ref[j].Score {
+				return ref[i].Score > ref[j].Score
+			}
+			return ref[i].Node < ref[j].Node
+		})
+		if k > n {
+			k = n
+		}
+		if len(got) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInterfaceDirect(t *testing.T) {
+	// Exercise the container/heap contract (Push/Pop) directly.
+	h := &itemHeap{}
+	heap.Init(h)
+	for _, it := range []Item{{0, 0.5}, {1, 0.1}, {2, 0.9}} {
+		heap.Push(h, it)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	got := heap.Pop(h).(Item)
+	if got.Node != 1 { // min-heap pops the smallest score
+		t.Fatalf("popped %+v, want node 1", got)
+	}
+}
