@@ -7,11 +7,15 @@ package csrplus
 // and are recorded in EXPERIMENTS.md.
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"csrplus/internal/baseline"
 	"csrplus/internal/bench"
 	"csrplus/internal/graph"
+	"csrplus/internal/serve"
 	"csrplus/internal/svd"
 )
 
@@ -241,6 +245,69 @@ func BenchmarkTruncatedSVD(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Serving-layer benchmarks: dynamic multi-source batching. ---
+
+// benchServe drives the internal/serve layer with concurrent single-node
+// top-k clients against a real CSR+ engine, on a hot-key workload (4
+// popular nodes — the shape a similarity service sees). The engine runs
+// at a production-accuracy rank (32), where the per-column query cost
+// n·r dominates per-request overhead. The batched/unbatched pair
+// quantifies the serving-time value of the paper's multi-source queries:
+// one engine pass over |Q| coalesced requests shares the per-call
+// overhead and computes each hot column once, versus |Q| independent
+// single-source passes.
+func benchServe(b *testing.B, cfg serve.Config) {
+	b.Helper()
+	g, err := graph.RMAT(12, 40000, graph.DefaultRMAT, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(&Graph{g: g}, Options{Rank: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.MaxPending = 1 << 16 // never shed inside the benchmark
+	s := serve.New(g.N(), eng.Query, cfg)
+	defer s.Close()
+
+	var next atomic.Int64
+	b.SetParallelism(16) // >= 16 concurrent clients per GOMAXPROCS
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			node := int(next.Add(1)%4) * 97 // 4 hot nodes
+			if _, _, err := s.TopK(context.Background(), []int{node}, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	m := s.Metrics()
+	if batches := m.Batches(); batches > 0 {
+		b.ReportMetric(float64(m.Admitted())/float64(batches), "requests-per-engine-call")
+	}
+}
+
+// BenchmarkServeBatched coalesces concurrent requests into multi-source
+// engine passes: strict-linger throughput profile, one engine worker.
+// MaxBatch exceeds the hot-set size so batches accumulate duplicate
+// requests for the hot columns — each computed once per pass — and the
+// linger window (small next to the batch's engine time) bounds the wait.
+func BenchmarkServeBatched(b *testing.B) {
+	benchServe(b, serve.Config{
+		MaxBatch:     8,
+		Linger:       100 * time.Microsecond,
+		StrictLinger: true,
+		Workers:      1,
+	})
+}
+
+// BenchmarkServeUnbatched issues every request as its own engine call
+// (maxBatch 1) — the pre-serving-layer behaviour, kept as the baseline.
+func BenchmarkServeUnbatched(b *testing.B) {
+	benchServe(b, serve.Config{MaxBatch: 1, Linger: -1})
 }
 
 // BenchmarkAblation runs the design-choice ablation study (solver

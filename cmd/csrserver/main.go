@@ -2,6 +2,13 @@
 // "online multi-source query" phase of CSR+ as a long-lived service: the
 // index is precomputed once at startup, queries are answered from it.
 //
+// Requests are routed through internal/serve, which dynamically batches
+// concurrent queries into multi-source engine passes (the paper's
+// O(r(m + n(r + |Q|))) bound makes the marginal query nearly free),
+// bounds concurrency with a worker pool, sheds load when the admission
+// queue fills (HTTP 429), enforces per-request deadlines (504), and
+// drains gracefully on SIGINT/SIGTERM.
+//
 // Usage:
 //
 //	csrserver -dataset WT -addr :8080
@@ -10,7 +17,8 @@
 // Endpoints:
 //
 //	GET /health                       liveness
-//	GET /stats                        graph + engine counters
+//	GET /stats                        graph + engine + serving counters
+//	GET /metrics                      serving metrics (batching, queue, cache)
 //	GET /topk?node=17&k=10            top-k most similar to one node
 //	GET /topk?nodes=17,42&k=10        top-k by aggregate similarity
 //	GET /similarity?node=17&targets=1,2,3   raw scores for chosen pairs
@@ -28,11 +36,13 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"csrplus"
 
 	"csrplus/internal/cache"
+	"csrplus/internal/serve"
 )
 
 func main() {
@@ -47,6 +57,12 @@ func main() {
 	indexPath := flag.String("index", "", "load a persisted CSR+ index instead of precomputing")
 	saveIndex := flag.String("saveindex", "", "persist the precomputed CSR+ index to this path")
 	cacheSize := flag.Int("cache", 1024, "top-k result cache entries (0 disables)")
+	maxBatch := flag.Int("maxbatch", 32, "max query nodes coalesced per engine call")
+	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for co-batching a partial batch")
+	workers := flag.Int("workers", 0, "concurrent engine calls (0 = GOMAXPROCS)")
+	maxPending := flag.Int("pending", 1024, "admission queue bound; beyond it requests get 429")
+	maxK := flag.Int("maxk", serve.DefaultMaxK, "server-side cap on requested k")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 disables)")
 	flag.Parse()
 
 	g, err := loadGraph(*dataset, *scale, *graphPath, *n)
@@ -77,9 +93,18 @@ func main() {
 	if *cacheSize > 0 {
 		lru = cache.New(*cacheSize)
 	}
+	sv := serve.New(g.N(), eng.Query, serve.Config{
+		MaxBatch:   *maxBatch,
+		Linger:     *linger,
+		Workers:    *workers,
+		MaxPending: *maxPending,
+		MaxK:       *maxK,
+		Timeout:    *timeout,
+		Cache:      lru,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(eng, lru),
+		Handler:           newMux(eng, sv, lru),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -87,16 +112,20 @@ func main() {
 			log.Fatalln("csrserver:", err)
 		}
 	}()
-	log.Printf("listening on %s", *addr)
+	log.Printf("listening on %s (maxbatch=%d linger=%v)", *addr, *maxBatch, *linger)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	<-stop
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// SIGTERM is what container orchestrators send; SIGINT covers ^C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Println("csrserver: shutting down, draining in-flight batches ...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Println("csrserver: shutdown:", err)
 	}
+	sv.Close() // stop admitting, flush pending batches, wait for workers
+	log.Println("csrserver: drained")
 }
 
 func loadGraph(dataset string, scale int64, graphPath string, n int) (*csrplus.Graph, error) {
@@ -115,10 +144,10 @@ func loadGraph(dataset string, scale int64, graphPath string, n int) (*csrplus.G
 	}
 }
 
-// newMux wires the HTTP routes around one engine and an optional top-k
-// result cache (nil disables caching). Split from main so the handlers are
-// testable with httptest.
-func newMux(eng *csrplus.Engine, lru *cache.LRU) *http.ServeMux {
+// newMux wires the HTTP routes: query traffic goes through the serve
+// layer sv; eng and lru are only consulted for /stats. Split from main so
+// the handlers are testable with httptest.
+func newMux(eng *csrplus.Engine, sv *serve.Server, lru *cache.LRU) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -131,6 +160,7 @@ func newMux(eng *csrplus.Engine, lru *cache.LRU) *http.ServeMux {
 			"m":                  st.M,
 			"precompute_seconds": st.PrecomputeTime.Seconds(),
 			"peak_bytes":         st.PeakBytes,
+			"serving":            sv.Metrics().Snapshot(),
 		}
 		if lru != nil {
 			hits, misses := lru.Stats()
@@ -140,6 +170,9 @@ func newMux(eng *csrplus.Engine, lru *cache.LRU) *http.ServeMux {
 		}
 		writeJSON(w, http.StatusOK, body)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sv.Metrics().Snapshot())
+	})
 	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
 		queries, err := queryNodes(r)
 		if err != nil {
@@ -148,38 +181,21 @@ func newMux(eng *csrplus.Engine, lru *cache.LRU) *http.ServeMux {
 		}
 		k := 10
 		if ks := r.URL.Query().Get("k"); ks != "" {
-			if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+			if k, err = strconv.Atoi(ks); err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
 				return
 			}
 		}
-		var cacheKey string
-		if lru != nil {
-			ids := make([]string, len(queries))
-			for i, q := range queries {
-				ids[i] = strconv.Itoa(q)
-			}
-			cacheKey = fmt.Sprintf("topk|%s|%d", strings.Join(ids, ","), k)
-			if cached, ok := lru.Get(cacheKey); ok {
-				writeJSON(w, http.StatusOK, map[string]interface{}{
-					"queries": queries, "matches": cached, "cached": true})
-				return
-			}
-		}
-		var matches []csrplus.Match
-		if len(queries) == 1 {
-			matches, err = eng.TopK(queries[0], k)
-		} else {
-			matches, err = eng.TopKMulti(queries, k)
-		}
+		matches, cached, err := sv.TopK(r.Context(), queries, k)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeServeError(w, err)
 			return
 		}
-		if lru != nil {
-			lru.Put(cacheKey, matches)
+		body := map[string]interface{}{"queries": queries, "matches": matches}
+		if cached {
+			body["cached"] = true
 		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"queries": queries, "matches": matches})
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("/similarity", func(w http.ResponseWriter, r *http.Request) {
 		queries, err := queryNodes(r)
@@ -192,29 +208,33 @@ func newMux(eng *csrplus.Engine, lru *cache.LRU) *http.ServeMux {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		cols, err := eng.Query(queries)
+		pairs, err := sv.Similarity(r.Context(), queries, targets)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeServeError(w, err)
 			return
 		}
-		type pair struct {
-			Query  int     `json:"query"`
-			Target int     `json:"target"`
-			Score  float64 `json:"score"`
-		}
-		out := make([]pair, 0, len(queries)*len(targets))
-		for j, q := range queries {
-			for _, tgt := range targets {
-				if tgt < 0 || tgt >= len(cols[j]) {
-					writeError(w, http.StatusBadRequest, fmt.Errorf("target %d out of range", tgt))
-					return
-				}
-				out = append(out, pair{q, tgt, cols[j][tgt]})
-			}
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"pairs": out})
+		writeJSON(w, http.StatusOK, map[string]interface{}{"pairs": pairs})
 	})
 	return mux
+}
+
+// writeServeError maps the serve layer's typed errors onto HTTP status
+// codes: shed load is 429 (retryable), deadline expiry 504, shutdown 503,
+// validation 400.
+func writeServeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, serve.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, serve.ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }
 
 func queryNodes(r *http.Request) ([]int, error) {

@@ -4,14 +4,17 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"csrplus"
 
 	"csrplus/internal/cache"
+	"csrplus/internal/serve"
 )
 
-func testEngine(t *testing.T) *csrplus.Engine {
+func testEngine(t testing.TB) *csrplus.Engine {
 	t.Helper()
 	g, err := csrplus.NewGraph(6, [][2]int{
 		{3, 0}, {0, 1}, {2, 1}, {4, 1}, {3, 2},
@@ -25,6 +28,22 @@ func testEngine(t *testing.T) *csrplus.Engine {
 		t.Fatal(err)
 	}
 	return eng
+}
+
+// testServer wires a real engine through the serve layer the way main
+// does. Linger < 0 flushes immediately so sequential tests stay fast.
+func testServer(t *testing.T, cfg serve.Config, lru *cache.LRU) *httptest.Server {
+	t.Helper()
+	eng := testEngine(t)
+	if cfg.Linger == 0 {
+		cfg.Linger = -1
+	}
+	cfg.Cache = lru
+	sv := serve.New(6, eng.Query, cfg)
+	t.Cleanup(sv.Close)
+	srv := httptest.NewServer(newMux(eng, sv, lru))
+	t.Cleanup(srv.Close)
+	return srv
 }
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, map[string]interface{}) {
@@ -42,8 +61,7 @@ func get(t *testing.T, srv *httptest.Server, path string) (int, map[string]inter
 }
 
 func TestHealth(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t), nil))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{}, nil)
 	code, body := get(t, srv, "/health")
 	if code != http.StatusOK || body["status"] != "ok" {
 		t.Fatalf("code=%d body=%v", code, body)
@@ -51,8 +69,7 @@ func TestHealth(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t), nil))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{}, nil)
 	code, body := get(t, srv, "/stats")
 	if code != http.StatusOK {
 		t.Fatalf("code=%d", code)
@@ -60,11 +77,13 @@ func TestStats(t *testing.T) {
 	if body["algorithm"] != "CSR+" || body["n"].(float64) != 6 {
 		t.Fatalf("body=%v", body)
 	}
+	if _, ok := body["serving"].(map[string]interface{}); !ok {
+		t.Fatalf("stats missing serving section: %v", body)
+	}
 }
 
 func TestTopKSingle(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t), nil))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{}, nil)
 	code, body := get(t, srv, "/topk?node=1&k=3")
 	if code != http.StatusOK {
 		t.Fatalf("code=%d body=%v", code, body)
@@ -80,8 +99,7 @@ func TestTopKSingle(t *testing.T) {
 }
 
 func TestTopKMulti(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t), nil))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{}, nil)
 	code, body := get(t, srv, "/topk?nodes=1,3&k=2")
 	if code != http.StatusOK {
 		t.Fatalf("code=%d body=%v", code, body)
@@ -92,8 +110,7 @@ func TestTopKMulti(t *testing.T) {
 }
 
 func TestSimilarityPairs(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t), nil))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{}, nil)
 	code, body := get(t, srv, "/similarity?node=1&targets=3,4")
 	if code != http.StatusOK {
 		t.Fatalf("code=%d body=%v", code, body)
@@ -109,13 +126,13 @@ func TestSimilarityPairs(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t), nil))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{MaxK: 100}, nil)
 	for _, path := range []string{
 		"/topk",                         // missing node
 		"/topk?node=zzz",                // unparsable id
 		"/topk?node=99",                 // out of range
 		"/topk?node=1&k=0",              // bad k
+		"/topk?node=1&k=101",            // beyond server-side max k
 		"/similarity?node=1",            // missing targets
 		"/similarity?node=1&targets=99", // target out of range
 	} {
@@ -126,6 +143,108 @@ func TestBadRequests(t *testing.T) {
 		if body["error"] == "" {
 			t.Fatalf("%s: no error message", path)
 		}
+	}
+}
+
+func TestKClampedToN(t *testing.T) {
+	// k above n but below MaxK clamps to the candidate count instead of
+	// erroring: 6-node graph, single query -> 5 matches.
+	srv := testServer(t, serve.Config{MaxK: 100}, nil)
+	code, body := get(t, srv, "/topk?node=1&k=50")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%v", code, body)
+	}
+	if got := len(body["matches"].([]interface{})); got != 5 {
+		t.Fatalf("got %d matches, want 5", got)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t, serve.Config{}, nil)
+	if code, _ := get(t, srv, "/topk?node=1&k=3"); code != http.StatusOK {
+		t.Fatal("warm-up query failed")
+	}
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d", code)
+	}
+	if body["requests_admitted"].(float64) < 1 || body["engine_batches"].(float64) < 1 {
+		t.Fatalf("metrics=%v", body)
+	}
+	for _, key := range []string{"batch_occupancy", "latency_seconds", "queue_depth", "requests_shed"} {
+		if _, ok := body[key]; !ok {
+			t.Fatalf("metrics missing %q: %v", key, body)
+		}
+	}
+}
+
+func TestOverloadReturns429(t *testing.T) {
+	eng := testEngine(t)
+	gate := make(chan struct{})
+	blocking := func(queries []int) ([][]float64, error) {
+		<-gate
+		return eng.Query(queries)
+	}
+	sv := serve.New(6, blocking, serve.Config{MaxBatch: 1, Linger: -1, MaxPending: 1, Workers: 1})
+	srv := httptest.NewServer(newMux(eng, sv, nil))
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+	defer srv.Close()
+	defer sv.Close()
+	defer release()
+
+	type result struct{ code int }
+	results := make(chan result, 8)
+	var wg sync.WaitGroup
+	// Capacity with the worker gated is 3 (executing + dispatch-held +
+	// queued); each sequential launch raises either admitted or shed, so
+	// by the 4th a 429 is guaranteed.
+	for i := 0; i < 4; i++ {
+		admitted, shed := sv.Metrics().Admitted(), sv.Metrics().Shed()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/topk?node=1&k=2")
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			results <- result{resp.StatusCode}
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for sv.Metrics().Admitted() == admitted && sv.Metrics().Shed() == shed {
+			if time.Now().After(deadline) {
+				t.Fatal("request neither admitted nor shed")
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		if sv.Metrics().Shed() > 0 {
+			break
+		}
+	}
+	if sv.Metrics().Shed() == 0 {
+		t.Fatal("no request was shed")
+	}
+	if got := (<-results).code; got != http.StatusTooManyRequests {
+		t.Fatalf("shed request got HTTP %d, want 429", got)
+	}
+	release()
+	wg.Wait()
+}
+
+func TestDeadlineReturns504(t *testing.T) {
+	eng := testEngine(t)
+	slow := func(queries []int) ([][]float64, error) {
+		time.Sleep(100 * time.Millisecond)
+		return eng.Query(queries)
+	}
+	sv := serve.New(6, slow, serve.Config{Linger: -1, Timeout: 5 * time.Millisecond})
+	defer sv.Close()
+	srv := httptest.NewServer(newMux(eng, sv, nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/topk?node=1&k=2")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("code=%d body=%v", code, body)
 	}
 }
 
@@ -143,8 +262,7 @@ func TestLoadGraphValidation(t *testing.T) {
 
 func TestTopKCachePath(t *testing.T) {
 	lru := cache.New(8)
-	srv := httptest.NewServer(newMux(testEngine(t), lru))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{}, lru)
 	code, first := get(t, srv, "/topk?node=1&k=2")
 	if code != http.StatusOK {
 		t.Fatalf("code=%d", code)
@@ -161,29 +279,25 @@ func TestTopKCachePath(t *testing.T) {
 	if third["cached"] == true {
 		t.Fatal("different k hit the cache")
 	}
-	// Stats expose counters.
+	// Stats expose both the raw LRU counters and the serving metrics view.
 	_, stats := get(t, srv, "/stats")
 	if stats["cache_hits"].(float64) < 1 {
 		t.Fatalf("stats = %v", stats)
+	}
+	serving := stats["serving"].(map[string]interface{})
+	if serving["cache_hits"].(float64) < 1 {
+		t.Fatalf("serving metrics missed the cache hit: %v", serving)
 	}
 }
 
 // BenchmarkTopKHandler measures end-to-end request throughput of the
 // /topk route, cached and uncached.
 func BenchmarkTopKHandler(b *testing.B) {
-	g, err := csrplus.NewGraph(6, [][2]int{
-		{3, 0}, {0, 1}, {2, 1}, {4, 1}, {3, 2},
-		{0, 3}, {4, 3}, {5, 3}, {2, 4}, {5, 4}, {3, 5},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 3})
-	if err != nil {
-		b.Fatal(err)
-	}
+	eng := testEngine(b)
 	run := func(b *testing.B, lru *cache.LRU) {
-		srv := httptest.NewServer(newMux(eng, lru))
+		sv := serve.New(6, eng.Query, serve.Config{Linger: -1, Cache: lru})
+		defer sv.Close()
+		srv := httptest.NewServer(newMux(eng, sv, lru))
 		defer srv.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

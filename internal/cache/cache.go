@@ -9,6 +9,16 @@ import (
 	"sync"
 )
 
+// Recorder receives cache events so an external metrics registry (e.g.
+// internal/serve.Metrics) can observe hit ratio and eviction pressure
+// without polling. Implementations must be cheap and non-blocking: calls
+// happen under the cache lock.
+type Recorder interface {
+	CacheHit()
+	CacheMiss()
+	CacheEvict()
+}
+
 // LRU is a fixed-capacity least-recently-used map from string keys to
 // arbitrary values. The zero value is unusable; use New.
 type LRU struct {
@@ -16,8 +26,9 @@ type LRU struct {
 	capacity int
 	order    *list.List // front = most recent
 	items    map[string]*list.Element
+	rec      Recorder
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
 
 type entry struct {
@@ -38,6 +49,14 @@ func New(capacity int) *LRU {
 	}
 }
 
+// SetRecorder attaches a Recorder; nil detaches. The internal hit/miss
+// counters keep working either way.
+func (c *LRU) SetRecorder(r Recorder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec = r
+}
+
 // Get returns the cached value and whether it was present, refreshing the
 // entry's recency.
 func (c *LRU) Get(key string) (interface{}, bool) {
@@ -46,9 +65,15 @@ func (c *LRU) Get(key string) (interface{}, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		if c.rec != nil {
+			c.rec.CacheMiss()
+		}
 		return nil, false
 	}
 	c.hits++
+	if c.rec != nil {
+		c.rec.CacheHit()
+	}
 	c.order.MoveToFront(el)
 	return el.Value.(*entry).value, true
 }
@@ -68,6 +93,10 @@ func (c *LRU) Put(key string, value interface{}) {
 		if oldest != nil {
 			c.order.Remove(oldest)
 			delete(c.items, oldest.Value.(*entry).key)
+			c.evictions++
+			if c.rec != nil {
+				c.rec.CacheEvict()
+			}
 		}
 	}
 	c.items[key] = c.order.PushFront(&entry{key, value})
@@ -85,4 +114,11 @@ func (c *LRU) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns the cumulative eviction count.
+func (c *LRU) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

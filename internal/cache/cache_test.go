@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -76,6 +77,104 @@ func TestCapacityOne(t *testing.T) {
 	}
 	if v, ok := c.Get("b"); !ok || v.(int) != 2 {
 		t.Fatal("b lost")
+	}
+}
+
+// countingRecorder counts events with atomics so it is safe under the
+// cache lock and under -race.
+type countingRecorder struct {
+	hits, misses, evicts atomic.Int64
+}
+
+func (r *countingRecorder) CacheHit()   { r.hits.Add(1) }
+func (r *countingRecorder) CacheMiss()  { r.misses.Add(1) }
+func (r *countingRecorder) CacheEvict() { r.evicts.Add(1) }
+
+func TestRecorderObservesEvents(t *testing.T) {
+	rec := &countingRecorder{}
+	c := New(1)
+	c.SetRecorder(rec)
+	c.Put("a", 1)
+	c.Get("a")    // hit
+	c.Get("b")    // miss
+	c.Put("b", 2) // evicts a
+	if rec.hits.Load() != 1 || rec.misses.Load() != 1 || rec.evicts.Load() != 1 {
+		t.Fatalf("recorder saw hits=%d misses=%d evicts=%d, want 1/1/1",
+			rec.hits.Load(), rec.misses.Load(), rec.evicts.Load())
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Evictions())
+	}
+	c.SetRecorder(nil) // detaching must not break subsequent ops
+	c.Get("b")
+	if rec.hits.Load() != 1 {
+		t.Fatal("detached recorder still receiving events")
+	}
+}
+
+// TestConcurrentStress hammers every public method from parallel
+// goroutines with a capacity small enough to force constant eviction,
+// then checks the bookkeeping invariants. Run with -race (CI does) to
+// make the interleavings meaningful.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers  = 16
+		opsEach  = 2000
+		capacity = 8 // far fewer slots than the 64-key working set
+	)
+	c := New(capacity)
+	rec := &countingRecorder{}
+	c.SetRecorder(rec)
+
+	var gets, puts atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("k%d", (w*131+i*7)%64)
+				switch i % 4 {
+				case 0, 1:
+					gets.Add(1)
+					if v, ok := c.Get(key); ok && v.(string) != key {
+						t.Errorf("corrupt value for %s: %v", key, v)
+						return
+					}
+				case 2:
+					puts.Add(1)
+					c.Put(key, key)
+				default:
+					// Readers of the counters race with the mutators.
+					c.Stats()
+					c.Len()
+					c.Evictions()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Len() > capacity {
+		t.Fatalf("Len = %d exceeds capacity %d", c.Len(), capacity)
+	}
+	hits, misses := c.Stats()
+	if hits+misses != gets.Load() {
+		t.Fatalf("hits+misses = %d, want %d gets", hits+misses, gets.Load())
+	}
+	if rec.hits.Load() != hits || rec.misses.Load() != misses {
+		t.Fatalf("recorder (h=%d m=%d) diverged from Stats (h=%d m=%d)",
+			rec.hits.Load(), rec.misses.Load(), hits, misses)
+	}
+	if rec.evicts.Load() != c.Evictions() {
+		t.Fatalf("recorder evicts %d != Evictions %d", rec.evicts.Load(), c.Evictions())
+	}
+	// With a 64-key working set over 8 slots, eviction must have happened.
+	if c.Evictions() == 0 {
+		t.Fatal("stress run produced no evictions")
+	}
+	if int64(c.Len())+c.Evictions() > puts.Load() {
+		t.Fatalf("len(%d) + evictions(%d) exceeds puts(%d)", c.Len(), c.Evictions(), puts.Load())
 	}
 }
 

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// QueryFunc answers one multi-source engine pass: cols[j] is the full
+// similarity column of queries[j]. csrplus.(*Engine).Query satisfies it.
+type QueryFunc func(queries []int) ([][]float64, error)
+
+// Batcher coalesces concurrent column requests into multi-source engine
+// calls. The paper's complexity bound O(r(m + n(r + |Q|))) makes the
+// marginal cost of one more query node tiny next to the per-call
+// O(r(m + nr)) floor, so |Q| requests answered by one pass cost far less
+// than |Q| passes — the same economics as dynamic batching in inference
+// serving. A pending batch flushes when it reaches maxBatch unique nodes,
+// when a pool worker is idle (waiting longer would add latency without
+// improving throughput), or — with every worker busy — when the linger
+// window expires. Duplicate nodes across co-batched requests are computed
+// once and shared.
+type Batcher struct {
+	queryFn  QueryFunc
+	maxBatch int
+	linger   time.Duration
+	strict   bool
+	metrics  *Metrics
+	pool     *Pool
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	queue  chan *request
+	done   chan struct{} // dispatch loop exited
+	once   sync.Once
+}
+
+type request struct {
+	ctx   context.Context
+	nodes []int
+	out   chan response // buffered(1): abandoned callers never block a worker
+}
+
+type response struct {
+	cols map[int][]float64
+	err  error
+}
+
+// NewBatcher starts the dispatch loop and worker pool. maxBatch is the
+// most unique nodes per engine call, linger the longest a request waits
+// for co-batching (0 batches only what is already queued), maxPending the
+// admission bound beyond which requests are shed, workers the concurrent
+// engine calls. strict disables the idle-worker eager flush: partial
+// batches always wait for the size or linger trigger, maximising batch
+// occupancy (throughput) at the cost of light-load latency.
+func NewBatcher(queryFn QueryFunc, maxBatch int, linger time.Duration, maxPending, workers int, strict bool, m *Metrics) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxPending < 1 {
+		maxPending = 1
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	b := &Batcher{
+		queryFn:  queryFn,
+		maxBatch: maxBatch,
+		linger:   linger,
+		strict:   strict,
+		metrics:  m,
+		pool:     NewPool(workers),
+		queue:    make(chan *request, maxPending),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Columns returns the similarity column of every requested node, batched
+// with whatever else is in flight. The returned map is shared read-only
+// across co-batched callers. Fails fast with ErrOverloaded when the
+// admission queue is full, ErrClosed after Close, and ctx.Err() when the
+// caller's deadline expires before the batch completes.
+func (b *Batcher) Columns(ctx context.Context, nodes []int) (map[int][]float64, error) {
+	req := &request{ctx: ctx, nodes: nodes, out: make(chan response, 1)}
+
+	// The read-lock spans only the non-blocking enqueue, so Close's write
+	// lock cannot be acquired mid-send: after Close sets closed, no sender
+	// can be inside this critical section when the queue is closed.
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		b.metrics.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case b.queue <- req:
+		b.mu.RUnlock()
+		b.metrics.admitted.Add(1)
+		b.metrics.queueDepth.Add(1)
+	default:
+		b.mu.RUnlock()
+		b.metrics.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+
+	select {
+	case resp := <-req.out:
+		return resp.cols, resp.err
+	case <-ctx.Done():
+		b.metrics.expired.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops admission, flushes every pending request, waits for
+// in-flight batches to finish, and returns. Idempotent.
+func (b *Batcher) Close() {
+	b.once.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		close(b.queue)
+		<-b.done
+		b.pool.Close()
+	})
+}
+
+// run is the dispatch loop: it accumulates requests, tracking the unique
+// node set, and flushes to the worker pool on size or linger triggers.
+func (b *Batcher) run() {
+	defer close(b.done)
+	var (
+		pending []*request
+		uniq    = make(map[int]struct{})
+		timer   *time.Timer
+		lingerC <-chan time.Time
+	)
+	absorb := func(req *request) {
+		pending = append(pending, req)
+		for _, n := range req.nodes {
+			uniq[n] = struct{}{}
+		}
+	}
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		uniq = make(map[int]struct{})
+		if timer != nil {
+			timer.Stop()
+		}
+		lingerC = nil
+		b.pool.Submit(func() { b.runBatch(batch) })
+	}
+	for {
+		select {
+		case req, ok := <-b.queue:
+			if !ok {
+				flush()
+				return
+			}
+			absorb(req)
+			// Greedily absorb whatever is already queued: back-to-back
+			// arrivals batch together even with linger = 0.
+		drain:
+			for len(uniq) < b.maxBatch {
+				select {
+				case more, ok := <-b.queue:
+					if !ok {
+						flush()
+						return
+					}
+					absorb(more)
+				default:
+					break drain
+				}
+			}
+			// Flush now if the batch is full, lingering is disabled, or
+			// (outside strict mode) a worker would otherwise sit idle —
+			// holding a partial batch only pays when every worker is busy
+			// anyway. Otherwise arm the linger timer as the upper bound
+			// on queueing delay.
+			if len(uniq) >= b.maxBatch || b.linger <= 0 || (!b.strict && b.pool.Idle()) {
+				flush()
+			} else if lingerC == nil {
+				timer = time.NewTimer(b.linger)
+				lingerC = timer.C
+			}
+		case <-lingerC:
+			lingerC = nil
+			flush()
+		case <-b.pool.Freed():
+			// A worker came free; hand it the partial batch immediately
+			// (strict mode keeps waiting for the size/linger trigger).
+			if !b.strict && len(pending) > 0 && b.pool.Idle() {
+				flush()
+			}
+		}
+	}
+}
+
+// runBatch executes one coalesced engine call on a pool worker and fans
+// the shared column map back out to every caller.
+func (b *Batcher) runBatch(reqs []*request) {
+	defer b.metrics.queueDepth.Add(-int64(len(reqs)))
+
+	// Skip requests whose caller has already given up; don't waste an
+	// engine pass (or widen this one) on their nodes.
+	live := reqs[:0]
+	for _, req := range reqs {
+		if req.ctx.Err() != nil {
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	uniq := make(map[int]struct{})
+	for _, req := range live {
+		for _, n := range req.nodes {
+			uniq[n] = struct{}{}
+		}
+	}
+	nodes := make([]int, 0, len(uniq))
+	for n := range uniq {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes) // deterministic engine input regardless of arrival order
+
+	b.metrics.batches.Add(1)
+	b.metrics.nodes.Add(int64(len(nodes)))
+	b.metrics.BatchOccupancy.Observe(float64(len(nodes)))
+
+	cols, err := b.queryFn(nodes)
+	if err != nil {
+		for _, req := range live {
+			req.out <- response{err: err}
+		}
+		return
+	}
+	byNode := make(map[int][]float64, len(nodes))
+	for j, n := range nodes {
+		byNode[n] = cols[j]
+	}
+	for _, req := range live {
+		req.out <- response{cols: byNode}
+	}
+}

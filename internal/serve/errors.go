@@ -1,0 +1,21 @@
+package serve
+
+import "errors"
+
+// Typed errors returned by the serving layer. HTTP frontends map them to
+// status codes (see cmd/csrserver): ErrOverloaded -> 429, ErrClosed -> 503,
+// ErrBadRequest -> 400, context deadline expiry -> 504.
+var (
+	// ErrOverloaded is returned when the admission queue is full; the
+	// request was shed without touching the engine.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+	// ErrClosed is returned once Close has begun: the server no longer
+	// admits requests (in-flight batches still complete).
+	ErrClosed = errors.New("serve: server closed")
+
+	// ErrBadRequest wraps every request-validation failure (bad node id,
+	// bad k, empty query set) so frontends can distinguish caller errors
+	// from server-side ones with errors.Is.
+	ErrBadRequest = errors.New("serve: bad request")
+)

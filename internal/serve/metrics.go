@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Metrics is the serving layer's registry of lock-free counters and
+// histograms. One instance is shared by the batcher, the worker pool, the
+// admission gate and (via the cache.Recorder interface) the result cache,
+// so a single Snapshot describes the whole serving path. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	admitted   atomic.Int64 // requests accepted into the queue
+	shed       atomic.Int64 // requests rejected with ErrOverloaded
+	rejected   atomic.Int64 // requests rejected with ErrBadRequest / ErrClosed
+	expired    atomic.Int64 // requests whose context ended before a result
+	batches    atomic.Int64 // engine calls issued
+	nodes      atomic.Int64 // unique query nodes across all batches
+	queueDepth atomic.Int64 // requests admitted but not yet answered
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+
+	// Latency covers admission -> response for answered requests, in
+	// seconds. BatchOccupancy counts unique query nodes per engine call —
+	// the direct measure of how much multi-source coalescing is happening.
+	Latency        *Histogram
+	BatchOccupancy *Histogram
+}
+
+// NewMetrics returns a registry with the default bucket layouts.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Latency: NewHistogram(
+			100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3,
+			10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1),
+		BatchOccupancy: NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+	}
+}
+
+// CacheHit, CacheMiss and CacheEvict implement cache.Recorder so an LRU
+// can be instrumented with SetRecorder(metrics).
+func (m *Metrics) CacheHit()   { m.cacheHits.Add(1) }
+func (m *Metrics) CacheMiss()  { m.cacheMisses.Add(1) }
+func (m *Metrics) CacheEvict() { m.cacheEvictions.Add(1) }
+
+// Admitted, Shed, Expired, Batches and QueueDepth expose the counters the
+// tests and the /stats endpoint read directly.
+func (m *Metrics) Admitted() int64   { return m.admitted.Load() }
+func (m *Metrics) Shed() int64       { return m.shed.Load() }
+func (m *Metrics) Expired() int64    { return m.expired.Load() }
+func (m *Metrics) Batches() int64    { return m.batches.Load() }
+func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
+
+// Snapshot renders every counter and histogram as a JSON-encodable map,
+// the payload of the /metrics endpoint.
+func (m *Metrics) Snapshot() map[string]interface{} {
+	batches := m.batches.Load()
+	nodes := m.nodes.Load()
+	mean := 0.0
+	if batches > 0 {
+		mean = float64(nodes) / float64(batches)
+	}
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	return map[string]interface{}{
+		"requests_admitted":    m.admitted.Load(),
+		"requests_shed":        m.shed.Load(),
+		"requests_rejected":    m.rejected.Load(),
+		"requests_expired":     m.expired.Load(),
+		"engine_batches":       batches,
+		"batched_nodes":        nodes,
+		"mean_batch_occupancy": mean,
+		"queue_depth":          m.queueDepth.Load(),
+		"cache_hits":           hits,
+		"cache_misses":         misses,
+		"cache_evictions":      m.cacheEvictions.Load(),
+		"cache_hit_ratio":      ratio,
+		"latency_seconds":      m.Latency.Snapshot(),
+		"batch_occupancy":      m.BatchOccupancy.Snapshot(),
+	}
+}
+
+// Histogram is a fixed-bucket cumulative histogram with atomic counters.
+// Bounds are upper-inclusive ("le" semantics); observations above the last
+// bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bucket is one histogram cell of a snapshot: count of observations with
+// value <= Le (cumulative, Prometheus-style).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders the +Inf bound as the string "+Inf" (Prometheus
+// convention), since encoding/json rejects infinite float64 values.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.Le, 1) {
+		le = strconv.FormatFloat(b.Le, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot returns cumulative bucket counts plus count/sum/mean.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sum.Load()),
+		Buckets: make([]Bucket, 0, len(h.bounds)+1),
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, Bucket{Le: b, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	s.Buckets = append(s.Buckets, Bucket{Le: math.Inf(1), Count: cum})
+	return s
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs submitted tasks on a fixed set of worker goroutines, bounding
+// how many flushed batches hit the engine concurrently. It exposes its
+// saturation state (Idle, Freed) so the batcher can choose between
+// flushing a partial batch now (a worker would otherwise sit idle) and
+// lingering for more co-batched requests (all workers busy anyway). The
+// batcher is the only submitter, so lifecycle is simple: Submit until
+// Close, then Close waits for every queued and running task to finish
+// (graceful drain).
+type Pool struct {
+	tasks   chan func()
+	workers int64
+	busy    atomic.Int64  // tasks submitted but not yet finished
+	freed   chan struct{} // pulsed when a worker finishes a task
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool starts workers goroutines (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		tasks:   make(chan func()),
+		workers: int64(workers),
+		freed:   make(chan struct{}, 1),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+				p.busy.Add(-1)
+				select {
+				case p.freed <- struct{}{}:
+				default:
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Submit blocks until a worker can take the task. Submitting after Close
+// panics; the batcher guarantees ordering (it closes the pool only after
+// its dispatch loop has exited).
+func (p *Pool) Submit(task func()) {
+	p.busy.Add(1) // counted from submission so Idle sees committed work
+	p.tasks <- task
+}
+
+// Idle reports whether at least one worker has no committed work.
+func (p *Pool) Idle() bool { return p.busy.Load() < p.workers }
+
+// Freed pulses after a worker finishes a task — a wake-up signal for
+// "capacity may be available now". Best-effort: pulses coalesce.
+func (p *Pool) Freed() <-chan struct{} { return p.freed }
+
+// Close stops accepting tasks and waits for in-flight ones to complete.
+// Safe to call more than once.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}

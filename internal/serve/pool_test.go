@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			ran.Add(1)
+		})
+	}
+	wg.Wait()
+	p.Close()
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", ran.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+		})
+	}
+	wg.Wait()
+	p.Close()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", got, workers)
+	}
+}
+
+func TestPoolCloseWaitsForInFlight(t *testing.T) {
+	p := NewPool(2)
+	var done atomic.Bool
+	p.Submit(func() {
+		time.Sleep(10 * time.Millisecond)
+		done.Store(true)
+	})
+	p.Close() // must block until the sleeping task finishes
+	if !done.Load() {
+		t.Fatal("Close returned before the in-flight task completed")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolMinimumOneWorker(t *testing.T) {
+	p := NewPool(0)
+	ch := make(chan struct{})
+	p.Submit(func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("task never ran")
+	}
+	p.Close()
+}

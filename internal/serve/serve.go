@@ -1,0 +1,279 @@
+// Package serve is the production serving layer between an HTTP frontend
+// and a csrplus engine. Its core move exploits the paper's multi-source
+// complexity O(r(m + n(r + |Q|))): because the per-call cost is dominated
+// by terms independent of |Q|, concurrent single-source requests are
+// dynamically batched — coalesced into one multi-source engine pass and
+// fanned back out — instead of issued one-by-one (the same pattern used in
+// inference serving). Around that batcher it layers a bounded worker pool,
+// admission control (bounded queue shedding with ErrOverloaded, deadlines
+// via context), an optional instrumented LRU result cache, a metrics
+// registry, and graceful drain on Close.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"csrplus/internal/cache"
+	"csrplus/internal/topk"
+)
+
+// DefaultMaxK is the server-side cap on requested k when Config.MaxK is
+// unset: large enough for any ranking UI, small enough that one request
+// cannot demand a near-full sort of a massive graph's score vector.
+const DefaultMaxK = 1000
+
+// Config tunes a Server. The zero value selects sensible production
+// defaults (documented per field).
+type Config struct {
+	// MaxBatch is the most unique query nodes coalesced into one engine
+	// call. Default 32. 1 disables coalescing (each request is its own
+	// engine call) — the "unbatched" baseline in benchmarks.
+	MaxBatch int
+	// Linger is how long a request may wait for co-batching before a
+	// partial batch is flushed. Default 2ms; 0 flushes immediately,
+	// batching only requests that are already queued.
+	Linger time.Duration
+	// Workers bounds concurrent engine calls. Default GOMAXPROCS.
+	Workers int
+	// StrictLinger disables the idle-worker eager flush: partial batches
+	// always wait for the MaxBatch or Linger trigger. This maximises
+	// batch occupancy — the right trade for throughput-bound deployments
+	// — at the cost of up to Linger extra latency under light load. The
+	// default (false) flushes a partial batch whenever a worker is idle,
+	// optimising latency.
+	StrictLinger bool
+	// MaxPending bounds the admission queue; beyond it requests are shed
+	// with ErrOverloaded. Default 1024.
+	MaxPending int
+	// MaxK caps the k a single request may ask for (400 to the client
+	// beyond it). Default DefaultMaxK.
+	MaxK int
+	// Timeout is the per-request deadline applied when the caller's
+	// context has none. Default 0 = no server-imposed deadline.
+	Timeout time.Duration
+	// Cache, when non-nil, memoises TopK results and is instrumented
+	// through the server's metrics registry.
+	Cache *cache.LRU
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.Linger == 0 {
+		c.Linger = 2 * time.Millisecond
+	} else if c.Linger < 0 {
+		c.Linger = 0
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 1024
+	}
+	if c.MaxK == 0 {
+		c.MaxK = DefaultMaxK
+	}
+	return c
+}
+
+// Match is one top-k result, JSON-compatible with csrplus.Match.
+type Match struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// Pair is one (query, target) similarity score.
+type Pair struct {
+	Query  int     `json:"query"`
+	Target int     `json:"target"`
+	Score  float64 `json:"score"`
+}
+
+// Server answers top-k and similarity requests over one engine, batching
+// concurrent requests into multi-source passes. Safe for concurrent use.
+type Server struct {
+	n       int
+	cfg     Config
+	batcher *Batcher
+	metrics *Metrics
+}
+
+// New builds a Server over a graph of n nodes whose columns are produced
+// by queryFn (normally csrplus.(*Engine).Query).
+func New(n int, queryFn QueryFunc, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	if cfg.Cache != nil {
+		cfg.Cache.SetRecorder(m)
+	}
+	return &Server{
+		n:       n,
+		cfg:     cfg,
+		batcher: NewBatcher(queryFn, cfg.MaxBatch, cfg.Linger, cfg.MaxPending, cfg.Workers, cfg.StrictLinger, m),
+		metrics: m,
+	}
+}
+
+// Metrics exposes the registry shared by every component of this server.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// MaxK reports the effective server-side k cap.
+func (s *Server) MaxK() int { return s.cfg.MaxK }
+
+// Close drains the server: admission stops (ErrClosed), pending batches
+// flush, in-flight engine calls finish. Idempotent.
+func (s *Server) Close() { s.batcher.Close() }
+
+func (s *Server) validateNodes(nodes []int) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("%w: empty query set", ErrBadRequest)
+	}
+	for _, q := range nodes {
+		if q < 0 || q >= s.n {
+			return fmt.Errorf("%w: node %d out of range [0, %d)", ErrBadRequest, q, s.n)
+		}
+	}
+	return nil
+}
+
+// Validation failures are counted but never reach the batcher: a bad node
+// id must not poison the co-batched requests sharing its engine pass.
+func (s *Server) reject(err error) error {
+	s.metrics.rejected.Add(1)
+	return err
+}
+
+func (s *Server) deadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			return context.WithTimeout(ctx, s.cfg.Timeout)
+		}
+	}
+	return ctx, func() {}
+}
+
+// TopK returns the k nodes most similar to the query set (aggregate
+// similarity for multi-node sets, each query node excluded), batched with
+// concurrent requests. cached reports a cache hit. k is clamped to n and
+// rejected beyond Config.MaxK.
+func (s *Server) TopK(ctx context.Context, queries []int, k int) (matches []Match, cached bool, err error) {
+	start := time.Now()
+	if err := s.validateNodes(queries); err != nil {
+		return nil, false, s.reject(err)
+	}
+	if k < 1 {
+		return nil, false, s.reject(fmt.Errorf("%w: k must be >= 1, got %d", ErrBadRequest, k))
+	}
+	if k > s.cfg.MaxK {
+		return nil, false, s.reject(fmt.Errorf("%w: k=%d exceeds server maximum %d", ErrBadRequest, k, s.cfg.MaxK))
+	}
+	if k > s.n {
+		k = s.n // a graph has at most n candidates; clamp instead of erroring
+	}
+
+	var key string
+	if s.cfg.Cache != nil {
+		key = topKKey(queries, k)
+		if v, ok := s.cfg.Cache.Get(key); ok {
+			s.metrics.Latency.Observe(time.Since(start).Seconds())
+			return v.([]Match), true, nil
+		}
+	}
+
+	ctx, cancel := s.deadline(ctx)
+	defer cancel()
+	cols, err := s.batcher.Columns(ctx, queries)
+	if err != nil {
+		return nil, false, err
+	}
+	matches = selectTopK(cols, queries, k)
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.Put(key, matches)
+	}
+	s.metrics.Latency.Observe(time.Since(start).Seconds())
+	return matches, false, nil
+}
+
+// Similarity returns the score of every (query, target) pair, batched
+// with concurrent requests.
+func (s *Server) Similarity(ctx context.Context, queries, targets []int) ([]Pair, error) {
+	start := time.Now()
+	if err := s.validateNodes(queries); err != nil {
+		return nil, s.reject(err)
+	}
+	if len(targets) == 0 {
+		return nil, s.reject(fmt.Errorf("%w: empty target set", ErrBadRequest))
+	}
+	for _, t := range targets {
+		if t < 0 || t >= s.n {
+			return nil, s.reject(fmt.Errorf("%w: target %d out of range [0, %d)", ErrBadRequest, t, s.n))
+		}
+	}
+	ctx, cancel := s.deadline(ctx)
+	defer cancel()
+	cols, err := s.batcher.Columns(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pair, 0, len(queries)*len(targets))
+	for _, q := range queries {
+		col := cols[q]
+		for _, t := range targets {
+			out = append(out, Pair{Query: q, Target: t, Score: col[t]})
+		}
+	}
+	s.metrics.Latency.Observe(time.Since(start).Seconds())
+	return out, nil
+}
+
+// selectTopK mirrors csrplus.Engine.TopK / TopKMulti exactly: single
+// queries exclude themselves; multi-source queries rank by summed
+// similarity (duplicates in the query set weigh double) excluding every
+// query node.
+func selectTopK(cols map[int][]float64, queries []int, k int) []Match {
+	if len(queries) == 1 {
+		q := queries[0]
+		items := topk.Select(cols[q], k, q)
+		out := make([]Match, len(items))
+		for i, it := range items {
+			out[i] = Match{Node: it.Node, Score: it.Score}
+		}
+		return out
+	}
+	agg := make([]float64, len(cols[queries[0]]))
+	for _, q := range queries {
+		for i, v := range cols[q] {
+			agg[i] += v
+		}
+	}
+	exclude := map[int]bool{}
+	for _, q := range queries {
+		exclude[q] = true
+	}
+	items := topk.Select(agg, k+len(queries), -1)
+	out := make([]Match, 0, k)
+	for _, it := range items {
+		if exclude[it.Node] {
+			continue
+		}
+		out = append(out, Match{Node: it.Node, Score: it.Score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func topKKey(queries []int, k int) string {
+	ids := make([]string, len(queries))
+	for i, q := range queries {
+		ids[i] = strconv.Itoa(q)
+	}
+	return fmt.Sprintf("topk|%s|%d", strings.Join(ids, ","), k)
+}

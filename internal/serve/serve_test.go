@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csrplus/internal/cache"
+)
+
+// rankEngine serves columns with a distinct, known ranking: the column of
+// node q scores node i as 1/(1+|i-q|), so nearer ids are more similar.
+type rankEngine struct {
+	n     int
+	calls atomic.Int64
+	delay time.Duration
+}
+
+func (e *rankEngine) query(queries []int) ([][]float64, error) {
+	e.calls.Add(1)
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	out := make([][]float64, len(queries))
+	for j, q := range queries {
+		col := make([]float64, e.n)
+		for i := range col {
+			d := i - q
+			if d < 0 {
+				d = -d
+			}
+			col[i] = 1 / float64(1+d)
+		}
+		out[j] = col
+	}
+	return out, nil
+}
+
+func newTestServer(t *testing.T, eng *rankEngine, cfg Config) *Server {
+	t.Helper()
+	s := New(eng.n, eng.query, cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestServerTopKSingle(t *testing.T) {
+	eng := &rankEngine{n: 6}
+	s := newTestServer(t, eng, Config{Linger: -1})
+	matches, cached, err := s.TopK(context.Background(), []int{2}, 3)
+	if err != nil || cached {
+		t.Fatalf("err=%v cached=%v", err, cached)
+	}
+	want := []int{1, 3, 0} // 0.5, 0.5 (tie -> smaller id), 1/3
+	if len(matches) != 3 {
+		t.Fatalf("matches = %v", matches)
+	}
+	for i, w := range want {
+		if matches[i].Node != w {
+			t.Fatalf("matches = %v, want nodes %v", matches, want)
+		}
+	}
+}
+
+func TestServerTopKMultiAggregates(t *testing.T) {
+	eng := &rankEngine{n: 6}
+	s := newTestServer(t, eng, Config{Linger: -1})
+	matches, _, err := s.TopK(context.Background(), []int{1, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate similarity peaks at 2 and 3 once the query nodes
+	// themselves are excluded.
+	if len(matches) != 2 || matches[0].Node != 2 || matches[1].Node != 3 {
+		t.Fatalf("matches = %v, want nodes [2 3]", matches)
+	}
+}
+
+func TestServerTopKClampsKToN(t *testing.T) {
+	eng := &rankEngine{n: 6}
+	s := newTestServer(t, eng, Config{Linger: -1, MaxK: 100})
+	matches, _, err := s.TopK(context.Background(), []int{0}, 50)
+	if err != nil {
+		t.Fatalf("k above n should clamp, got %v", err)
+	}
+	if len(matches) != 5 { // n-1: every node except the query itself
+		t.Fatalf("got %d matches, want 5", len(matches))
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	eng := &rankEngine{n: 6}
+	s := newTestServer(t, eng, Config{Linger: -1, MaxK: 10})
+	ctx := context.Background()
+	cases := []func() error{
+		func() error { _, _, err := s.TopK(ctx, nil, 3); return err },
+		func() error { _, _, err := s.TopK(ctx, []int{99}, 3); return err },
+		func() error { _, _, err := s.TopK(ctx, []int{-1}, 3); return err },
+		func() error { _, _, err := s.TopK(ctx, []int{1}, 0); return err },
+		func() error { _, _, err := s.TopK(ctx, []int{1}, 11); return err }, // beyond MaxK
+		func() error { _, err := s.Similarity(ctx, []int{1}, nil); return err },
+		func() error { _, err := s.Similarity(ctx, []int{1}, []int{99}); return err },
+		func() error { _, err := s.Similarity(ctx, []int{99}, []int{1}); return err },
+	}
+	for i, call := range cases {
+		if err := call(); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("case %d: err = %v, want ErrBadRequest", i, err)
+		}
+	}
+	if eng.calls.Load() != 0 {
+		t.Fatalf("invalid requests reached the engine %d times", eng.calls.Load())
+	}
+	if got := s.Metrics().Snapshot()["requests_rejected"].(int64); got != int64(len(cases)) {
+		t.Fatalf("rejected = %d, want %d", got, len(cases))
+	}
+}
+
+func TestServerSimilarityPairs(t *testing.T) {
+	eng := &rankEngine{n: 6}
+	s := newTestServer(t, eng, Config{Linger: -1})
+	pairs, err := s.Similarity(context.Background(), []int{2}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 || pairs[0].Score != 1 || pairs[1].Score != 0.5 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+// TestServerCoalescing is the ISSUE's acceptance test: N concurrent
+// single-node requests must produce strictly fewer than N engine calls.
+func TestServerCoalescing(t *testing.T) {
+	// The 1ms engine keeps both workers busy so concurrent arrivals
+	// coalesce rather than each flushing to an idle worker.
+	eng := &rankEngine{n: 64, delay: time.Millisecond}
+	s := newTestServer(t, eng, Config{MaxBatch: 64, Linger: 20 * time.Millisecond, Workers: 2})
+
+	const clients = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if _, _, err := s.TopK(context.Background(), []int{i}, 5); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if calls := eng.calls.Load(); calls >= clients {
+		t.Fatalf("%d engine calls for %d concurrent requests; batching is off", calls, clients)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap["mean_batch_occupancy"].(float64) <= 1 {
+		t.Fatalf("mean batch occupancy %v, want > 1", snap["mean_batch_occupancy"])
+	}
+}
+
+func TestServerCacheInstrumented(t *testing.T) {
+	eng := &rankEngine{n: 6}
+	lru := cache.New(8)
+	s := newTestServer(t, eng, Config{Linger: -1, Cache: lru})
+
+	if _, cached, err := s.TopK(context.Background(), []int{1}, 3); err != nil || cached {
+		t.Fatalf("first call: cached=%v err=%v", cached, err)
+	}
+	m1, _, err := s.TopK(context.Background(), []int{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err := s.TopK(context.Background(), []int{1}, 3)
+	if err != nil || !cached {
+		t.Fatalf("repeat call not cached: cached=%v err=%v", cached, err)
+	}
+	if eng.calls.Load() != 1 {
+		t.Fatalf("engine called %d times, want 1", eng.calls.Load())
+	}
+	if len(m1) != 3 {
+		t.Fatalf("cached matches = %v", m1)
+	}
+	// Cache events flowed into the serving metrics via cache.Recorder.
+	snap := s.Metrics().Snapshot()
+	if snap["cache_hits"].(int64) < 1 || snap["cache_misses"].(int64) < 1 {
+		t.Fatalf("cache not instrumented: %v", snap)
+	}
+	if snap["cache_hit_ratio"].(float64) <= 0 {
+		t.Fatalf("hit ratio %v", snap["cache_hit_ratio"])
+	}
+}
+
+func TestServerTimeout(t *testing.T) {
+	eng := &rankEngine{n: 6, delay: 50 * time.Millisecond}
+	s := newTestServer(t, eng, Config{Linger: -1, Timeout: 5 * time.Millisecond})
+	_, _, err := s.TopK(context.Background(), []int{1}, 3)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	eng := &rankEngine{n: 6}
+	s := New(eng.n, eng.query, Config{Linger: -1})
+	if _, _, err := s.TopK(context.Background(), []int{1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, _, err := s.TopK(context.Background(), []int{1}, 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
