@@ -93,7 +93,9 @@ func main() {
 	if *cacheSize > 0 {
 		lru = cache.New(*cacheSize)
 	}
-	sv := serve.New(g.N(), eng.Query, serve.Config{
+	// NewMat: engine passes reuse a pooled n x |Q| scratch matrix (CSR+
+	// writes into it; other algorithms fall back to allocating).
+	sv := serve.NewMat(g.N(), eng.QueryInto, serve.Config{
 		MaxBatch:   *maxBatch,
 		Linger:     *linger,
 		Workers:    *workers,

@@ -31,6 +31,7 @@ import (
 
 	"csrplus/internal/baseline"
 	"csrplus/internal/core"
+	"csrplus/internal/dense"
 	"csrplus/internal/graph"
 	"csrplus/internal/memtrack"
 	"csrplus/internal/sparse"
@@ -265,6 +266,24 @@ func (e *Engine) Query(queries []int) ([][]float64, error) {
 		out[j] = s.Col(j, nil)
 	}
 	return out, nil
+}
+
+// QueryInto is the serving layer's allocation-light variant of Query: the
+// n x |Q| similarity block is written into scratch's backing array when
+// its capacity suffices (contents overwritten; nil scratch allocates) and
+// the result matrix is returned, so a server can pool one scratch matrix
+// per in-flight batch instead of allocating n x |Q| per engine call.
+// It satisfies internal/serve.MatQueryFunc. The scratch type is
+// module-internal, so the method is a hook for this module's cmd/
+// binaries and benchmarks rather than part of the stable public surface;
+// external callers should use Query. Algorithms without a scratch-aware
+// query phase (every non-CSR+ baseline) silently fall back to a fresh
+// allocation.
+func (e *Engine) QueryInto(queries []int, scratch *dense.Mat) (*dense.Mat, error) {
+	if sq, ok := e.runner.(baseline.ScratchQuerier); ok {
+		return sq.QueryInto(queries, scratch)
+	}
+	return e.runner.Query(queries)
 }
 
 // QueryBatch answers a large query set with a pool of worker goroutines,

@@ -73,13 +73,19 @@ func (a *CSRPlus) Index() *core.Index { return a.ix }
 
 // Query implements Runner (Algorithm 1, phase II).
 func (a *CSRPlus) Query(queries []int) (*dense.Mat, error) {
+	return a.QueryInto(queries, nil)
+}
+
+// QueryInto implements ScratchQuerier: phase II writing into reusable
+// scratch (see core.Index.QueryInto).
+func (a *CSRPlus) QueryInto(queries []int, scratch *dense.Mat) (*dense.Mat, error) {
 	if a.ix == nil {
 		return nil, ErrNotPrecomputed
 	}
 	if err := validateQueries(queries, a.ix.N()); err != nil {
 		return nil, err
 	}
-	s, err := a.ix.Query(queries, a.cfg.Tracker)
+	s, err := a.ix.QueryInto(queries, scratch, a.cfg.Tracker)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: CSR+: %w", err)
 	}

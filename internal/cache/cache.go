@@ -12,11 +12,16 @@ import (
 // Recorder receives cache events so an external metrics registry (e.g.
 // internal/serve.Metrics) can observe hit ratio and eviction pressure
 // without polling. Implementations must be cheap and non-blocking: calls
-// happen under the cache lock.
+// happen under the cache lock. Every event with an internal counter has a
+// Recorder counterpart, so external metrics never undercount relative to
+// Stats/Evictions/Refreshes.
 type Recorder interface {
 	CacheHit()
 	CacheMiss()
 	CacheEvict()
+	// CacheRefresh reports a Put that found its key already cached and
+	// replaced the value in place (no insert, no eviction).
+	CacheRefresh()
 }
 
 // LRU is a fixed-capacity least-recently-used map from string keys to
@@ -28,7 +33,7 @@ type LRU struct {
 	items    map[string]*list.Element
 	rec      Recorder
 
-	hits, misses, evictions int64
+	hits, misses, evictions, refreshes int64
 }
 
 type entry struct {
@@ -86,6 +91,10 @@ func (c *LRU) Put(key string, value interface{}) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry).value = value
 		c.order.MoveToFront(el)
+		c.refreshes++
+		if c.rec != nil {
+			c.rec.CacheRefresh()
+		}
 		return
 	}
 	if c.order.Len() >= c.capacity {
@@ -121,4 +130,12 @@ func (c *LRU) Evictions() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evictions
+}
+
+// Refreshes returns the cumulative count of Puts that replaced an
+// existing key's value in place.
+func (c *LRU) Refreshes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refreshes
 }

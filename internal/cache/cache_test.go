@@ -83,12 +83,13 @@ func TestCapacityOne(t *testing.T) {
 // countingRecorder counts events with atomics so it is safe under the
 // cache lock and under -race.
 type countingRecorder struct {
-	hits, misses, evicts atomic.Int64
+	hits, misses, evicts, refreshes atomic.Int64
 }
 
-func (r *countingRecorder) CacheHit()   { r.hits.Add(1) }
-func (r *countingRecorder) CacheMiss()  { r.misses.Add(1) }
-func (r *countingRecorder) CacheEvict() { r.evicts.Add(1) }
+func (r *countingRecorder) CacheHit()     { r.hits.Add(1) }
+func (r *countingRecorder) CacheMiss()    { r.misses.Add(1) }
+func (r *countingRecorder) CacheEvict()   { r.evicts.Add(1) }
+func (r *countingRecorder) CacheRefresh() { r.refreshes.Add(1) }
 
 func TestRecorderObservesEvents(t *testing.T) {
 	rec := &countingRecorder{}
@@ -109,6 +110,36 @@ func TestRecorderObservesEvents(t *testing.T) {
 	c.Get("b")
 	if rec.hits.Load() != 1 {
 		t.Fatal("detached recorder still receiving events")
+	}
+}
+
+// TestRecorderObservesRefresh is the regression test for the silent
+// in-place Put: refreshing an existing key used to return before the
+// Recorder hook, so external metrics undercounted cache activity
+// relative to the internal counters.
+func TestRecorderObservesRefresh(t *testing.T) {
+	rec := &countingRecorder{}
+	c := New(4)
+	c.SetRecorder(rec)
+	c.Put("a", 1)
+	c.Put("a", 2) // refresh: same key, new value
+	c.Put("a", 3) // and again
+	if got := rec.refreshes.Load(); got != 2 {
+		t.Fatalf("recorder saw %d refreshes, want 2", got)
+	}
+	if got := c.Refreshes(); got != 2 {
+		t.Fatalf("Refreshes() = %d, want 2", got)
+	}
+	if rec.evicts.Load() != 0 {
+		t.Fatal("refresh must not count as eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 3 {
+		t.Fatalf("refreshed value lost: %v %v", v, ok)
+	}
+	// Recorder and internal counter must agree exactly.
+	if rec.refreshes.Load() != c.Refreshes() {
+		t.Fatalf("recorder (%d) and internal (%d) refresh counts diverge",
+			rec.refreshes.Load(), c.Refreshes())
 	}
 }
 

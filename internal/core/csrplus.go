@@ -253,6 +253,16 @@ func BuildZ(u *dense.Mat, s []float64, p *dense.Mat) *dense.Mat {
 // ErrQuery (wrapped) for out-of-range node ids and ErrParams for an empty
 // query set.
 func (ix *Index) Query(queries []int, track *memtrack.Tracker) (*dense.Mat, error) {
+	return ix.QueryInto(queries, nil, track)
+}
+
+// QueryInto is Query writing into caller-provided scratch: the n x |Q|
+// result reuses scratch's backing array when its capacity suffices
+// (contents are overwritten) and allocates otherwise. Passing nil scratch
+// is exactly Query. The returned matrix is the result — scratch itself
+// whenever it had capacity — so serving layers can pool one matrix per
+// in-flight batch instead of allocating n x |Q| per engine call.
+func (ix *Index) QueryInto(queries []int, scratch *dense.Mat, track *memtrack.Tracker) (*dense.Mat, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: empty query set: %w", ErrParams)
 	}
@@ -264,7 +274,7 @@ func (ix *Index) Query(queries []int, track *memtrack.Tracker) (*dense.Mat, erro
 	// [U]_{Q,*} is |Q| x r; Z [U]_{Q,*}ᵀ is n x |Q|.
 	uq := ix.u.PickRows(queries)
 	track.Alloc("query/UQ", uq.Bytes())
-	s := dense.MulT(ix.z, uq)
+	s := dense.MulTInto(scratch, ix.z, uq)
 	track.Alloc("query/S", s.Bytes())
 	s.Scale(ix.c)
 	for j, q := range queries {

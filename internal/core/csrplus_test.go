@@ -381,3 +381,44 @@ func TestQueryPairMatchesColumn(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// TestQueryIntoMatchesQueryAndReusesScratch pins the serving hot path's
+// contract: QueryInto returns the same bits as Query, reuses an
+// adequately-sized scratch matrix instead of allocating, and tolerates
+// nil / undersized scratch.
+func TestQueryIntoMatchesQueryAndReusesScratch(t *testing.T) {
+	g := paperGraph(t)
+	ix, err := Precompute(g, Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Query([]int{1, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scratch := dense.NewMat(g.N(), 2)
+	got, err := ix.QueryInto([]int{1, 4}, scratch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != scratch {
+		t.Fatal("QueryInto did not reuse adequately-sized scratch")
+	}
+	if !got.Equal(want, 0) {
+		t.Fatal("QueryInto(scratch) differs from Query")
+	}
+
+	if got, err = ix.QueryInto([]int{1, 4}, nil, nil); err != nil || !got.Equal(want, 0) {
+		t.Fatalf("QueryInto(nil scratch) differs from Query (err=%v)", err)
+	}
+	small := dense.NewMat(1, 1)
+	if got, err = ix.QueryInto([]int{1, 4}, small, nil); err != nil || !got.Equal(want, 0) {
+		t.Fatalf("QueryInto(undersized scratch) differs from Query (err=%v)", err)
+	}
+
+	// Validation errors must not clobber the scratch contract.
+	if _, err := ix.QueryInto([]int{99}, scratch, nil); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+}

@@ -3,22 +3,18 @@ package dense
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-)
 
-// parallelThreshold is the flop count above which GEMM fans out across
-// goroutines. Below it the goroutine overhead dominates.
-const parallelThreshold = 1 << 20
+	"csrplus/internal/par"
+)
 
 // Mul returns a*b. It panics if the inner dimensions differ.
 //
 // The kernel is an ikj-ordered blocked product: the inner loop runs along
 // contiguous rows of b and the output, which keeps it vectorisable and
 // cache-friendly without assembly. Rows of the output are partitioned
-// across GOMAXPROCS goroutines for large products; each output element is
+// across par.Workers goroutines for large products; each output element is
 // still accumulated by exactly one goroutine in a fixed order, so results
-// are deterministic.
+// are bitwise-deterministic at every worker count.
 func Mul(a, b *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("dense: Mul %dx%d * %dx%d: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
@@ -29,30 +25,10 @@ func Mul(a, b *Mat) *Mat {
 }
 
 func mulInto(out, a, b *Mat) {
-	flops := a.Rows * a.Cols * b.Cols
-	workers := runtime.GOMAXPROCS(0)
-	if flops < parallelThreshold || workers == 1 || a.Rows == 1 {
-		mulRange(out, a, b, 0, a.Rows)
-		return
-	}
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.Rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulRange(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	flops := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+	par.Do(a.Rows, flops, func(lo, hi int) {
+		mulRange(out, a, b, lo, hi)
+	})
 }
 
 // mulRange computes rows [lo, hi) of out = a*b.
@@ -73,14 +49,37 @@ func mulRange(out, a, b *Mat, lo, hi int) {
 	}
 }
 
-// MulT returns a * bᵀ without materialising bᵀ.
+// MulT returns a * bᵀ without materialising bᵀ. This is the query-phase
+// GEMM of Algorithm 1 (Z · [U]_{Q,*}ᵀ, shape n x r times (|Q| x r)ᵀ).
 func MulT(a, b *Mat) *Mat {
+	return MulTInto(nil, a, b)
+}
+
+// MulTInto computes a * bᵀ into out, reusing out's backing array when its
+// capacity suffices (pass nil to allocate). Any previous contents of out
+// are overwritten. It returns the result matrix, which is out itself
+// whenever out had capacity.
+//
+// Output rows are partitioned across par.Workers goroutines; every output
+// element is a single dot product accumulated in index order by exactly
+// one goroutine, so results are bitwise-deterministic at every worker
+// count.
+func MulTInto(out, a, b *Mat) *Mat {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: MulT %dx%d * (%dx%d)ᵀ: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
 	}
-	out := NewMat(a.Rows, b.Rows)
+	out = out.Reuse(a.Rows, b.Rows)
+	flops := int64(a.Rows) * int64(b.Rows) * int64(a.Cols)
+	par.Do(a.Rows, flops, func(lo, hi int) {
+		mulTRange(out, a, b, lo, hi)
+	})
+	return out
+}
+
+// mulTRange computes rows [lo, hi) of out = a*bᵀ.
+func mulTRange(out, a, b *Mat, lo, hi int) {
 	n := a.Cols
-	for i := 0; i < a.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		arow := a.Data[i*n : (i+1)*n]
 		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
 		for j := 0; j < b.Rows; j++ {
@@ -92,30 +91,86 @@ func MulT(a, b *Mat) *Mat {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
-// TMul returns aᵀ * b without materialising aᵀ.
+// tmulMaxChunks bounds TMul's reduction grid: at most this many partial
+// output buffers exist at once (the deterministic reduction sums them in
+// chunk order). tmulMaxPartial bounds their combined footprint in floats,
+// so a TMul with a large output never amplifies memory by the full grid.
+const (
+	tmulMaxChunks  = 64
+	tmulMaxPartial = 1 << 22 // 32 MiB of float64 partials
+)
+
+// TMul returns aᵀ * b without materialising aᵀ. Its natural loop scatters
+// into output rows keyed by columns of a, so row partitioning would race;
+// instead the shared-row dimension is cut into a par.Grid of contiguous
+// chunks (a function of the problem size only, never of the worker
+// count), each chunk accumulates into a private partial buffer, and the
+// partials are summed in chunk order. Results are therefore identical at
+// every GOMAXPROCS, though — unlike the row-parallel kernels — the
+// chunked summation order differs from the pre-chunking serial kernel by
+// floating-point rounding.
+//
+// The kernel is tuned for tall-skinny operands (aᵀb with few columns on
+// both sides — H₀ = VᵀUΣ and the SVD's Gram matrix): the partial buffers
+// are then tiny next to the O(rows) work.
 func TMul(a, b *Mat) *Mat {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("dense: TMul (%dx%d)ᵀ * %dx%d: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
 	}
 	out := NewMat(a.Cols, b.Cols)
+	outLen := a.Cols * b.Cols
+	flops := int64(a.Rows) * int64(outLen)
+	maxChunks := tmulMaxChunks
+	if outLen > 0 && tmulMaxPartial/outLen < maxChunks {
+		maxChunks = tmulMaxPartial / outLen
+	}
+	if flops < par.DefaultThreshold || maxChunks < 2 || outLen == 0 {
+		tmulRange(out.Data, a, b, 0, a.Rows)
+		return out
+	}
+	// Per-row flops is outLen; size chunks to ≥ ~128k flops each so the
+	// grid stays coarse enough to amortise scheduling.
+	minChunk := 1 + (1<<17)/outLen
+	chunk, count := par.Grid(a.Rows, minChunk, maxChunks)
+	if count < 2 {
+		tmulRange(out.Data, a, b, 0, a.Rows)
+		return out
+	}
+	partials := make([]float64, count*outLen)
+	par.Do(count, flops, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			klo := c * chunk
+			khi := min(klo+chunk, a.Rows)
+			tmulRange(partials[c*outLen:(c+1)*outLen], a, b, klo, khi)
+		}
+	})
+	for c := 0; c < count; c++ {
+		for i, v := range partials[c*outLen : (c+1)*outLen] {
+			out.Data[i] += v
+		}
+	}
+	return out
+}
+
+// tmulRange accumulates rows [klo, khi) of the shared dimension of aᵀ*b
+// into dst (length a.Cols*b.Cols, not cleared first).
+func tmulRange(dst []float64, a, b *Mat, klo, khi int) {
 	p := b.Cols
-	for k := 0; k < a.Rows; k++ {
+	for k := klo; k < khi; k++ {
 		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
 		brow := b.Data[k*p : (k+1)*p]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[i*p : (i+1)*p]
+			orow := dst[i*p : (i+1)*p]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MulVec returns a * x as a fresh vector. It panics on dimension mismatch.

@@ -5,9 +5,11 @@
 // assorted norms and solvers.
 //
 // The package replaces the MATLAB dense kernels used by the paper's
-// implementation. Everything is stdlib-only and deterministic: no
-// parallel reduction changes summation order between runs on a machine
-// with a fixed GOMAXPROCS.
+// implementation. Everything is stdlib-only and deterministic: the
+// parallel kernels (scheduled through internal/par) either give each
+// output element to exactly one goroutine in a fixed accumulation order,
+// or reduce over a chunk grid chosen from the problem size alone — so
+// the same input yields the same bits at every GOMAXPROCS.
 package dense
 
 import (
@@ -77,6 +79,23 @@ func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
 // Row returns a view (not a copy) of row i.
 func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Reuse reshapes m to r x c, reusing its backing array when the capacity
+// suffices and allocating a fresh matrix otherwise (a nil receiver always
+// allocates). The returned matrix's contents are unspecified garbage —
+// callers must overwrite every element. This is the scratch-reuse hook
+// the serving hot path uses to avoid an n x |Q| allocation per batch.
+func (m *Mat) Reuse(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense: Reuse(%d, %d): negative dimension", r, c))
+	}
+	if m == nil || cap(m.Data) < r*c {
+		return NewMat(r, c)
+	}
+	m.Rows, m.Cols = r, c
+	m.Data = m.Data[:r*c]
+	return m
+}
 
 // Clone returns a deep copy of m.
 func (m *Mat) Clone() *Mat {

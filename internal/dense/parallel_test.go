@@ -1,0 +1,252 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"csrplus/internal/par"
+)
+
+// refMulT is the naive a*bᵀ reference: one dot product per output
+// element, accumulated in index order — the same per-element order as
+// the kernel, so agreement must be bitwise.
+func refMulT(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// refTMul is the naive aᵀ*b reference with per-element accumulation over
+// the shared dimension in index order. The chunked kernel reorders this
+// reduction (chunk partials summed in chunk order), so agreement is
+// checked to a rounding tolerance, not bitwise.
+func refTMul(a, b *Mat) *Mat {
+	out := NewMat(a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Rows; k++ {
+				s += a.At(k, i) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// relEqual reports element-wise agreement within a relative-ish epsilon
+// scaled by the larger magnitude (an ulp-style bound for reordered sums).
+func relEqual(x, y *Mat, eps float64) bool {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		return false
+	}
+	for i, v := range x.Data {
+		w := y.Data[i]
+		scale := math.Max(1, math.Max(math.Abs(v), math.Abs(w)))
+		if math.Abs(v-w) > eps*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// Shapes chosen to clear par.DefaultThreshold (2^20 flops) so the
+// parallel paths actually run: 3000*64*16 ≈ 3.1M, 60000*16*16 ≈ 15M.
+func parallelFixtures(seed int64) (aWide, bWide, aTall, bTall *Mat) {
+	rng := rand.New(rand.NewSource(seed))
+	aWide, bWide = randMat(rng, 3000, 16), randMat(rng, 64, 16)
+	aTall, bTall = randMat(rng, 60000, 16), randMat(rng, 60000, 16)
+	return
+}
+
+func TestMulTParallelMatchesReferenceBitwise(t *testing.T) {
+	a, b, _, _ := parallelFixtures(11)
+	got := MulT(a, b)
+	if !got.Equal(refMulT(a, b), 0) {
+		t.Fatal("parallel MulT differs from serial reference")
+	}
+}
+
+func TestTMulParallelMatchesReferenceWithinRounding(t *testing.T) {
+	_, _, a, b := parallelFixtures(13)
+	got := TMul(a, b)
+	if !relEqual(got, refTMul(a, b), 1e-12) {
+		t.Fatal("chunked TMul differs from reference beyond rounding")
+	}
+}
+
+func TestMulParallelMatchesSmallBlocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a, b := randMat(rng, 400, 300), randMat(rng, 300, 200) // 24M flops → parallel
+	got := Mul(a, b)
+	// Row partitioning keeps each output row's accumulation order equal to
+	// the serial kernel's, so a single-worker run must agree bitwise.
+	prev := par.SetMaxWorkers(1)
+	want := Mul(a, b)
+	par.SetMaxWorkers(prev)
+	if !got.Equal(want, 0) {
+		t.Fatal("parallel Mul differs from single-worker Mul")
+	}
+}
+
+// TestDenseKernelsWorkerCountInvariant pins the package guarantee: every
+// parallelised dense kernel returns identical bits at any worker count,
+// including the chunk-reduced TMul (its reduction grid depends on the
+// problem size only).
+func TestDenseKernelsWorkerCountInvariant(t *testing.T) {
+	aWide, bWide, aTall, bTall := parallelFixtures(19)
+	rng := rand.New(rand.NewSource(23))
+	aSq, bSq := randMat(rng, 300, 300), randMat(rng, 300, 300)
+	kernels := map[string]func() *Mat{
+		"Mul":  func() *Mat { return Mul(aSq, bSq) },
+		"MulT": func() *Mat { return MulT(aWide, bWide) },
+		"TMul": func() *Mat { return TMul(aTall, bTall) },
+	}
+	for name, kern := range kernels {
+		prev := par.SetMaxWorkers(1)
+		want := kern()
+		for _, w := range []int{2, 3, 8} {
+			par.SetMaxWorkers(w)
+			if got := kern(); !got.Equal(want, 0) {
+				par.SetMaxWorkers(prev)
+				t.Fatalf("%s: %d-worker result differs from 1-worker result", name, w)
+			}
+		}
+		par.SetMaxWorkers(prev)
+	}
+}
+
+// TestDenseKernelsGOMAXPROCSDeterminism is the satellite requirement
+// verbatim: GOMAXPROCS=1 and GOMAXPROCS=N produce equal results for
+// every parallelised kernel.
+func TestDenseKernelsGOMAXPROCSDeterminism(t *testing.T) {
+	aWide, bWide, aTall, bTall := parallelFixtures(29)
+	kernels := map[string]func() *Mat{
+		"MulT": func() *Mat { return MulT(aWide, bWide) },
+		"TMul": func() *Mat { return TMul(aTall, bTall) },
+	}
+	for name, kern := range kernels {
+		old := runtime.GOMAXPROCS(1)
+		want := kern()
+		runtime.GOMAXPROCS(8)
+		got := kern()
+		runtime.GOMAXPROCS(old)
+		if !got.Equal(want, 0) {
+			t.Fatalf("%s: GOMAXPROCS=8 result differs from GOMAXPROCS=1", name)
+		}
+	}
+}
+
+func TestMulTIntoReusesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a, b := randMat(rng, 500, 8), randMat(rng, 20, 8)
+	want := refMulT(a, b)
+
+	scratch := NewMat(500, 20)
+	got := MulTInto(scratch, a, b)
+	if got != scratch {
+		t.Fatal("MulTInto did not reuse adequately-sized scratch")
+	}
+	if !got.Equal(want, 0) {
+		t.Fatal("MulTInto(scratch) wrong result")
+	}
+	// Dirty scratch of larger capacity must be fully overwritten.
+	big := NewMat(600, 20)
+	for i := range big.Data {
+		big.Data[i] = math.NaN()
+	}
+	got = MulTInto(big, a, b)
+	if got != big {
+		t.Fatal("MulTInto did not reuse larger-capacity scratch")
+	}
+	if got.Rows != 500 || got.Cols != 20 || got.HasNaN() || !got.Equal(want, 0) {
+		t.Fatal("MulTInto left stale contents in reused scratch")
+	}
+	// Undersized scratch allocates; nil scratch allocates.
+	small := NewMat(3, 3)
+	if got = MulTInto(small, a, b); got == small || !got.Equal(want, 0) {
+		t.Fatal("MulTInto mishandled undersized scratch")
+	}
+	if got = MulTInto(nil, a, b); !got.Equal(want, 0) {
+		t.Fatal("MulTInto(nil) wrong result")
+	}
+}
+
+func TestReuse(t *testing.T) {
+	m := NewMat(4, 6)
+	if got := m.Reuse(3, 8); got != m || got.Rows != 3 || got.Cols != 8 {
+		t.Fatalf("Reuse within capacity: got %dx%d, same=%v", got.Rows, got.Cols, got == m)
+	}
+	if got := m.Reuse(10, 10); got == m || got.Rows != 10 || got.Cols != 10 {
+		t.Fatal("Reuse beyond capacity must allocate")
+	}
+	var nilMat *Mat
+	if got := nilMat.Reuse(2, 2); got == nil || got.Rows != 2 {
+		t.Fatal("nil Reuse must allocate")
+	}
+}
+
+// --- Kernel benchmarks (CI runs these with -benchtime=1x as a smoke
+// test; EXPERIMENTS.md records full runs at GOMAXPROCS 1 vs N). ---
+
+// BenchmarkKernelMulTQueryShape is the serving hot path's exact GEMM
+// shape: Z (n x r) times [U]_{Q,*}ᵀ (|Q| x r)ᵀ at n=100k, r=32, |Q|=32.
+func BenchmarkKernelMulTQueryShape(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	z, uq := randMat(rng, 100000, 32), randMat(rng, 32, 32)
+	var scratch *Mat
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = MulTInto(scratch, z, uq)
+	}
+}
+
+func BenchmarkKernelMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := randMat(rng, 512, 512), randMat(rng, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+// BenchmarkKernelTMul is the H₀ = VᵀUΣ / Gram-matrix shape: tall-skinny
+// aᵀb with a small output and a long reduced dimension.
+func BenchmarkKernelTMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := randMat(rng, 200000, 16), randMat(rng, 200000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TMul(x, y)
+	}
+}
+
+// BenchmarkKernelMulTQueryShapeWorkers sweeps the worker count on the
+// query-shaped GEMM so the speedup curve (or, on a single-core box, the
+// dispatch overhead) is measured directly. EXPERIMENTS.md records runs.
+func BenchmarkKernelMulTQueryShapeWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	z, uq := randMat(rng, 100000, 32), randMat(rng, 32, 32)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := par.SetMaxWorkers(w)
+			defer par.SetMaxWorkers(prev)
+			var scratch *Mat
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch = MulTInto(scratch, z, uq)
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// coverage verifies every index in [0, n) is visited exactly once and
+// ranges never overlap, whatever the worker count.
+func coverage(t *testing.T, n int, flops int64) {
+	t.Helper()
+	var mu sync.Mutex
+	seen := make([]int, n)
+	Do(n, flops, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("Do(%d): bad range [%d, %d)", n, lo, hi)
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+		mu.Unlock()
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("Do(%d): index %d visited %d times", n, i, c)
+		}
+	}
+}
+
+func TestDoCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 1000, 1001} {
+		coverage(t, n, DefaultThreshold)   // parallel path
+		coverage(t, n, DefaultThreshold-1) // serial path
+	}
+}
+
+func TestDoZeroAndNegative(t *testing.T) {
+	called := false
+	Do(0, DefaultThreshold, func(lo, hi int) { called = true })
+	Do(-3, DefaultThreshold, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("Do must not invoke body for n <= 0")
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers() = %d after SetMaxWorkers(1)", got)
+	}
+	// With one worker the parallel path must degrade to a single inline call.
+	calls := 0
+	Do(1000, DefaultThreshold, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 1000 {
+			t.Fatalf("serial fallback got range [%d, %d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 body call, got %d", calls)
+	}
+	SetMaxWorkers(4)
+	if got := Workers(); got != 4 {
+		t.Fatalf("Workers() = %d after SetMaxWorkers(4)", got)
+	}
+	SetMaxWorkers(0)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d after reset, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestDoWorkerCountIndependence(t *testing.T) {
+	// The chunk layout (hence which body call owns which index) may vary
+	// with workers, but coverage must stay exact at every count.
+	for _, w := range []int{1, 2, 3, 5, 16} {
+		prev := SetMaxWorkers(w)
+		coverage(t, 997, DefaultThreshold)
+		SetMaxWorkers(prev)
+	}
+}
+
+func TestGridDeterministicAndCovering(t *testing.T) {
+	for _, n := range []int{1, 10, 511, 512, 513, 100000} {
+		chunk, count := Grid(n, 512, 64)
+		if count < 1 || chunk < 1 {
+			t.Fatalf("Grid(%d) = (%d, %d)", n, chunk, count)
+		}
+		if got := (n + chunk - 1) / chunk; got != count {
+			t.Fatalf("Grid(%d): count %d inconsistent with chunk %d (want %d)", n, count, chunk, got)
+		}
+		if count > 64 {
+			t.Fatalf("Grid(%d): count %d exceeds maxChunks", n, count)
+		}
+		// Worker overrides must not change the grid.
+		prev := SetMaxWorkers(3)
+		c2, k2 := Grid(n, 512, 64)
+		SetMaxWorkers(prev)
+		if c2 != chunk || k2 != count {
+			t.Fatalf("Grid(%d) changed under worker override: (%d,%d) vs (%d,%d)", n, chunk, count, c2, k2)
+		}
+	}
+	if chunk, count := Grid(100, 512, 64); count != 1 || chunk != 100 {
+		t.Fatalf("Grid below minChunk: got (%d, %d), want (100, 1)", chunk, count)
+	}
+}

@@ -48,7 +48,11 @@ type response struct {
 }
 
 // NewBatcher starts the dispatch loop and worker pool. maxBatch is the
-// most unique nodes per engine call, linger the longest a request waits
+// most unique nodes per engine call — a request that would push a batch
+// past it is left to seed the next batch, so the bound holds whenever no
+// single request alone exceeds it (requests are indivisible: one whose
+// own node set tops maxBatch forms its own oversized batch). linger is
+// the longest a request waits
 // for co-batching (0 batches only what is already queued), maxPending the
 // admission bound beyond which requests are shed, workers the concurrent
 // engine calls. strict disables the idle-worker eager flush: partial
@@ -144,6 +148,23 @@ func (b *Batcher) run() {
 			uniq[n] = struct{}{}
 		}
 	}
+	// overflows reports whether absorbing req would push the batch past
+	// maxBatch unique nodes. A request is indivisible, so the bound can
+	// only be respected by leaving req for the next batch — except when
+	// the batch is empty, where a single oversized request necessarily
+	// forms its own (oversized) batch.
+	overflows := func(req *request) bool {
+		if len(pending) == 0 {
+			return false
+		}
+		fresh := 0
+		for _, n := range req.nodes {
+			if _, ok := uniq[n]; !ok {
+				fresh++
+			}
+		}
+		return len(uniq)+fresh > b.maxBatch
+	}
 	flush := func() {
 		if len(pending) == 0 {
 			return
@@ -164,6 +185,12 @@ func (b *Batcher) run() {
 				flush()
 				return
 			}
+			// A request that would overflow the unique-node bound closes
+			// the current batch (it is as full as it can get) and seeds
+			// the next one.
+			if overflows(req) {
+				flush()
+			}
 			absorb(req)
 			// Greedily absorb whatever is already queued: back-to-back
 			// arrivals batch together even with linger = 0.
@@ -174,6 +201,9 @@ func (b *Batcher) run() {
 					if !ok {
 						flush()
 						return
+					}
+					if overflows(more) {
+						flush()
 					}
 					absorb(more)
 				default:

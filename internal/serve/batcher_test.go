@@ -234,6 +234,72 @@ func TestBatcherStrictLingerCoalescesDespiteIdleWorkers(t *testing.T) {
 	}
 }
 
+// TestBatcherNeverExceedsMaxBatch is the regression test for the greedy
+// drain overshoot: the old loop checked the bound before absorbing, so a
+// queued multi-node request could push a batch far past maxBatch unique
+// nodes. Disjoint 3-node requests against maxBatch = 4 make any
+// co-batched pair (6 uniques) a violation.
+func TestBatcherNeverExceedsMaxBatch(t *testing.T) {
+	const maxBatch = 4
+	var mu sync.Mutex
+	var widths []int
+	gate := make(chan struct{})
+	eng := &fakeEngine{n: 64, gate: gate}
+	counting := func(queries []int) ([][]float64, error) {
+		mu.Lock()
+		widths = append(widths, len(queries))
+		mu.Unlock()
+		return eng.query(queries)
+	}
+	b := NewBatcher(counting, maxBatch, 5*time.Millisecond, 64, 1, true, NewMetrics())
+	defer b.Close()
+
+	// Gate the single worker so requests pile up in the queue, forcing the
+	// dispatch loop to drain several multi-node requests back-to-back.
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nodes := []int{3 * i, 3*i + 1, 3*i + 2} // disjoint trios
+			_, errs[i] = b.Columns(context.Background(), nodes)
+		}(i)
+	}
+	waitFor(t, func() bool { return b.metrics.Admitted() == clients })
+	time.Sleep(10 * time.Millisecond) // let the drain loop see a full queue
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, w := range widths {
+		if w > maxBatch {
+			t.Fatalf("engine call saw %d unique nodes, exceeding maxBatch %d (widths %v)", w, maxBatch, widths)
+		}
+	}
+}
+
+// A single request larger than maxBatch cannot be split: it must still be
+// served, as its own oversized batch, rather than deadlock.
+func TestBatcherOversizedSingleRequest(t *testing.T) {
+	eng := &fakeEngine{n: 64}
+	b := NewBatcher(eng.query, 2, time.Millisecond, 8, 1, false, NewMetrics())
+	defer b.Close()
+	cols, err := b.Columns(context.Background(), []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 5 {
+		t.Fatalf("got %d columns, want 5", len(cols))
+	}
+}
+
 func TestBatcherOverload(t *testing.T) {
 	m := NewMetrics()
 	gate := make(chan struct{})

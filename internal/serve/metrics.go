@@ -24,6 +24,7 @@ type Metrics struct {
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
+	cacheRefreshes atomic.Int64
 
 	// Latency covers admission -> response for answered requests, in
 	// seconds. BatchOccupancy counts unique query nodes per engine call —
@@ -42,11 +43,12 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// CacheHit, CacheMiss and CacheEvict implement cache.Recorder so an LRU
-// can be instrumented with SetRecorder(metrics).
-func (m *Metrics) CacheHit()   { m.cacheHits.Add(1) }
-func (m *Metrics) CacheMiss()  { m.cacheMisses.Add(1) }
-func (m *Metrics) CacheEvict() { m.cacheEvictions.Add(1) }
+// CacheHit, CacheMiss, CacheEvict and CacheRefresh implement
+// cache.Recorder so an LRU can be instrumented with SetRecorder(metrics).
+func (m *Metrics) CacheHit()     { m.cacheHits.Add(1) }
+func (m *Metrics) CacheMiss()    { m.cacheMisses.Add(1) }
+func (m *Metrics) CacheEvict()   { m.cacheEvictions.Add(1) }
+func (m *Metrics) CacheRefresh() { m.cacheRefreshes.Add(1) }
 
 // Admitted, Shed, Expired, Batches and QueueDepth expose the counters the
 // tests and the /stats endpoint read directly.
@@ -82,6 +84,7 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"cache_hits":           hits,
 		"cache_misses":         misses,
 		"cache_evictions":      m.cacheEvictions.Load(),
+		"cache_refreshes":      m.cacheRefreshes.Load(),
 		"cache_hit_ratio":      ratio,
 		"latency_seconds":      m.Latency.Snapshot(),
 		"batch_occupancy":      m.BatchOccupancy.Snapshot(),

@@ -65,6 +65,7 @@ func TestMetricsSnapshotIsJSONEncodable(t *testing.T) {
 	m.CacheHit()
 	m.CacheMiss()
 	m.CacheEvict()
+	m.CacheRefresh()
 	m.Latency.Observe(0.002)
 	m.BatchOccupancy.Observe(3)
 
@@ -77,6 +78,9 @@ func TestMetricsSnapshotIsJSONEncodable(t *testing.T) {
 	}
 	if snap["cache_evictions"].(int64) != 1 {
 		t.Fatalf("evictions = %v", snap["cache_evictions"])
+	}
+	if snap["cache_refreshes"].(int64) != 1 {
+		t.Fatalf("refreshes = %v", snap["cache_refreshes"])
 	}
 	// The /metrics endpoint serialises this map; +Inf bucket bounds must
 	// not break encoding/json (they are rendered via the bucket list).

@@ -16,9 +16,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"csrplus/internal/cache"
+	"csrplus/internal/dense"
 	"csrplus/internal/topk"
 )
 
@@ -118,6 +120,38 @@ func New(n int, queryFn QueryFunc, cfg Config) *Server {
 		batcher: NewBatcher(queryFn, cfg.MaxBatch, cfg.Linger, cfg.MaxPending, cfg.Workers, cfg.StrictLinger, m),
 		metrics: m,
 	}
+}
+
+// MatQueryFunc answers one multi-source engine pass into a reusable
+// scratch matrix: the n x |Q| result reuses scratch's backing array when
+// its capacity suffices (nil scratch allocates) and is returned.
+// csrplus.(*Engine).QueryInto satisfies it.
+type MatQueryFunc func(queries []int, scratch *dense.Mat) (*dense.Mat, error)
+
+// NewMat is New for a scratch-aware engine: every engine pass borrows an
+// n x maxBatch-capacity matrix from a sync.Pool instead of allocating
+// n x |Q| afresh, which keeps the steady-state serving hot path
+// allocation-light (the per-column copies handed to callers remain — they
+// outlive the batch). Everything else matches New.
+func NewMat(n int, queryFn MatQueryFunc, cfg Config) *Server {
+	var pool sync.Pool
+	fn := func(queries []int) ([][]float64, error) {
+		scratch, _ := pool.Get().(*dense.Mat)
+		s, err := queryFn(queries, scratch)
+		if err != nil {
+			if scratch != nil {
+				pool.Put(scratch)
+			}
+			return nil, err
+		}
+		cols := make([][]float64, len(queries))
+		for j := range queries {
+			cols[j] = s.Col(j, nil)
+		}
+		pool.Put(s) // s is scratch when it had capacity, else its grown replacement
+		return cols, nil
+	}
+	return New(n, fn, cfg)
 }
 
 // Metrics exposes the registry shared by every component of this server.

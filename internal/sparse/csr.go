@@ -2,10 +2,9 @@ package sparse
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"csrplus/internal/dense"
+	"csrplus/internal/par"
 )
 
 // CSR is a compressed-sparse-row matrix: row i's entries live at positions
@@ -137,15 +136,15 @@ func (m *CSR) MulVecT(x, y []float64) []float64 {
 
 // MulDense computes m * b for a dense b, i.e. the SpMM kernel used by the
 // truncated SVD (A * Omega) and by the dense-iteration baselines. Output
-// rows are partitioned across GOMAXPROCS goroutines for large products;
+// rows are partitioned across par.Workers goroutines for large products;
 // each row is written by exactly one goroutine in a fixed order, so the
-// result is deterministic.
+// result is bitwise-deterministic at every worker count.
 func (m *CSR) MulDense(b *dense.Mat) *dense.Mat {
 	if m.cols != b.Rows {
 		panic(fmt.Sprintf("sparse: MulDense %dx%d * %dx%d", m.rows, m.cols, b.Rows, b.Cols))
 	}
 	out := dense.NewMat(m.rows, b.Cols)
-	parallelRows(m.rows, m.NNZ()*int64(b.Cols), func(lo, hi int) {
+	par.Do(m.rows, m.NNZ()*int64(b.Cols), func(lo, hi int) {
 		k := b.Cols
 		for i := lo; i < hi; i++ {
 			orow := out.Data[i*k : (i+1)*k]
@@ -161,42 +160,21 @@ func (m *CSR) MulDense(b *dense.Mat) *dense.Mat {
 	return out
 }
 
-// parallelRows runs body over [0, rows) split into contiguous chunks, one
-// per worker, when the flop estimate justifies the goroutine overhead.
-func parallelRows(rows int, flops int64, body func(lo, hi int)) {
-	const threshold = 1 << 21
-	workers := runtime.GOMAXPROCS(0)
-	if flops < threshold || workers == 1 || rows < 2*workers {
-		body(0, rows)
-		return
-	}
-	if workers > rows {
-		workers = rows
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// MulDenseT computes mᵀ * b for a dense b without materialising mᵀ.
+// MulDenseT computes mᵀ * b for a dense b without materialising mᵀ —
+// except when the product is large enough to parallelise: the natural
+// loop scatters into output rows keyed by column index and would race
+// under row partitioning, so the parallel path materialises the
+// transpose once (O(nnz + rows + cols), small next to the O(nnz·k)
+// multiply) and runs the gather-ordered MulDense on it. Transpose keeps
+// each output row's entries in ascending original-row order — the exact
+// summation order of the serial scatter loop — so both paths, and every
+// worker count, produce identical bits.
 func (m *CSR) MulDenseT(b *dense.Mat) *dense.Mat {
 	if m.rows != b.Rows {
 		panic(fmt.Sprintf("sparse: MulDenseT (%dx%d)ᵀ * %dx%d", m.rows, m.cols, b.Rows, b.Cols))
+	}
+	if flops := m.NNZ() * int64(b.Cols); flops >= par.DefaultThreshold && par.Workers() > 1 {
+		return m.Transpose().MulDense(b)
 	}
 	out := dense.NewMat(m.cols, b.Cols)
 	k := b.Cols
@@ -215,23 +193,29 @@ func (m *CSR) MulDenseT(b *dense.Mat) *dense.Mat {
 
 // DenseMulCSR computes b * m for a dense b — the right-side SpMM used by
 // the all-pairs iteration S ← c QᵀS Q + I, whose inner step is (QᵀS)Q.
+// Rows of b (hence of the output) are partitioned across par.Workers
+// goroutines; each output row is accumulated by one goroutine in the
+// serial order, so results are bitwise-deterministic at every worker
+// count.
 func DenseMulCSR(b *dense.Mat, m *CSR) *dense.Mat {
 	if b.Cols != m.rows {
 		panic(fmt.Sprintf("sparse: DenseMulCSR %dx%d * %dx%d", b.Rows, b.Cols, m.rows, m.cols))
 	}
 	out := dense.NewMat(b.Rows, m.cols)
-	for i := 0; i < b.Rows; i++ {
-		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
-		orow := out.Data[i*m.cols : (i+1)*m.cols]
-		for k, bv := range brow {
-			if bv == 0 {
-				continue
-			}
-			for p := m.RowPtr[k]; p < m.RowPtr[k+1]; p++ {
-				orow[m.ColIdx[p]] += bv * m.Val[p]
+	par.Do(b.Rows, m.NNZ()*int64(b.Rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+			orow := out.Data[i*m.cols : (i+1)*m.cols]
+			for k, bv := range brow {
+				if bv == 0 {
+					continue
+				}
+				for p := m.RowPtr[k]; p < m.RowPtr[k+1]; p++ {
+					orow[m.ColIdx[p]] += bv * m.Val[p]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,168 @@
+package sparse
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/par"
+)
+
+// parallelCSR builds a fixture big enough to clear par.DefaultThreshold
+// (2^20 flops) on every kernel under test: nnz ≈ 90k, 24 dense columns
+// → ≈ 2.2M flops. b is shaped for MulDense (m·b), bT for MulDenseT
+// (mᵀ·bT), left for DenseMulCSR (left·m).
+func parallelCSR(seed int64) (m *CSR, ref, b, bT, left *dense.Mat) {
+	rng := rand.New(rand.NewSource(seed))
+	m, ref = randCSR(rng, 600, 500, 0.3)
+	b = dense.NewMat(500, 24)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	bT = dense.NewMat(600, 24)
+	for i := range bT.Data {
+		bT.Data[i] = rng.NormFloat64()
+	}
+	left = dense.NewMat(24, 600)
+	for i := range left.Data {
+		left.Data[i] = rng.NormFloat64()
+	}
+	return
+}
+
+// serialScatterMulDenseT is the pre-parallelisation MulDenseT loop: a
+// column scatter that walks rows of m in ascending order. The parallel
+// path (Transpose().MulDense) must match it bitwise, because Transpose
+// emits each output row's entries in exactly this ascending-row order.
+func serialScatterMulDenseT(m *CSR, b *dense.Mat) *dense.Mat {
+	rows, cols := m.Dims()
+	out := dense.NewMat(cols, b.Cols)
+	for i := 0; i < rows; i++ {
+		bi := b.Row(i)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j, v := m.ColIdx[p], m.Val[p]
+			oj := out.Row(int(j))
+			for k, bv := range bi {
+				oj[k] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+func TestMulDenseTParallelMatchesSerialScatterBitwise(t *testing.T) {
+	m, _, _, bT, _ := parallelCSR(41)
+	want := serialScatterMulDenseT(m, bT)
+
+	// Force the serial scatter branch inside MulDenseT...
+	prev := par.SetMaxWorkers(1)
+	serial := m.MulDenseT(bT)
+	// ...then the transpose+row-parallel branch.
+	par.SetMaxWorkers(4)
+	parallel := m.MulDenseT(bT)
+	par.SetMaxWorkers(prev)
+
+	if !serial.Equal(want, 0) {
+		t.Fatal("single-worker MulDenseT differs from reference scatter")
+	}
+	if !parallel.Equal(want, 0) {
+		t.Fatal("transpose-parallel MulDenseT not bitwise equal to serial scatter")
+	}
+}
+
+// TestSparseKernelsWorkerCountInvariant checks every parallelised sparse
+// kernel returns identical bits at any worker count.
+func TestSparseKernelsWorkerCountInvariant(t *testing.T) {
+	m, _, b, bT, left := parallelCSR(43)
+	kernels := map[string]func() *dense.Mat{
+		"MulDense":    func() *dense.Mat { return m.MulDense(b) },
+		"MulDenseT":   func() *dense.Mat { return m.MulDenseT(bT) },
+		"DenseMulCSR": func() *dense.Mat { return DenseMulCSR(left, m) },
+	}
+	for name, kern := range kernels {
+		prev := par.SetMaxWorkers(1)
+		want := kern()
+		for _, w := range []int{2, 3, 8} {
+			par.SetMaxWorkers(w)
+			if got := kern(); !got.Equal(want, 0) {
+				par.SetMaxWorkers(prev)
+				t.Fatalf("%s: %d-worker result differs from 1-worker result", name, w)
+			}
+		}
+		par.SetMaxWorkers(prev)
+	}
+}
+
+// TestSparseKernelsGOMAXPROCSDeterminism is the satellite requirement:
+// GOMAXPROCS=1 and GOMAXPROCS=N produce equal results for every
+// parallelised kernel.
+func TestSparseKernelsGOMAXPROCSDeterminism(t *testing.T) {
+	m, _, b, bT, left := parallelCSR(47)
+	kernels := map[string]func() *dense.Mat{
+		"MulDense":    func() *dense.Mat { return m.MulDense(b) },
+		"MulDenseT":   func() *dense.Mat { return m.MulDenseT(bT) },
+		"DenseMulCSR": func() *dense.Mat { return DenseMulCSR(left, m) },
+	}
+	for name, kern := range kernels {
+		old := runtime.GOMAXPROCS(1)
+		want := kern()
+		runtime.GOMAXPROCS(8)
+		got := kern()
+		runtime.GOMAXPROCS(old)
+		if !got.Equal(want, 0) {
+			t.Fatalf("%s: GOMAXPROCS=8 result differs from GOMAXPROCS=1", name)
+		}
+	}
+}
+
+func TestDenseMulCSRParallelMatchesDenseReference(t *testing.T) {
+	m, ref, _, _, left := parallelCSR(53)
+	got := DenseMulCSR(left, m)
+	want := dense.Mul(left, ref)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("parallel DenseMulCSR differs from dense reference")
+	}
+}
+
+// --- Kernel benchmarks (CI smoke-runs these with -benchtime=1x). ---
+
+func benchCSR(b *testing.B, cols int) (*CSR, *dense.Mat) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m, _ := randCSR(rng, 3000, 3000, 0.02) // nnz ≈ 180k
+	d := dense.NewMat(3000, cols)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	return m, d
+}
+
+func BenchmarkKernelMulDense(b *testing.B) {
+	m, d := benchCSR(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulDense(d)
+	}
+}
+
+func BenchmarkKernelMulDenseT(b *testing.B) {
+	m, d := benchCSR(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulDenseT(d)
+	}
+}
+
+func BenchmarkKernelDenseMulCSR(b *testing.B) {
+	m, _ := benchCSR(b, 32)
+	rng := rand.New(rand.NewSource(2))
+	left := dense.NewMat(32, 3000)
+	for i := range left.Data {
+		left.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DenseMulCSR(left, m)
+	}
+}

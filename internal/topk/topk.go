@@ -6,6 +6,7 @@ package topk
 
 import (
 	"container/heap"
+	"math"
 	"sort"
 )
 
@@ -40,13 +41,18 @@ func (h *itemHeap) Pop() interface{} {
 // descending score (ascending node id among ties). exclude, when >= 0,
 // drops that node (callers typically exclude the query node itself).
 // k <= 0 returns nil; k beyond the candidate count returns all candidates.
+//
+// NaN scores are skipped: NaN compares false with everything, so letting
+// one into the min-heap would corrupt the heap invariant (and a NaN can
+// reach here from a diverged or denormal similarity column). ±Inf orders
+// normally and is kept.
 func Select(scores []float64, k, exclude int) []Item {
 	if k <= 0 {
 		return nil
 	}
 	h := make(itemHeap, 0, k)
 	for node, score := range scores {
-		if node == exclude {
+		if node == exclude || math.IsNaN(score) {
 			continue
 		}
 		if len(h) < k {

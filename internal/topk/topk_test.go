@@ -2,6 +2,7 @@ package topk
 
 import (
 	"container/heap"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -54,6 +55,40 @@ func TestSelectTiesPreferSmallerNode(t *testing.T) {
 func TestSelectEmpty(t *testing.T) {
 	if got := Select(nil, 3, -1); len(got) != 0 {
 		t.Fatalf("got %v", got)
+	}
+}
+
+// TestSelectNaNSafe is the regression test for the NaN heap corruption:
+// NaN compares false with everything, so a NaN admitted into the min-heap
+// breaks the heap invariant and can both occupy a result slot and shadow
+// real candidates. NaNs must be skipped entirely; ±Inf orders normally.
+func TestSelectNaNSafe(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	scores := []float64{0.3, nan, 0.9, nan, inf, 0.1, math.Inf(-1), nan, 0.5}
+	got := Select(scores, 4, -1)
+	want := []Item{{4, inf}, {2, 0.9}, {8, 0.5}, {0, 0.3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, it := range got {
+		if math.IsNaN(it.Score) {
+			t.Fatalf("NaN leaked into results: %v", got)
+		}
+	}
+	// All-NaN input yields no candidates at all.
+	if got := Select([]float64{nan, nan, nan}, 2, -1); len(got) != 0 {
+		t.Fatalf("all-NaN input returned %v", got)
+	}
+	// NaNs ahead of the k-th candidate must not shrink the result: k
+	// finite scores survive k+NaNs input.
+	mixed := []float64{nan, 0.2, nan, 0.4, nan, 0.6}
+	if got := Select(mixed, 3, -1); len(got) != 3 || got[0].Node != 5 || got[2].Node != 1 {
+		t.Fatalf("NaN-heavy input returned %v", got)
 	}
 }
 
