@@ -14,6 +14,15 @@
 //	csrserver -dataset WT -addr :8080
 //	csrserver -graph edges.txt -n 100000 -r 8
 //
+// The index can be hot-reloaded with zero downtime: SIGHUP (or an
+// authenticated POST /admin/reload) builds or loads the next index
+// generation off the serving path, validates it with a smoke query, and
+// atomically swaps it in while in-flight batches drain on the old one.
+// With -snapshots DIR the server boots from the versioned snapshot the
+// directory's CURRENT file names (index-<gen>.csrx), and each reload
+// re-resolves CURRENT — publish a new snapshot, repoint CURRENT, send
+// SIGHUP, and traffic moves to the new index without dropping a request.
+//
 // Endpoints:
 //
 //	GET /health                       liveness
@@ -22,10 +31,13 @@
 //	GET /topk?node=17&k=10            top-k most similar to one node
 //	GET /topk?nodes=17,42&k=10        top-k by aggregate similarity
 //	GET /similarity?node=17&targets=1,2,3   raw scores for chosen pairs
+//	GET /admin/index                  live generation: source, path, build cost
+//	POST /admin/reload                trigger a reload (Bearer -admintoken)
 package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -42,6 +54,8 @@ import (
 	"csrplus"
 
 	"csrplus/internal/cache"
+	"csrplus/internal/core"
+	"csrplus/internal/reload"
 	"csrplus/internal/serve"
 )
 
@@ -56,6 +70,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	indexPath := flag.String("index", "", "load a persisted CSR+ index instead of precomputing")
 	saveIndex := flag.String("saveindex", "", "persist the precomputed CSR+ index to this path")
+	snapDir := flag.String("snapshots", "", "versioned snapshot directory (index-<gen>.csrx + CURRENT); boot from CURRENT when present, publish the boot index otherwise")
+	adminToken := flag.String("admintoken", "", "bearer token authorising POST /admin/reload (empty disables it)")
 	cacheSize := flag.Int("cache", 1024, "top-k result cache entries (0 disables)")
 	maxBatch := flag.Int("maxbatch", 32, "max query nodes coalesced per engine call")
 	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for co-batching a partial batch")
@@ -69,14 +85,18 @@ func main() {
 	if err != nil {
 		log.Fatalln("csrserver:", err)
 	}
-	var eng *csrplus.Engine
-	if *indexPath != "" {
-		log.Printf("loading index %s over n=%d m=%d ...", *indexPath, g.N(), g.M())
-		eng, err = csrplus.LoadEngine(g, *indexPath)
-	} else {
-		log.Printf("precomputing %s index over n=%d m=%d ...", *algo, g.N(), g.M())
-		eng, err = csrplus.NewEngine(g, csrplus.Options{Algorithm: *algo, Rank: *rank, Damping: *damping})
+	if *snapDir != "" && *algo != csrplus.AlgoCSRPlus {
+		log.Fatalln("csrserver: -snapshots requires the CSR+ algorithm (only CSR+ has a persistable index)")
 	}
+	src := &source{
+		g:         g,
+		algo:      *algo,
+		rank:      *rank,
+		damping:   *damping,
+		indexPath: *indexPath,
+		snapDir:   *snapDir,
+	}
+	cand, eng, err := src.build(context.Background())
 	if err != nil {
 		log.Fatalln("csrserver:", err)
 	}
@@ -86,8 +106,18 @@ func main() {
 		}
 		log.Printf("index persisted to %s", *saveIndex)
 	}
-	st := eng.Stats()
-	log.Printf("ready in %v (peak %d bytes)", st.PrecomputeTime, st.PeakBytes)
+	// Prime an empty snapshot directory with the boot index so the first
+	// SIGHUP has a CURRENT to resolve and operators can roll back to the
+	// generation the server came up with.
+	if *snapDir != "" && cand.Meta.Source != "snapshot" {
+		gen, path, err := eng.SaveSnapshot(*snapDir)
+		if err != nil {
+			log.Fatalln("csrserver:", err)
+		}
+		cand.Meta.Path, cand.Meta.SnapshotGen = path, gen
+		log.Printf("boot index published as snapshot generation %d (%s)", gen, path)
+	}
+	log.Printf("ready in %v (source=%s peak %d bytes)", cand.Meta.BuildTime, cand.Meta.Source, cand.Meta.PeakBytes)
 
 	var lru *cache.LRU
 	if *cacheSize > 0 {
@@ -95,7 +125,7 @@ func main() {
 	}
 	// NewMat: engine passes reuse a pooled n x |Q| scratch matrix (CSR+
 	// writes into it; other algorithms fall back to allocating).
-	sv := serve.NewMat(g.N(), eng.QueryInto, serve.Config{
+	sv := serve.NewMat(cand.N, cand.Query, serve.Config{
 		MaxBatch:   *maxBatch,
 		Linger:     *linger,
 		Workers:    *workers,
@@ -104,9 +134,13 @@ func main() {
 		Timeout:    *timeout,
 		Cache:      lru,
 	})
+	man := reload.New(sv, src.loader(), cand.Meta)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go reloadOnHUP(hup, man)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(eng, sv, lru),
+		Handler:           newMux(man, sv, lru, *adminToken),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -130,6 +164,93 @@ func main() {
 	log.Println("csrserver: drained")
 }
 
+// source describes where index generations come from. build runs once at
+// boot and once per reload, off the serving path; the precedence mirrors
+// the flags: a snapshot directory's CURRENT pointer wins, then a pinned
+// -index file, then an in-process precompute over the graph.
+type source struct {
+	g         *csrplus.Graph
+	algo      string
+	rank      int
+	damping   float64
+	indexPath string
+	snapDir   string
+}
+
+// build produces the next engine generation plus its provenance. The
+// engine handle is returned alongside the candidate because boot-time
+// callers need it (-saveindex, snapshot priming); reloads only keep the
+// candidate.
+func (s *source) build(ctx context.Context) (*reload.Candidate, *csrplus.Engine, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	var (
+		eng  *csrplus.Engine
+		meta reload.Meta
+		err  error
+	)
+	switch {
+	case s.snapDir != "" && snapshotAvailable(s.snapDir):
+		var path string
+		var gen uint64
+		if path, gen, err = core.CurrentSnapshot(s.snapDir); err == nil {
+			log.Printf("loading snapshot generation %d (%s) over n=%d m=%d ...", gen, path, s.g.N(), s.g.M())
+			eng, err = csrplus.LoadEngine(s.g, path)
+			meta = reload.Meta{Source: "snapshot", Path: path, SnapshotGen: gen}
+		}
+	case s.indexPath != "":
+		log.Printf("loading index %s over n=%d m=%d ...", s.indexPath, s.g.N(), s.g.M())
+		eng, err = csrplus.LoadEngine(s.g, s.indexPath)
+		meta = reload.Meta{Source: "index", Path: s.indexPath}
+	default:
+		log.Printf("precomputing %s index over n=%d m=%d ...", s.algo, s.g.N(), s.g.M())
+		eng, err = csrplus.NewEngine(s.g, csrplus.Options{Algorithm: s.algo, Rank: s.rank, Damping: s.damping})
+		meta = reload.Meta{Source: "rebuild"}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	st := eng.Stats()
+	meta.Algorithm, meta.N, meta.M, meta.Rank = st.Algorithm, st.N, st.M, st.Rank
+	meta.BuildTime = time.Since(start)
+	meta.PeakBytes = st.PeakBytes
+	return &reload.Candidate{N: st.N, Query: eng.QueryInto, Meta: meta}, eng, nil
+}
+
+// snapshotAvailable reports whether dir resolves to a loadable snapshot;
+// an empty or still-unprovisioned directory falls through to the other
+// sources instead of failing the boot.
+func snapshotAvailable(dir string) bool {
+	_, _, err := core.CurrentSnapshot(dir)
+	return err == nil
+}
+
+// loader adapts build for the reload manager.
+func (s *source) loader() reload.LoadFunc {
+	return func(ctx context.Context) (*reload.Candidate, error) {
+		cand, _, err := s.build(ctx)
+		return cand, err
+	}
+}
+
+// reloadOnHUP runs one reload per SIGHUP — the operator's signal that a
+// new snapshot was published (or that the graph should be re-indexed).
+// Failures are logged and the previous generation keeps serving.
+func reloadOnHUP(ch <-chan os.Signal, man *reload.Manager) {
+	for range ch {
+		log.Println("csrserver: SIGHUP, reloading index ...")
+		st, err := man.Reload(context.Background())
+		if err != nil {
+			log.Println("csrserver: reload failed:", err)
+			continue
+		}
+		log.Printf("csrserver: serving generation %d (source=%s path=%s build=%v)",
+			st.Generation, st.Source, st.Path, time.Duration(st.BuildSeconds*float64(time.Second)))
+	}
+}
+
 func loadGraph(dataset string, scale int64, graphPath string, n int) (*csrplus.Graph, error) {
 	switch {
 	case dataset != "" && graphPath != "":
@@ -147,20 +268,23 @@ func loadGraph(dataset string, scale int64, graphPath string, n int) (*csrplus.G
 }
 
 // newMux wires the HTTP routes: query traffic goes through the serve
-// layer sv; eng and lru are only consulted for /stats. Split from main so
-// the handlers are testable with httptest.
-func newMux(eng *csrplus.Engine, sv *serve.Server, lru *cache.LRU) *http.ServeMux {
+// layer sv; the reload manager man answers /stats and the /admin routes.
+// Split from main so the handlers are testable with httptest. adminToken
+// guards POST /admin/reload; empty disables the route entirely.
+func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken string) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := eng.Stats()
+		st := man.Current()
 		body := map[string]interface{}{
 			"algorithm":          st.Algorithm,
 			"n":                  st.N,
 			"m":                  st.M,
-			"precompute_seconds": st.PrecomputeTime.Seconds(),
+			"generation":         st.Generation,
+			"source":             st.Source,
+			"precompute_seconds": st.BuildSeconds,
 			"peak_bytes":         st.PeakBytes,
 			"serving":            sv.Metrics().Snapshot(),
 		}
@@ -171,6 +295,40 @@ func newMux(eng *csrplus.Engine, sv *serve.Server, lru *cache.LRU) *http.ServeMu
 			body["cache_entries"] = lru.Len()
 		}
 		writeJSON(w, http.StatusOK, body)
+	})
+	mux.HandleFunc("/admin/index", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, man.Current())
+	})
+	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("reload requires POST"))
+			return
+		}
+		if adminToken == "" {
+			writeError(w, http.StatusForbidden, fmt.Errorf("admin reload disabled: start csrserver with -admintoken"))
+			return
+		}
+		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || token == "" {
+			w.Header().Set("WWW-Authenticate", "Bearer")
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("missing bearer token"))
+			return
+		}
+		if subtle.ConstantTimeCompare([]byte(token), []byte(adminToken)) != 1 {
+			writeError(w, http.StatusForbidden, fmt.Errorf("bad token"))
+			return
+		}
+		st, err := man.Reload(r.Context())
+		switch {
+		case errors.Is(err, reload.ErrInProgress):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, st)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, sv.Metrics().Snapshot())

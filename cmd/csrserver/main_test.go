@@ -1,20 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"csrplus"
 
 	"csrplus/internal/cache"
+	"csrplus/internal/reload"
 	"csrplus/internal/serve"
 )
 
-func testEngine(t testing.TB) *csrplus.Engine {
+func testGraph(t testing.TB) *csrplus.Graph {
 	t.Helper()
 	g, err := csrplus.NewGraph(6, [][2]int{
 		{3, 0}, {0, 1}, {2, 1}, {4, 1}, {3, 2},
@@ -23,16 +27,43 @@ func testEngine(t testing.TB) *csrplus.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 3})
+	return g
+}
+
+func testEngine(t testing.TB) *csrplus.Engine {
+	t.Helper()
+	eng, err := csrplus.NewEngine(testGraph(t), csrplus.Options{Rank: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return eng
 }
 
+// testManager wraps an engine in a reload.Manager the way main does; its
+// loader rebuilds a candidate over the same engine, so reload tests can
+// advance the generation without paying for a second precompute.
+func testManager(tb testing.TB, eng *csrplus.Engine, sv *serve.Server) *reload.Manager {
+	tb.Helper()
+	st := eng.Stats()
+	meta := reload.Meta{
+		Source: "boot", Algorithm: st.Algorithm, N: st.N, M: st.M, Rank: st.Rank,
+		BuildTime: st.PrecomputeTime, PeakBytes: st.PeakBytes,
+	}
+	load := func(context.Context) (*reload.Candidate, error) {
+		m := meta
+		m.Source = "rebuild"
+		return &reload.Candidate{N: st.N, Query: eng.QueryInto, Meta: m}, nil
+	}
+	return reload.New(sv, load, meta)
+}
+
 // testServer wires a real engine through the serve layer the way main
 // does. Linger < 0 flushes immediately so sequential tests stay fast.
 func testServer(t *testing.T, cfg serve.Config, lru *cache.LRU) *httptest.Server {
+	return testServerAuth(t, cfg, lru, "")
+}
+
+func testServerAuth(t *testing.T, cfg serve.Config, lru *cache.LRU, adminToken string) *httptest.Server {
 	t.Helper()
 	eng := testEngine(t)
 	if cfg.Linger == 0 {
@@ -41,9 +72,31 @@ func testServer(t *testing.T, cfg serve.Config, lru *cache.LRU) *httptest.Server
 	cfg.Cache = lru
 	sv := serve.New(6, eng.Query, cfg)
 	t.Cleanup(sv.Close)
-	srv := httptest.NewServer(newMux(eng, sv, lru))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, lru, adminToken))
 	t.Cleanup(srv.Close)
 	return srv
+}
+
+// doReq issues a request with an optional bearer token.
+func doReq(t *testing.T, srv *httptest.Server, method, path, token string) (int, map[string]interface{}) {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
 }
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, map[string]interface{}) {
@@ -186,7 +239,7 @@ func TestOverloadReturns429(t *testing.T) {
 		return eng.Query(queries)
 	}
 	sv := serve.New(6, blocking, serve.Config{MaxBatch: 1, Linger: -1, MaxPending: 1, Workers: 1})
-	srv := httptest.NewServer(newMux(eng, sv, nil))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, ""))
 	var gateOnce sync.Once
 	release := func() { gateOnce.Do(func() { close(gate) }) }
 	defer srv.Close()
@@ -240,7 +293,7 @@ func TestDeadlineReturns504(t *testing.T) {
 	}
 	sv := serve.New(6, slow, serve.Config{Linger: -1, Timeout: 5 * time.Millisecond})
 	defer sv.Close()
-	srv := httptest.NewServer(newMux(eng, sv, nil))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, ""))
 	defer srv.Close()
 	code, body := get(t, srv, "/topk?node=1&k=2")
 	if code != http.StatusGatewayTimeout {
@@ -297,7 +350,7 @@ func BenchmarkTopKHandler(b *testing.B) {
 	run := func(b *testing.B, lru *cache.LRU) {
 		sv := serve.New(6, eng.Query, serve.Config{Linger: -1, Cache: lru})
 		defer sv.Close()
-		srv := httptest.NewServer(newMux(eng, sv, lru))
+		srv := httptest.NewServer(newMux(testManager(b, eng, sv), sv, lru, ""))
 		defer srv.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -313,4 +366,157 @@ func BenchmarkTopKHandler(b *testing.B) {
 	}
 	b.Run("uncached", func(b *testing.B) { run(b, nil) })
 	b.Run("cached", func(b *testing.B) { run(b, cache.New(64)) })
+}
+
+func TestAdminIndexStatus(t *testing.T) {
+	srv := testServer(t, serve.Config{}, nil)
+	code, body := get(t, srv, "/admin/index")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d body=%v", code, body)
+	}
+	if body["generation"].(float64) != 1 || body["source"] != "boot" {
+		t.Fatalf("boot status = %v", body)
+	}
+	if body["algorithm"] != "CSR+" || body["n"].(float64) != 6 || body["rank"].(float64) != 3 {
+		t.Fatalf("index meta = %v", body)
+	}
+}
+
+func TestAdminReloadDisabledWithoutToken(t *testing.T) {
+	srv := testServer(t, serve.Config{}, nil)
+	// With no -admintoken the endpoint refuses even well-formed requests.
+	code, body := doReq(t, srv, http.MethodPost, "/admin/reload", "anything")
+	if code != http.StatusForbidden {
+		t.Fatalf("code=%d body=%v", code, body)
+	}
+}
+
+func TestAdminReloadAuthAndSwap(t *testing.T) {
+	srv := testServerAuth(t, serve.Config{}, nil, "sesame")
+	if code, _ := doReq(t, srv, http.MethodGet, "/admin/reload", "sesame"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/reload: code=%d", code)
+	}
+	if code, _ := doReq(t, srv, http.MethodPost, "/admin/reload", ""); code != http.StatusUnauthorized {
+		t.Fatalf("missing token: code=%d", code)
+	}
+	if code, _ := doReq(t, srv, http.MethodPost, "/admin/reload", "wrong"); code != http.StatusForbidden {
+		t.Fatalf("wrong token: code=%d", code)
+	}
+	// No auth failure may trigger a swap.
+	if _, body := get(t, srv, "/admin/index"); body["generation"].(float64) != 1 {
+		t.Fatalf("auth failures advanced the generation: %v", body)
+	}
+	code, body := doReq(t, srv, http.MethodPost, "/admin/reload", "sesame")
+	if code != http.StatusOK {
+		t.Fatalf("authorised reload: code=%d body=%v", code, body)
+	}
+	if body["generation"].(float64) != 2 || body["source"] != "rebuild" {
+		t.Fatalf("reload status = %v", body)
+	}
+	// The new generation is visible on every status surface and still
+	// answers queries.
+	if _, body := get(t, srv, "/admin/index"); body["generation"].(float64) != 2 {
+		t.Fatalf("/admin/index stale: %v", body)
+	}
+	_, stats := get(t, srv, "/stats")
+	if stats["generation"].(float64) != 2 || stats["algorithm"] != "CSR+" {
+		t.Fatalf("/stats after reload: %v", stats)
+	}
+	serving := stats["serving"].(map[string]interface{})
+	if serving["reloads"].(float64) != 1 || serving["generation"].(float64) != 2 {
+		t.Fatalf("serving metrics after reload: %v", serving)
+	}
+	if code, _ := get(t, srv, "/topk?node=1&k=3"); code != http.StatusOK {
+		t.Fatal("queries broken after reload")
+	}
+}
+
+func TestReloadOnHUP(t *testing.T) {
+	eng := testEngine(t)
+	sv := serve.NewMat(6, eng.QueryInto, serve.Config{Linger: -1})
+	defer sv.Close()
+	man := testManager(t, eng, sv)
+	ch := make(chan os.Signal) // unbuffered: a send returns only once the loop is ready again
+	done := make(chan struct{})
+	go func() {
+		reloadOnHUP(ch, man)
+		close(done)
+	}()
+	ch <- syscall.SIGHUP
+	ch <- syscall.SIGHUP // accepted only after the first reload finished
+	close(ch)
+	<-done
+	if got := man.Current().Generation; got != 3 {
+		t.Fatalf("generation after two SIGHUPs = %d, want 3", got)
+	}
+}
+
+// TestSourceSnapshotResolution covers main's boot-source precedence: a
+// provisioned snapshot directory wins, an empty one falls back to an
+// in-process rebuild.
+func TestSourceSnapshotResolution(t *testing.T) {
+	g := testGraph(t)
+	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := eng.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	src := &source{g: g, algo: csrplus.AlgoCSRPlus, rank: 3, snapDir: dir}
+	cand, _, err := src.build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Meta.Source != "snapshot" || cand.Meta.SnapshotGen != 1 || cand.Meta.Rank != 3 {
+		t.Fatalf("snapshot boot meta = %+v", cand.Meta)
+	}
+	empty := &source{g: g, algo: csrplus.AlgoCSRPlus, rank: 3, snapDir: t.TempDir()}
+	cand, _, err = empty.build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Meta.Source != "rebuild" {
+		t.Fatalf("empty snapshot dir: source = %q, want rebuild", cand.Meta.Source)
+	}
+}
+
+// TestAdminReloadPicksUpNewSnapshot is the full operator workflow end to
+// end: boot from a snapshot directory, publish a new generation into it,
+// trigger an authenticated reload, and watch traffic move over.
+func TestAdminReloadPicksUpNewSnapshot(t *testing.T) {
+	g := testGraph(t)
+	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := eng.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	src := &source{g: g, algo: csrplus.AlgoCSRPlus, rank: 3, snapDir: dir}
+	cand, _, err := src.build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := serve.NewMat(cand.N, cand.Query, serve.Config{Linger: -1})
+	defer sv.Close()
+	man := reload.New(sv, src.loader(), cand.Meta)
+	srv := httptest.NewServer(newMux(man, sv, nil, "sesame"))
+	defer srv.Close()
+
+	if _, _, err := eng.SaveSnapshot(dir); err != nil { // publish generation 2
+		t.Fatal(err)
+	}
+	code, body := doReq(t, srv, http.MethodPost, "/admin/reload", "sesame")
+	if code != http.StatusOK {
+		t.Fatalf("reload: code=%d body=%v", code, body)
+	}
+	if body["source"] != "snapshot" || body["snapshot_gen"].(float64) != 2 || body["generation"].(float64) != 2 {
+		t.Fatalf("reload status = %v", body)
+	}
+	if code, _ := get(t, srv, "/topk?node=1&k=3"); code != http.StatusOK {
+		t.Fatal("queries broken after snapshot reload")
+	}
 }

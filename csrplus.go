@@ -205,6 +205,7 @@ type Stats struct {
 	Algorithm      string
 	N              int
 	M              int64
+	Rank           int // SVD rank of the index; 0 for algorithms without one
 	PrecomputeTime time.Duration
 	PeakBytes      int64 // analytic peak across precompute + queries so far
 }
@@ -405,6 +406,18 @@ func (e *Engine) SaveIndex(path string) error {
 	return core.SaveIndex(cp.Index(), path)
 }
 
+// SaveSnapshot persists a CSR+ engine's index as the next generation of
+// the versioned snapshot directory dir (index-<gen>.csrx) and atomically
+// repoints the CURRENT file at it — the publish half of the zero-downtime
+// reload cycle. It returns the generation number and the snapshot path.
+func (e *Engine) SaveSnapshot(dir string) (gen uint64, path string, err error) {
+	cp, ok := e.runner.(*baseline.CSRPlus)
+	if !ok {
+		return 0, "", fmt.Errorf("%w (engine runs %s)", ErrNotCSRPlus, e.algo)
+	}
+	return core.WriteSnapshot(dir, cp.Index())
+}
+
 // LoadEngine builds a query-ready CSR+ engine from an index previously
 // written by SaveIndex. The graph is only consulted for Stats (it must be
 // the one the index was built from; a node-count mismatch is rejected).
@@ -430,11 +443,15 @@ func LoadEngine(g *Graph, path string) (*Engine, error) {
 
 // Stats returns the engine's cost counters so far.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Algorithm:      e.algo,
 		N:              e.gr.N(),
 		M:              e.gr.M(),
 		PrecomputeTime: e.precomp,
 		PeakBytes:      e.tracker.Peak(),
 	}
+	if cp, ok := e.runner.(*baseline.CSRPlus); ok {
+		st.Rank = cp.Index().Rank()
+	}
+	return st
 }

@@ -310,6 +310,59 @@ func TestSaveLoadEngineIndex(t *testing.T) {
 	}
 }
 
+func TestSaveSnapshotLifecycle(t *testing.T) {
+	g := paperGraph(t)
+	eng, err := NewEngine(g, Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Rank != 3 {
+		t.Fatalf("Stats().Rank = %d, want 3", eng.Stats().Rank)
+	}
+	dir := filepath.Join(t.TempDir(), "snaps")
+	gen1, path1, err := eng.SaveSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen1 != 1 {
+		t.Fatalf("first snapshot generation %d", gen1)
+	}
+	gen2, _, err := eng.SaveSnapshot(dir)
+	if err != nil || gen2 != 2 {
+		t.Fatalf("second snapshot: gen=%d err=%v", gen2, err)
+	}
+	// Old generations stay loadable (rollback), and a loaded engine
+	// answers identically to the one that published it.
+	back, err := LoadEngine(g, path1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.QueryOne(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.QueryOne(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("snapshot engine answers differently")
+		}
+	}
+	if back.Stats().Rank != 3 {
+		t.Fatalf("loaded Stats().Rank = %d, want 3", back.Stats().Rank)
+	}
+	// Baselines have no persistable index to snapshot.
+	it, err := NewEngine(g, Options{Algorithm: AlgoIT, Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := it.SaveSnapshot(dir); !errors.Is(err, ErrNotCSRPlus) {
+		t.Fatalf("err = %v, want ErrNotCSRPlus", err)
+	}
+}
+
 func TestSaveIndexRejectsBaselines(t *testing.T) {
 	eng, err := NewEngine(paperGraph(t), Options{Algorithm: AlgoIT, Rank: 3})
 	if err != nil {

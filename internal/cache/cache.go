@@ -111,6 +111,17 @@ func (c *LRU) Put(key string, value interface{}) {
 	c.items[key] = c.order.PushFront(&entry{key, value})
 }
 
+// Clear drops every entry, keeping capacity, recorder and cumulative
+// counters. Used on engine generation swaps: superseded entries are
+// already unreachable (their keys embed the old generation), so clearing
+// only releases their memory early — it is not what guarantees freshness.
+func (c *LRU) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+}
+
 // Len returns the current entry count.
 func (c *LRU) Len() int {
 	c.mu.Lock()

@@ -234,3 +234,30 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("Len = %d exceeds capacity", c.Len())
 	}
 }
+
+func TestClear(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.Get("k3")
+	hits, misses := c.Stats()
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", c.Len())
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Fatal("entry survived Clear")
+	}
+	// Cumulative counters persist across Clear (the Get above added a miss).
+	if h, m := c.Stats(); h != hits || m != misses+1 {
+		t.Fatalf("counters reset by Clear: %d/%d vs %d/%d", h, m, hits, misses)
+	}
+	// The cache keeps working at full capacity afterwards.
+	for i := 0; i < 12; i++ {
+		c.Put(fmt.Sprintf("n%d", i), i)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("Len after refill = %d, want 8", c.Len())
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"csrplus/internal/dense"
 )
@@ -78,13 +80,26 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return n.n, nil
 }
 
+// corruptEOF folds premature end-of-stream into ErrCorrupt: a truncated
+// index file is a corrupt index file, and callers branch on errors.Is
+// (ErrCorrupt), not on which section the bytes ran out in. Genuine I/O
+// errors (disk faults) pass through unchanged.
+func corruptEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%v: %w", err, ErrCorrupt)
+	}
+	return err
+}
+
 // ReadIndex deserialises an index written by WriteTo, validating magic,
-// version, shape bounds and checksum.
+// version, shape bounds and checksum. Every validation failure — bad
+// magic, unknown version, implausible header, truncation in any section,
+// checksum mismatch — is reported as a wrapped ErrCorrupt.
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: reading index magic: %w", err)
+		return nil, fmt.Errorf("core: reading index magic: %w", corruptEOF(err))
 	}
 	if magic != indexMagic {
 		return nil, fmt.Errorf("core: bad magic %q: %w", magic, ErrCorrupt)
@@ -94,7 +109,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	le := binary.LittleEndian
 	var version uint32
 	if err := binary.Read(body, le, &version); err != nil {
-		return nil, fmt.Errorf("core: reading index version: %w", err)
+		return nil, fmt.Errorf("core: reading index version: %w", corruptEOF(err))
 	}
 	if version != indexVersion {
 		return nil, fmt.Errorf("core: index version %d, want %d: %w", version, indexVersion, ErrCorrupt)
@@ -103,11 +118,14 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	var cBits uint64
 	for _, dst := range []*uint64{&nNodes, &rank, &cBits, &iters} {
 		if err := binary.Read(body, le, dst); err != nil {
-			return nil, fmt.Errorf("core: reading index header: %w", err)
+			return nil, fmt.Errorf("core: reading index header: %w", corruptEOF(err))
 		}
 	}
 	c := math.Float64frombits(cBits)
-	if nNodes == 0 || rank == 0 || rank > nNodes || nNodes*rank > maxIndexElems {
+	// The product test divides rather than multiplies: a forged header with
+	// both words near 2^64 would overflow nNodes*rank back into plausible
+	// range and sail past a multiplication-based bound.
+	if nNodes == 0 || rank == 0 || rank > nNodes || nNodes > maxIndexElems/rank {
 		return nil, fmt.Errorf("core: implausible index shape n=%d r=%d: %w", nNodes, rank, ErrCorrupt)
 	}
 	if c <= 0 || c >= 1 || math.IsNaN(c) {
@@ -115,20 +133,20 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	}
 	sigma, err := readFloats(body, int(rank))
 	if err != nil {
-		return nil, fmt.Errorf("core: reading sigma: %w", err)
+		return nil, fmt.Errorf("core: reading sigma: %w", corruptEOF(err))
 	}
 	zdata, err := readFloats(body, int(nNodes*rank))
 	if err != nil {
-		return nil, fmt.Errorf("core: reading Z: %w", err)
+		return nil, fmt.Errorf("core: reading Z: %w", corruptEOF(err))
 	}
 	udata, err := readFloats(body, int(nNodes*rank))
 	if err != nil {
-		return nil, fmt.Errorf("core: reading U: %w", err)
+		return nil, fmt.Errorf("core: reading U: %w", corruptEOF(err))
 	}
 	sum := crc.Sum32()
 	var want uint32
 	if err := binary.Read(br, le, &want); err != nil {
-		return nil, fmt.Errorf("core: reading checksum: %w", err)
+		return nil, fmt.Errorf("core: reading checksum: %w", corruptEOF(err))
 	}
 	if sum != want {
 		return nil, fmt.Errorf("core: checksum %08x, want %08x: %w", sum, want, ErrCorrupt)
@@ -144,10 +162,15 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	}, nil
 }
 
-// SaveIndex writes the index to path atomically (write to a temp file in
-// the same directory, then rename).
+// SaveIndex writes the index to path atomically and crash-consistently:
+// the bytes go to a temp file in the same directory, are fsynced so they
+// are durable before they can become visible, and only then renamed over
+// path; the parent directory is fsynced afterwards so the rename itself
+// survives a crash. A kill at any point leaves either the old file, the
+// new file, or a stray temp file — never a truncated index at path.
 func SaveIndex(ix *Index, path string) error {
-	tmp, err := os.CreateTemp(pathDir(path), ".csrx-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".csrx-*")
 	if err != nil {
 		return fmt.Errorf("core: SaveIndex: %w", err)
 	}
@@ -156,13 +179,38 @@ func SaveIndex(ix *Index, path string) error {
 		tmp.Close()
 		return err
 	}
+	// Data must hit stable storage before the rename can publish it:
+	// rename-then-crash without this fsync is exactly how a reboot yields
+	// a visible, complete-looking file full of zero pages.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: SaveIndex: fsync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("core: SaveIndex: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("core: SaveIndex: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("core: SaveIndex: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable. On
+// platforms whose filesystems reject directory fsync (notably Windows)
+// it is a no-op: the rename is still atomic, just not crash-durable.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadIndex reads an index from path.
@@ -177,15 +225,6 @@ func LoadIndex(path string) (*Index, error) {
 		return nil, fmt.Errorf("core: LoadIndex %s: %w", path, err)
 	}
 	return ix, nil
-}
-
-func pathDir(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }
 
 func writeFloats(w io.Writer, data []float64) error {

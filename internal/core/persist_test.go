@@ -2,9 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
+	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -148,3 +151,172 @@ func TestWriteToPropagatesWriteErrors(t *testing.T) {
 type failingWriter struct{}
 
 func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// TestReadIndexCorruptionMatrix truncates a valid index at (and just
+// before) every section boundary of the format — magic, version, each
+// header word, sigma, Z, U, checksum — and demands a wrapped ErrCorrupt
+// every time, with no panic. This pins the contract the hot-reload
+// validator relies on: any torn file a crashed writer could leave behind
+// is rejected with one recognisable sentinel.
+func TestReadIndexCorruptionMatrix(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	n, r := ix.N(), ix.Rank()
+	boundaries := map[string]int{
+		"empty":         0,
+		"after magic":   4,
+		"after version": 8,
+		"after n":       16,
+		"after rank":    24,
+		"after c":       32,
+		"after iters":   40,
+		"after sigma":   40 + 8*r,
+		"after Z":       40 + 8*r + 8*n*r,
+		"after U":       40 + 8*r + 16*n*r,
+	}
+	if want := 40 + 8*r + 16*n*r + 4; len(full) != want {
+		t.Fatalf("serialised size %d, boundary math expects %d", len(full), want)
+	}
+	for name, cut := range boundaries {
+		for _, at := range []int{cut, cut - 1} {
+			if at < 0 || at >= len(full) {
+				continue
+			}
+			_, err := ReadIndex(bytes.NewReader(full[:at]))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Errorf("truncated %s (%d bytes): err = %v, want wrapped ErrCorrupt", name, at, err)
+			}
+		}
+	}
+}
+
+// TestReadIndexFlippedCRCByte corrupts the stored checksum itself (the
+// payload is intact) — the mismatch must still read as corruption.
+func TestReadIndexFlippedCRCByte(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0x01
+	if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadIndexFutureVersion pins forward-compatibility behaviour: a
+// higher version is rejected as ErrCorrupt, not misparsed as v1.
+func TestReadIndexFutureVersion(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint32(data[4:], indexVersion+1)
+	if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadIndexAbsurdShapeNoOverAllocation forges headers whose n*rank
+// would demand terabytes and proves the reader rejects them up front —
+// ErrCorrupt, no panic, and crucially no allocation proportional to the
+// forged sizes (bounded by a modest Alloc delta measurement).
+func TestReadIndexAbsurdShapeNoOverAllocation(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	forge := func(n, rank uint64) []byte {
+		data := append([]byte(nil), pristine...)
+		binary.LittleEndian.PutUint64(data[8:], n)
+		binary.LittleEndian.PutUint64(data[16:], rank)
+		return data
+	}
+	cases := map[string][]byte{
+		"n*rank over cap":    forge(1<<20, 1<<20),
+		"rank beyond n":      forge(4, 5),
+		"zero n":             forge(0, 3),
+		"zero rank":          forge(5, 0),
+		"max n and rank":     forge(^uint64(0), ^uint64(0)), // also overflows the product
+		"huge rank, small n": forge(5, 1<<60),
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for name, data := range cases {
+		if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Fatalf("rejecting forged headers allocated %d bytes", grew)
+	}
+}
+
+// TestReadIndexForgedCountShortStream claims a large-but-capped payload
+// over a stream that ends immediately: readFloats must fail after one
+// chunk instead of committing the full forged allocation.
+func TestReadIndexForgedCountShortStream(t *testing.T) {
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()[:40]...) // header only
+	// n=2^25, rank=512: n*rank = 2^34 = exactly the cap, so the header
+	// passes plausibility, but the stream holds no payload at all.
+	binary.LittleEndian.PutUint64(data[8:], 1<<25)
+	binary.LittleEndian.PutUint64(data[16:], 512)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadIndex(bytes.NewReader(data))
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Fatalf("short stream with forged count allocated %d bytes", grew)
+	}
+}
+
+// TestSaveIndexCrashConsistency simulates the torn-write window the
+// fsync+rename dance closes: a partially written temp file must never be
+// visible at the destination path, and an interrupted save must leave a
+// previously published index untouched and loadable.
+func TestSaveIndexCrashConsistency(t *testing.T) {
+	ix := buildIndex(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.csrx")
+	if err := SaveIndex(ix, path); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer killed mid-write: a stray temp file with a
+	// truncated payload sits next to the published index.
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tornPath := filepath.Join(dir, ".csrx-torn")
+	if err := os.WriteFile(tornPath, buf.Bytes()[:buf.Len()/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The published path still loads — the torn temp never replaced it.
+	if _, err := LoadIndex(path); err != nil {
+		t.Fatalf("published index damaged by torn write: %v", err)
+	}
+	// And the torn file itself is rejected as corrupt, not half-loaded.
+	if _, err := LoadIndex(tornPath); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn temp file: err = %v, want ErrCorrupt", err)
+	}
+}

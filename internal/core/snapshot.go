@@ -1,0 +1,213 @@
+package core
+
+// snapshot.go implements the versioned snapshot directory the hot-reload
+// lifecycle serves from — the same shape LevelDB-family stores use for
+// their manifests:
+//
+//	index-<gen>.csrx   immutable index files, generation strictly increasing
+//	CURRENT            one line naming the live snapshot ("index-<gen>.csrx")
+//
+// Writers append: WriteSnapshot persists a new generation next to the old
+// ones (crash-consistently, via SaveIndex) and then atomically repoints
+// CURRENT. Readers resolve CURRENT to a path and load it. Because
+// published files are never mutated and both the file write and the
+// pointer flip are atomic, a reader racing a writer sees either the old
+// generation or the new one — never a torn index — and a crash mid-publish
+// leaves CURRENT pointing at the previous, intact generation.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CurrentFile is the pointer file naming the live snapshot in a
+// snapshot directory.
+const CurrentFile = "CURRENT"
+
+const (
+	snapshotPrefix = "index-"
+	snapshotSuffix = ".csrx"
+)
+
+// ErrNoSnapshot is returned (wrapped) when a snapshot directory contains
+// no resolvable snapshot.
+var ErrNoSnapshot = errors.New("core: no snapshot in directory")
+
+// SnapshotName renders the canonical file name of generation gen.
+// Generations are zero-padded so lexical and numeric order agree in
+// directory listings.
+func SnapshotName(gen uint64) string {
+	return fmt.Sprintf("%s%08d%s", snapshotPrefix, gen, snapshotSuffix)
+}
+
+// ParseSnapshotName extracts the generation from an index-<gen>.csrx
+// name. It reports false for anything else (including CURRENT, temp
+// files, and foreign files an operator dropped in the directory).
+func ParseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+		return 0, false
+	}
+	digits := name[len(snapshotPrefix) : len(name)-len(snapshotSuffix)]
+	if digits == "" {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Snapshot is one versioned index file in a snapshot directory.
+type Snapshot struct {
+	Gen  uint64
+	Path string
+}
+
+// ListSnapshots returns every snapshot in dir in ascending generation
+// order, ignoring files that do not follow the naming convention.
+func ListSnapshots(dir string) ([]Snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: ListSnapshots: %w", err)
+	}
+	var snaps []Snapshot
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := ParseSnapshotName(e.Name()); ok {
+			snaps = append(snaps, Snapshot{Gen: gen, Path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Gen < snaps[j].Gen })
+	return snaps, nil
+}
+
+// WriteSnapshot persists ix as the next generation in dir (max existing
+// generation + 1) and repoints CURRENT at it. Both steps are atomic and
+// fsynced, so a crash anywhere leaves the directory serving its previous
+// generation. The directory is created if missing.
+func WriteSnapshot(dir string, ix *Index) (gen uint64, path string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, "", fmt.Errorf("core: WriteSnapshot: %w", err)
+	}
+	snaps, err := ListSnapshots(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	gen = 1
+	if len(snaps) > 0 {
+		gen = snaps[len(snaps)-1].Gen + 1
+	}
+	path = filepath.Join(dir, SnapshotName(gen))
+	if err := SaveIndex(ix, path); err != nil {
+		return 0, "", err
+	}
+	if err := SetCurrent(dir, gen); err != nil {
+		return 0, "", err
+	}
+	return gen, path, nil
+}
+
+// SetCurrent atomically repoints CURRENT at generation gen, which must
+// already exist in dir — pointing at a missing file would publish a
+// snapshot no reader can load.
+func SetCurrent(dir string, gen uint64) error {
+	name := SnapshotName(gen)
+	if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("core: SetCurrent(%d): %w", gen, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".current-*")
+	if err != nil {
+		return fmt.Errorf("core: SetCurrent: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(name + "\n"); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: SetCurrent: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: SetCurrent: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: SetCurrent: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, CurrentFile)); err != nil {
+		return fmt.Errorf("core: SetCurrent: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("core: SetCurrent: %w", err)
+	}
+	return nil
+}
+
+// CurrentSnapshot resolves the snapshot a reload should serve: the one
+// CURRENT names, or — when no CURRENT exists (an operator rsync'd bare
+// index files into a fresh directory) — the highest generation present.
+// It returns ErrNoSnapshot (wrapped) when neither resolves.
+func CurrentSnapshot(dir string) (path string, gen uint64, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, CurrentFile))
+	switch {
+	case err == nil:
+		name := strings.TrimSpace(string(raw))
+		g, ok := ParseSnapshotName(name)
+		if !ok || name != filepath.Base(name) {
+			return "", 0, fmt.Errorf("core: CURRENT names %q, not a snapshot: %w", name, ErrNoSnapshot)
+		}
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err != nil {
+			return "", 0, fmt.Errorf("core: CURRENT names missing snapshot %s: %w", name, err)
+		}
+		return p, g, nil
+	case errors.Is(err, os.ErrNotExist):
+		snaps, lerr := ListSnapshots(dir)
+		if lerr != nil {
+			return "", 0, lerr
+		}
+		if len(snaps) == 0 {
+			return "", 0, fmt.Errorf("core: %s: %w", dir, ErrNoSnapshot)
+		}
+		latest := snaps[len(snaps)-1]
+		return latest.Path, latest.Gen, nil
+	default:
+		return "", 0, fmt.Errorf("core: CurrentSnapshot: %w", err)
+	}
+}
+
+// PruneSnapshots deletes all but the newest keep generations from dir,
+// never deleting the one CURRENT points at. It returns how many files
+// were removed. keep < 1 is treated as 1: a snapshot directory must not
+// be pruned to nothing.
+func PruneSnapshots(dir string, keep int) (removed int, err error) {
+	if keep < 1 {
+		keep = 1
+	}
+	snaps, err := ListSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	var curGen uint64
+	if _, gen, err := CurrentSnapshot(dir); err == nil {
+		curGen = gen
+	}
+	if len(snaps) <= keep {
+		return 0, nil
+	}
+	for _, s := range snaps[:len(snaps)-keep] {
+		if s.Gen == curGen {
+			continue
+		}
+		if err := os.Remove(s.Path); err != nil {
+			return removed, fmt.Errorf("core: PruneSnapshots: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
+}

@@ -1,0 +1,203 @@
+// Package reload implements the zero-downtime index lifecycle around a
+// serve.Server: a Manager loads or rebuilds a candidate engine in the
+// background, validates it (shape sanity plus a smoke query against probe
+// nodes), and atomically swaps it in as a new generation while in-flight
+// batches finish on the old one. The paper's phase split makes this the
+// natural operational shape — phase I (the rank-r decomposition) is the
+// expensive part, so it must run off the serving path; phase II is cheap
+// and keeps answering from the old index until the instant of the swap.
+//
+// A reload that fails at any stage — load error, implausible candidate,
+// failing smoke query — leaves the serving generation untouched: the old
+// engine cannot be torn down before its replacement has proven it can
+// answer queries.
+package reload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csrplus/internal/serve"
+)
+
+// Errors returned by Reload. ErrInProgress means another reload holds the
+// lifecycle lock (the caller should retry later, not queue); ErrValidation
+// wraps every candidate-rejection reason.
+var (
+	ErrInProgress = errors.New("reload: another reload is in progress")
+	ErrValidation = errors.New("reload: candidate failed validation")
+)
+
+// Candidate is a fully built engine generation proposed for swap-in. The
+// Query function must be ready to serve the moment Reload validates it —
+// all expensive work (index build, snapshot load) happens before the
+// Candidate is returned by a LoadFunc.
+type Candidate struct {
+	// N is the node count Query serves; requests are validated against it
+	// once the candidate becomes the live generation.
+	N int
+	// Query answers one multi-source pass (csrplus.(*Engine).QueryInto).
+	Query serve.MatQueryFunc
+	// Meta describes the candidate for /admin/index and logs.
+	Meta Meta
+}
+
+// Meta is the provenance of one engine generation.
+type Meta struct {
+	// Source is where the engine came from: "snapshot", "index", or
+	// "rebuild" (and "boot" semantics come from the generation number).
+	Source string `json:"source"`
+	// Path is the snapshot or index file loaded, "" for in-process builds.
+	Path string `json:"path,omitempty"`
+	// SnapshotGen is the generation parsed from a versioned snapshot
+	// name (core.ParseSnapshotName), 0 otherwise. Distinct from the
+	// serving generation: snapshots number index files on disk, the
+	// server numbers swaps.
+	SnapshotGen uint64 `json:"snapshot_gen,omitempty"`
+	// Algorithm, N, M, Rank describe the engine (csrplus.Engine.Stats).
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	M         int64  `json:"m"`
+	Rank      int    `json:"rank,omitempty"`
+	// BuildTime is the candidate's load/precompute wall time.
+	BuildTime time.Duration `json:"-"`
+	// PeakBytes is the build's analytic memory peak, 0 when unknown.
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
+}
+
+// Status describes the generation currently taking traffic.
+type Status struct {
+	Generation uint64 `json:"generation"`
+	Meta
+	BuildSeconds float64   `json:"build_seconds"`
+	SwappedAt    time.Time `json:"swapped_at"`
+}
+
+// LoadFunc produces the next candidate generation. It runs on the
+// reloading goroutine (SIGHUP handler, admin endpoint), never on the
+// serving path, and may take as long as an index build takes; it should
+// honour ctx for cancellation between expensive steps.
+type LoadFunc func(ctx context.Context) (*Candidate, error)
+
+// Manager owns the reload lifecycle for one serve.Server. Reloads are
+// serialised (concurrent triggers fail fast with ErrInProgress instead of
+// queueing — a SIGHUP storm must not stack index builds); Current is
+// lock-free for status endpoints.
+type Manager struct {
+	server *serve.Server
+	load   LoadFunc
+
+	mu  sync.Mutex // held for the whole load→validate→swap sequence
+	cur atomic.Pointer[Status]
+}
+
+// New wires a Manager over a server already serving its boot generation,
+// recording boot as the meta of the current status.
+func New(server *serve.Server, load LoadFunc, boot Meta) *Manager {
+	m := &Manager{server: server, load: load}
+	m.cur.Store(&Status{
+		Generation:   server.Generation(),
+		Meta:         boot,
+		BuildSeconds: boot.BuildTime.Seconds(),
+		SwappedAt:    time.Now(),
+	})
+	return m
+}
+
+// Current returns the status of the generation serving new requests.
+func (m *Manager) Current() Status { return *m.cur.Load() }
+
+// Reload runs one lifecycle pass: load a candidate, validate it, swap it
+// in. On any failure the previous generation keeps serving and the
+// returned Status still describes it. The whole sequence runs on the
+// calling goroutine — callers wanting an async reload wrap it in one.
+func (m *Manager) Reload(ctx context.Context) (Status, error) {
+	if !m.mu.TryLock() {
+		return m.Current(), ErrInProgress
+	}
+	defer m.mu.Unlock()
+
+	metrics := m.server.Metrics()
+	start := time.Now()
+	cand, err := m.load(ctx)
+	if err != nil {
+		metrics.ReloadFailed()
+		return m.Current(), fmt.Errorf("reload: loading candidate: %w", err)
+	}
+	if err := Validate(cand); err != nil {
+		metrics.ReloadFailed()
+		return m.Current(), err
+	}
+	gen := m.server.SwapMat(cand.N, cand.Query)
+	if gen == 0 {
+		metrics.ReloadFailed()
+		return m.Current(), fmt.Errorf("reload: %w", serve.ErrClosed)
+	}
+	st := Status{
+		Generation:   gen,
+		Meta:         cand.Meta,
+		BuildSeconds: cand.Meta.BuildTime.Seconds(),
+		SwappedAt:    time.Now(),
+	}
+	m.cur.Store(&st)
+	metrics.ReloadSucceeded(time.Since(start).Seconds())
+	return st, nil
+}
+
+// probeNodes picks a few spread-out node ids to smoke-query: the ends and
+// middle catch off-by-one shape bugs that a single probe would miss.
+func probeNodes(n int) []int {
+	probes := []int{0}
+	if n > 2 {
+		probes = append(probes, n/2)
+	}
+	if n > 1 {
+		probes = append(probes, n-1)
+	}
+	return probes
+}
+
+// Validate smoke-tests a candidate before it may take traffic: the shape
+// must be plausible and a real multi-source query against probe nodes
+// must come back with the right dimensions, finite scores, and a positive
+// self-similarity (CoSimRank scores a node against itself as 1 plus a
+// damped correction, so a zero or negative diagonal means the factors are
+// garbage — e.g. an index loaded against the wrong graph orientation).
+// This is the gate that turns "the file parsed" into "the engine
+// answers"; CRC and header checks live below it in core.ReadIndex.
+func Validate(c *Candidate) error {
+	if c == nil || c.Query == nil {
+		return fmt.Errorf("%w: no query engine", ErrValidation)
+	}
+	if c.N <= 0 {
+		return fmt.Errorf("%w: implausible node count %d", ErrValidation, c.N)
+	}
+	probes := probeNodes(c.N)
+	mat, err := c.Query(probes, nil)
+	if err != nil {
+		return fmt.Errorf("%w: smoke query: %v", ErrValidation, err)
+	}
+	if mat == nil {
+		return fmt.Errorf("%w: smoke query returned no matrix", ErrValidation)
+	}
+	if mat.Rows != c.N || mat.Cols != len(probes) {
+		return fmt.Errorf("%w: smoke query shape %dx%d, want %dx%d",
+			ErrValidation, mat.Rows, mat.Cols, c.N, len(probes))
+	}
+	for j, q := range probes {
+		for i := 0; i < mat.Rows; i++ {
+			if v := mat.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: non-finite score %v for pair (%d, %d)", ErrValidation, v, i, q)
+			}
+		}
+		if self := mat.At(q, j); self <= 0 {
+			return fmt.Errorf("%w: self-similarity of node %d is %v, want > 0", ErrValidation, q, self)
+		}
+	}
+	return nil
+}

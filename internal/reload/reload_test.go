@@ -1,0 +1,260 @@
+package reload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/serve"
+)
+
+// fakeEngine answers multi-source passes with score gen + i/(2n) for node
+// i, mirroring the generation-encoded engines of the serve swap tests.
+func fakeEngine(n int, gen uint64) serve.MatQueryFunc {
+	return func(queries []int, scratch *dense.Mat) (*dense.Mat, error) {
+		m := scratch.Reuse(n, len(queries))
+		for j := range queries {
+			for i := 0; i < n; i++ {
+				m.Set(i, j, float64(gen)+float64(i)/float64(2*n))
+			}
+		}
+		return m, nil
+	}
+}
+
+func candidate(n int, gen uint64) *Candidate {
+	return &Candidate{
+		N:     n,
+		Query: fakeEngine(n, gen),
+		Meta:  Meta{Source: "rebuild", Algorithm: "fake", N: n, M: int64(n), Rank: 3},
+	}
+}
+
+func newManager(t *testing.T, n int) (*Manager, *serve.Server, *uint64) {
+	t.Helper()
+	gen := uint64(1)
+	sv := serve.NewMat(n, fakeEngine(n, 1), serve.Config{Linger: -1})
+	t.Cleanup(sv.Close)
+	load := func(ctx context.Context) (*Candidate, error) {
+		return candidate(n, gen), nil
+	}
+	return New(sv, load, Meta{Source: "boot", Algorithm: "fake", N: n}), sv, &gen
+}
+
+func TestManagerBootStatus(t *testing.T) {
+	m, sv, _ := newManager(t, 8)
+	st := m.Current()
+	if st.Generation != 1 || st.Source != "boot" {
+		t.Fatalf("boot status = %+v", st)
+	}
+	if sv.Generation() != 1 {
+		t.Fatalf("server generation = %d", sv.Generation())
+	}
+}
+
+func TestManagerReloadSwapsGeneration(t *testing.T) {
+	m, sv, gen := newManager(t, 8)
+	*gen = 7 // the next candidate encodes generation 7 in its scores
+	st, err := m.Reload(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 || st.Source != "rebuild" {
+		t.Fatalf("status after reload = %+v", st)
+	}
+	if m.Current().Generation != 2 {
+		t.Fatalf("Current() = %+v", m.Current())
+	}
+	matches, _, err := sv.TopK(context.Background(), []int{3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(matches[0].Score) != 7 {
+		t.Fatalf("post-reload scores from wrong engine: %v", matches)
+	}
+	if sv.Metrics().Reloads() != 1 || sv.Metrics().ReloadFailures() != 0 {
+		t.Fatalf("reload counters: %d/%d", sv.Metrics().Reloads(), sv.Metrics().ReloadFailures())
+	}
+	if sv.Metrics().ReloadDuration.Snapshot().Count != 1 {
+		t.Fatal("reload duration not observed")
+	}
+}
+
+func TestManagerLoadFailureKeepsServing(t *testing.T) {
+	sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
+	defer sv.Close()
+	boom := errors.New("disk on fire")
+	m := New(sv, func(ctx context.Context) (*Candidate, error) { return nil, boom }, Meta{Source: "boot"})
+	st, err := m.Reload(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the loader's error", err)
+	}
+	if st.Generation != 1 {
+		t.Fatalf("failed reload advanced the generation: %+v", st)
+	}
+	if _, _, err := sv.TopK(context.Background(), []int{1}, 2); err != nil {
+		t.Fatalf("old generation stopped serving after failed reload: %v", err)
+	}
+	if sv.Metrics().ReloadFailures() != 1 {
+		t.Fatalf("reload_failures = %d", sv.Metrics().ReloadFailures())
+	}
+	if sv.Metrics().Generation() != 1 {
+		t.Fatalf("generation gauge moved on failure: %d", sv.Metrics().Generation())
+	}
+}
+
+func TestManagerValidationFailureKeepsServing(t *testing.T) {
+	bad := map[string]*Candidate{
+		"nil candidate":  nil,
+		"no engine":      {N: 8},
+		"non-positive n": {N: 0, Query: fakeEngine(8, 2)},
+		"query error": {N: 8, Query: func([]int, *dense.Mat) (*dense.Mat, error) {
+			return nil, errors.New("broken index")
+		}},
+		"wrong shape": {N: 8, Query: fakeEngine(4, 2)},
+		"nan scores": {N: 8, Query: func(q []int, s *dense.Mat) (*dense.Mat, error) {
+			m := s.Reuse(8, len(q))
+			m.Set(3, 0, math.NaN())
+			return m, nil
+		}},
+		"zero self-similarity": {N: 8, Query: func(q []int, s *dense.Mat) (*dense.Mat, error) {
+			m := s.Reuse(8, len(q))
+			return m, nil // all-zero matrix: diagonal violates the floor
+		}},
+	}
+	for name, cand := range bad {
+		cand := cand
+		t.Run(name, func(t *testing.T) {
+			sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
+			defer sv.Close()
+			m := New(sv, func(context.Context) (*Candidate, error) { return cand, nil }, Meta{})
+			st, err := m.Reload(context.Background())
+			if !errors.Is(err, ErrValidation) {
+				t.Fatalf("err = %v, want ErrValidation", err)
+			}
+			if st.Generation != 1 || sv.Generation() != 1 {
+				t.Fatalf("rejected candidate advanced the generation: %+v", st)
+			}
+			if _, _, err := sv.TopK(context.Background(), []int{1}, 2); err != nil {
+				t.Fatalf("old generation broken after rejection: %v", err)
+			}
+		})
+	}
+}
+
+func TestManagerConcurrentReloadsFailFast(t *testing.T) {
+	sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
+	defer sv.Close()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	m := New(sv, func(ctx context.Context) (*Candidate, error) {
+		close(entered)
+		<-release
+		return candidate(8, 2), nil
+	}, Meta{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := m.Reload(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-entered // first reload is mid-load and holds the lifecycle lock
+	if _, err := m.Reload(context.Background()); !errors.Is(err, ErrInProgress) {
+		t.Fatalf("concurrent reload: err = %v, want ErrInProgress", err)
+	}
+	close(release)
+	wg.Wait()
+	if m.Current().Generation != 2 {
+		t.Fatalf("winning reload did not land: %+v", m.Current())
+	}
+}
+
+func TestManagerReloadAfterServerClose(t *testing.T) {
+	sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
+	m := New(sv, func(context.Context) (*Candidate, error) { return candidate(8, 2), nil }, Meta{})
+	sv.Close()
+	if _, err := m.Reload(context.Background()); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestManagerReloadUnderTraffic drives the full manager path (not just
+// Server.Swap) while requests are in flight: five reloads, no failures.
+func TestManagerReloadUnderTraffic(t *testing.T) {
+	const n = 32
+	var mu sync.Mutex
+	next := uint64(1)
+	sv := serve.NewMat(n, fakeEngine(n, 1), serve.Config{
+		Linger: 100 * time.Microsecond, MaxPending: 1 << 14,
+	})
+	defer sv.Close()
+	m := New(sv, func(ctx context.Context) (*Candidate, error) {
+		mu.Lock()
+		next++
+		g := next
+		mu.Unlock()
+		return candidate(n, g), nil
+	}, Meta{Source: "boot"})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := sv.TopK(context.Background(), []int{(w + i) % n}, 3); err != nil {
+					t.Errorf("request failed mid-reload: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 5; r++ {
+		time.Sleep(2 * time.Millisecond)
+		if _, err := m.Reload(context.Background()); err != nil {
+			t.Fatalf("reload %d: %v", r, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := m.Current().Generation; got != 6 {
+		t.Fatalf("generation = %d, want 6", got)
+	}
+}
+
+func TestValidateProbeNodes(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{{1, 1}, {2, 2}, {3, 3}, {100, 3}} {
+		if got := len(probeNodes(tc.n)); got != tc.want {
+			t.Fatalf("probeNodes(%d) = %d probes, want %d", tc.n, got, tc.want)
+		}
+	}
+	// A real-looking candidate with n=1 must validate (degenerate graphs
+	// exist in tests and tiny deployments).
+	if err := Validate(candidate(1, 1)); err != nil {
+		t.Fatalf("n=1 candidate rejected: %v", err)
+	}
+}
+
+func ExampleManager() {
+	sv := serve.NewMat(4, fakeEngine(4, 1), serve.Config{Linger: -1})
+	defer sv.Close()
+	m := New(sv, func(context.Context) (*Candidate, error) { return candidate(4, 2), nil },
+		Meta{Source: "boot"})
+	st, _ := m.Reload(context.Background())
+	fmt.Println(st.Generation, st.Source)
+	// Output: 2 rebuild
+}

@@ -26,11 +26,18 @@ type Metrics struct {
 	cacheEvictions atomic.Int64
 	cacheRefreshes atomic.Int64
 
+	generation     atomic.Uint64 // engine generation taking new requests
+	reloads        atomic.Int64  // successful generation swaps after boot
+	reloadFailures atomic.Int64  // reload attempts that never swapped
+
 	// Latency covers admission -> response for answered requests, in
 	// seconds. BatchOccupancy counts unique query nodes per engine call —
 	// the direct measure of how much multi-source coalescing is happening.
+	// ReloadDuration covers candidate load + validation + swap for
+	// successful reloads, in seconds.
 	Latency        *Histogram
 	BatchOccupancy *Histogram
+	ReloadDuration *Histogram
 }
 
 // NewMetrics returns a registry with the default bucket layouts.
@@ -40,6 +47,7 @@ func NewMetrics() *Metrics {
 			100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3,
 			10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1),
 		BatchOccupancy: NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		ReloadDuration: NewHistogram(0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300),
 	}
 }
 
@@ -57,6 +65,23 @@ func (m *Metrics) Shed() int64       { return m.shed.Load() }
 func (m *Metrics) Expired() int64    { return m.expired.Load() }
 func (m *Metrics) Batches() int64    { return m.batches.Load() }
 func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
+
+// SetGeneration records the engine generation now taking new requests;
+// Server.Swap is the only writer. Generation reads the gauge.
+func (m *Metrics) SetGeneration(gen uint64) { m.generation.Store(gen) }
+func (m *Metrics) Generation() uint64       { return m.generation.Load() }
+
+// ReloadSucceeded counts one completed hot reload and its duration;
+// ReloadFailed counts an attempt that was abandoned before the swap (the
+// old generation kept serving). Reloads and ReloadFailures read back the
+// counters.
+func (m *Metrics) ReloadSucceeded(seconds float64) {
+	m.reloads.Add(1)
+	m.ReloadDuration.Observe(seconds)
+}
+func (m *Metrics) ReloadFailed()         { m.reloadFailures.Add(1) }
+func (m *Metrics) Reloads() int64        { return m.reloads.Load() }
+func (m *Metrics) ReloadFailures() int64 { return m.reloadFailures.Load() }
 
 // Snapshot renders every counter and histogram as a JSON-encodable map,
 // the payload of the /metrics endpoint.
@@ -86,6 +111,10 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"cache_evictions":      m.cacheEvictions.Load(),
 		"cache_refreshes":      m.cacheRefreshes.Load(),
 		"cache_hit_ratio":      ratio,
+		"generation":           m.generation.Load(),
+		"reloads":              m.reloads.Load(),
+		"reload_failures":      m.reloadFailures.Load(),
+		"reload_seconds":       m.ReloadDuration.Snapshot(),
 		"latency_seconds":      m.Latency.Snapshot(),
 		"batch_occupancy":      m.BatchOccupancy.Snapshot(),
 	}

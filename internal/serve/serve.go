@@ -8,15 +8,23 @@
 // admission control (bounded queue shedding with ErrOverloaded, deadlines
 // via context), an optional instrumented LRU result cache, a metrics
 // registry, and graceful drain on Close.
+//
+// The engine behind the server is not fixed: each engine lives in a
+// numbered generation, and Swap installs a new generation RCU-style —
+// requests admitted after the swap see the new engine while in-flight
+// batches finish on the old one — so an index rebuild or snapshot reload
+// never pauses traffic (see internal/reload for the lifecycle around it).
 package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"csrplus/internal/cache"
@@ -59,7 +67,9 @@ type Config struct {
 	// context has none. Default 0 = no server-imposed deadline.
 	Timeout time.Duration
 	// Cache, when non-nil, memoises TopK results and is instrumented
-	// through the server's metrics registry.
+	// through the server's metrics registry. Keys are namespaced by
+	// engine generation, so a Swap implicitly invalidates every earlier
+	// entry (and Clear is called on swap to release the memory early).
 	Cache *cache.LRU
 }
 
@@ -97,29 +107,48 @@ type Pair struct {
 	Score  float64 `json:"score"`
 }
 
+// backend is one engine generation: the batcher feeding it, the node
+// count requests are validated against, and the generation number that
+// namespaces its cache entries. Immutable once installed — a reload
+// builds a fresh backend and swaps the pointer.
+type backend struct {
+	gen     uint64
+	n       int
+	batcher *Batcher
+}
+
 // Server answers top-k and similarity requests over one engine, batching
 // concurrent requests into multi-source passes. Safe for concurrent use.
+//
+// The engine is held behind an atomic generation pointer: Swap installs a
+// replacement without pausing the worker pool, so callers never observe
+// downtime across an index reload. Every request resolves the generation
+// once at admission and completes entirely on it — node-id validation,
+// engine routing and cache keys all derive from that one snapshot, which
+// is what makes a post-swap response provably never come from a pre-swap
+// cache entry.
 type Server struct {
-	n       int
 	cfg     Config
-	batcher *Batcher
 	metrics *Metrics
+
+	be     atomic.Pointer[backend]
+	swapMu sync.Mutex // serialises Swap and Close
+	gen    uint64     // last installed generation; guarded by swapMu
+	closed bool       // guarded by swapMu
 }
 
 // New builds a Server over a graph of n nodes whose columns are produced
-// by queryFn (normally csrplus.(*Engine).Query).
+// by queryFn (normally csrplus.(*Engine).Query). The engine becomes
+// generation 1; Swap installs successors.
 func New(n int, queryFn QueryFunc, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	if cfg.Cache != nil {
 		cfg.Cache.SetRecorder(m)
 	}
-	return &Server{
-		n:       n,
-		cfg:     cfg,
-		batcher: NewBatcher(queryFn, cfg.MaxBatch, cfg.Linger, cfg.MaxPending, cfg.Workers, cfg.StrictLinger, m),
-		metrics: m,
-	}
+	s := &Server{cfg: cfg, metrics: m}
+	s.Swap(n, queryFn)
+	return s
 }
 
 // MatQueryFunc answers one multi-source engine pass into a reusable
@@ -134,8 +163,16 @@ type MatQueryFunc func(queries []int, scratch *dense.Mat) (*dense.Mat, error)
 // allocation-light (the per-column copies handed to callers remain — they
 // outlive the batch). Everything else matches New.
 func NewMat(n int, queryFn MatQueryFunc, cfg Config) *Server {
+	return New(n, wrapMatQuery(queryFn), cfg)
+}
+
+// wrapMatQuery adapts a scratch-aware engine to the batcher's QueryFunc,
+// giving it a private sync.Pool of scratch matrices. Each generation gets
+// its own pool, so scratch dimensioned for an old graph never leaks into
+// a new engine's passes.
+func wrapMatQuery(queryFn MatQueryFunc) QueryFunc {
 	var pool sync.Pool
-	fn := func(queries []int) ([][]float64, error) {
+	return func(queries []int) ([][]float64, error) {
 		scratch, _ := pool.Get().(*dense.Mat)
 		s, err := queryFn(queries, scratch)
 		if err != nil {
@@ -151,8 +188,50 @@ func NewMat(n int, queryFn MatQueryFunc, cfg Config) *Server {
 		pool.Put(s) // s is scratch when it had capacity, else its grown replacement
 		return cols, nil
 	}
-	return New(n, fn, cfg)
 }
+
+// Swap atomically installs a new engine generation and returns its
+// number. Requests admitted after Swap returns are validated against n,
+// answered by queryFn, and cached under the new generation's key space;
+// batches already in flight finish on the old engine (RCU-style: readers
+// drain, they are never interrupted). Swap then closes the old
+// generation's batcher — flushing its pending requests — and clears the
+// result cache so superseded entries release their memory immediately
+// (they are already unreachable: cache keys embed the generation).
+// Returns 0 without swapping when the server is already closed.
+func (s *Server) Swap(n int, queryFn QueryFunc) uint64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if s.closed {
+		return 0
+	}
+	s.gen++
+	nb := &backend{
+		gen:     s.gen,
+		n:       n,
+		batcher: NewBatcher(queryFn, s.cfg.MaxBatch, s.cfg.Linger, s.cfg.MaxPending, s.cfg.Workers, s.cfg.StrictLinger, s.metrics),
+	}
+	old := s.be.Swap(nb)
+	s.metrics.SetGeneration(s.gen)
+	if old != nil {
+		old.batcher.Close() // graceful: pending batches flush on the old engine
+	}
+	if s.cfg.Cache != nil && old != nil {
+		s.cfg.Cache.Clear()
+	}
+	return s.gen
+}
+
+// SwapMat is Swap for a scratch-aware engine (see NewMat).
+func (s *Server) SwapMat(n int, queryFn MatQueryFunc) uint64 {
+	return s.Swap(n, wrapMatQuery(queryFn))
+}
+
+// Generation returns the engine generation currently taking new requests.
+func (s *Server) Generation() uint64 { return s.metrics.Generation() }
+
+// N reports the node count of the current generation's graph.
+func (s *Server) N() int { return s.be.Load().n }
 
 // Metrics exposes the registry shared by every component of this server.
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -162,15 +241,25 @@ func (s *Server) MaxK() int { return s.cfg.MaxK }
 
 // Close drains the server: admission stops (ErrClosed), pending batches
 // flush, in-flight engine calls finish. Idempotent.
-func (s *Server) Close() { s.batcher.Close() }
+func (s *Server) Close() {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if be := s.be.Load(); be != nil {
+		be.batcher.Close()
+	}
+}
 
-func (s *Server) validateNodes(nodes []int) error {
+func validateNodes(nodes []int, n int) error {
 	if len(nodes) == 0 {
 		return fmt.Errorf("%w: empty query set", ErrBadRequest)
 	}
 	for _, q := range nodes {
-		if q < 0 || q >= s.n {
-			return fmt.Errorf("%w: node %d out of range [0, %d)", ErrBadRequest, q, s.n)
+		if q < 0 || q >= n {
+			return fmt.Errorf("%w: node %d out of range [0, %d)", ErrBadRequest, q, n)
 		}
 	}
 	return nil
@@ -192,13 +281,43 @@ func (s *Server) deadline(ctx context.Context) (context.Context, context.CancelF
 	return ctx, func() {}
 }
 
+// columns resolves the current generation and runs one batched engine
+// pass on it. When the resolved generation is superseded between the
+// load and the enqueue — its batcher rejects with ErrClosed but the
+// server as a whole is still open — the request transparently retries on
+// the successor, so a reload in progress never surfaces as a caller
+// error. Each retry re-resolves the generation, and the returned backend
+// is the one that actually answered (its gen names the cache key space).
+func (s *Server) columns(ctx context.Context, nodes []int) (*backend, map[int][]float64, error) {
+	for first := true; ; first = false {
+		be := s.be.Load()
+		if !first {
+			// The successor may serve a different graph; a node id valid
+			// under the superseded generation must fail validation, not
+			// reach the new engine.
+			if err := validateNodes(nodes, be.n); err != nil {
+				return be, nil, s.reject(err)
+			}
+		}
+		cols, err := be.batcher.Columns(ctx, nodes)
+		if err != nil {
+			if errors.Is(err, ErrClosed) && s.be.Load() != be {
+				continue // lost the race with a Swap; the successor is live
+			}
+			return be, nil, err
+		}
+		return be, cols, nil
+	}
+}
+
 // TopK returns the k nodes most similar to the query set (aggregate
 // similarity for multi-node sets, each query node excluded), batched with
 // concurrent requests. cached reports a cache hit. k is clamped to n and
 // rejected beyond Config.MaxK.
 func (s *Server) TopK(ctx context.Context, queries []int, k int) (matches []Match, cached bool, err error) {
 	start := time.Now()
-	if err := s.validateNodes(queries); err != nil {
+	be := s.be.Load()
+	if err := validateNodes(queries, be.n); err != nil {
 		return nil, false, s.reject(err)
 	}
 	if k < 1 {
@@ -207,14 +326,12 @@ func (s *Server) TopK(ctx context.Context, queries []int, k int) (matches []Matc
 	if k > s.cfg.MaxK {
 		return nil, false, s.reject(fmt.Errorf("%w: k=%d exceeds server maximum %d", ErrBadRequest, k, s.cfg.MaxK))
 	}
-	if k > s.n {
-		k = s.n // a graph has at most n candidates; clamp instead of erroring
+	if k > be.n {
+		k = be.n // a graph has at most n candidates; clamp instead of erroring
 	}
 
-	var key string
 	if s.cfg.Cache != nil {
-		key = topKKey(queries, k)
-		if v, ok := s.cfg.Cache.Get(key); ok {
+		if v, ok := s.cfg.Cache.Get(topKKey(be.gen, queries, k)); ok {
 			s.metrics.Latency.Observe(time.Since(start).Seconds())
 			return v.([]Match), true, nil
 		}
@@ -222,13 +339,16 @@ func (s *Server) TopK(ctx context.Context, queries []int, k int) (matches []Matc
 
 	ctx, cancel := s.deadline(ctx)
 	defer cancel()
-	cols, err := s.batcher.Columns(ctx, queries)
+	served, cols, err := s.columns(ctx, queries)
 	if err != nil {
 		return nil, false, err
 	}
 	matches = selectTopK(cols, queries, k)
 	if s.cfg.Cache != nil {
-		s.cfg.Cache.Put(key, matches)
+		// Key by the generation that served the batch (it may be newer
+		// than the one the cache was probed under): the entry must only
+		// ever answer lookups against the engine that produced it.
+		s.cfg.Cache.Put(topKKey(served.gen, queries, k), matches)
 	}
 	s.metrics.Latency.Observe(time.Since(start).Seconds())
 	return matches, false, nil
@@ -238,20 +358,21 @@ func (s *Server) TopK(ctx context.Context, queries []int, k int) (matches []Matc
 // with concurrent requests.
 func (s *Server) Similarity(ctx context.Context, queries, targets []int) ([]Pair, error) {
 	start := time.Now()
-	if err := s.validateNodes(queries); err != nil {
+	be := s.be.Load()
+	if err := validateNodes(queries, be.n); err != nil {
 		return nil, s.reject(err)
 	}
 	if len(targets) == 0 {
 		return nil, s.reject(fmt.Errorf("%w: empty target set", ErrBadRequest))
 	}
 	for _, t := range targets {
-		if t < 0 || t >= s.n {
-			return nil, s.reject(fmt.Errorf("%w: target %d out of range [0, %d)", ErrBadRequest, t, s.n))
+		if t < 0 || t >= be.n {
+			return nil, s.reject(fmt.Errorf("%w: target %d out of range [0, %d)", ErrBadRequest, t, be.n))
 		}
 	}
 	ctx, cancel := s.deadline(ctx)
 	defer cancel()
-	cols, err := s.batcher.Columns(ctx, queries)
+	_, cols, err := s.columns(ctx, queries)
 	if err != nil {
 		return nil, err
 	}
@@ -304,10 +425,14 @@ func selectTopK(cols map[int][]float64, queries []int, k int) []Match {
 	return out
 }
 
-func topKKey(queries []int, k int) string {
+// topKKey namespaces cache entries by engine generation: after a Swap,
+// every pre-swap entry becomes unreachable by construction, so a stale
+// column can never be served against a new index even while old and new
+// generations briefly coexist.
+func topKKey(gen uint64, queries []int, k int) string {
 	ids := make([]string, len(queries))
 	for i, q := range queries {
 		ids[i] = strconv.Itoa(q)
 	}
-	return fmt.Sprintf("topk|%s|%d", strings.Join(ids, ","), k)
+	return fmt.Sprintf("g%d|topk|%s|%d", gen, strings.Join(ids, ","), k)
 }
