@@ -25,7 +25,8 @@
 //
 // Endpoints:
 //
-//	GET /health                       liveness
+//	GET /health, /healthz             liveness (process up)
+//	GET /readyz                       readiness (generation serving, breaker closed)
 //	GET /stats                        graph + engine + serving counters
 //	GET /metrics                      serving metrics (batching, queue, cache)
 //	GET /topk?node=17&k=10            top-k most similar to one node
@@ -33,6 +34,15 @@
 //	GET /similarity?node=17&targets=1,2,3   raw scores for chosen pairs
 //	GET /admin/index                  live generation: source, path, build cost
 //	POST /admin/reload                trigger a reload (Bearer -admintoken)
+//
+// With -degraderank R the server degrades gracefully under pressure:
+// requests admitted with little deadline budget (-degradebudget) or
+// batches flushed while the admission queue is past -degradequeue of its
+// bound are answered at truncated rank R — cheaper by roughly R/r — and
+// tagged with a "degraded" object carrying the effective rank and the
+// index's entrywise error bound. Reload failures retry with exponential
+// backoff (-reloadretries, -reloadbackoff); persistent failure opens a
+// circuit breaker (-breakerfails, -breakercooldown) surfaced on /readyz.
 package main
 
 import (
@@ -79,6 +89,13 @@ func main() {
 	maxPending := flag.Int("pending", 1024, "admission queue bound; beyond it requests get 429")
 	maxK := flag.Int("maxk", serve.DefaultMaxK, "server-side cap on requested k")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 disables)")
+	degradeRank := flag.Int("degraderank", 0, "truncated SVD rank served under pressure (0 disables graceful degradation)")
+	degradeBudget := flag.Duration("degradebudget", 0, "degrade requests admitted with less deadline budget than this (0 disables)")
+	degradeQueue := flag.Float64("degradequeue", serve.DefaultDegradeQueueFraction, "admission-queue fill fraction past which whole batches degrade")
+	reloadRetries := flag.Int("reloadretries", 3, "reload attempts per trigger (1 = no retry)")
+	reloadBackoff := flag.Duration("reloadbackoff", 50*time.Millisecond, "base backoff between reload retries (exponential, jittered)")
+	breakerFails := flag.Int("breakerfails", 5, "consecutive failed reloads that open the circuit breaker (0 disables)")
+	breakerCooldown := flag.Duration("breakercooldown", 10*time.Second, "how long an open breaker rejects reload triggers")
 	flag.Parse()
 
 	g, err := loadGraph(*dataset, *scale, *graphPath, *n)
@@ -123,9 +140,15 @@ func main() {
 	if *cacheSize > 0 {
 		lru = cache.New(*cacheSize)
 	}
-	// NewMat: engine passes reuse a pooled n x |Q| scratch matrix (CSR+
-	// writes into it; other algorithms fall back to allocating).
-	sv := serve.NewMat(cand.N, cand.Query, serve.Config{
+	// NewRanked: engine passes reuse a pooled n x |Q| scratch matrix and
+	// see the batch context (an abandoned batch stops mid-pass); engines
+	// with rank structure additionally serve truncated under pressure.
+	sv := serve.NewRanked(serve.Ranked{
+		N:     cand.N,
+		Rank:  cand.Rank,
+		Bound: cand.Bound,
+		Query: cand.RankQuery,
+	}, serve.Config{
 		MaxBatch:   *maxBatch,
 		Linger:     *linger,
 		Workers:    *workers,
@@ -133,8 +156,18 @@ func main() {
 		MaxK:       *maxK,
 		Timeout:    *timeout,
 		Cache:      lru,
+		Degrade: serve.DegradeConfig{
+			Rank:          *degradeRank,
+			QueueFraction: *degradeQueue,
+			MinBudget:     *degradeBudget,
+		},
 	})
-	man := reload.New(sv, src.loader(), cand.Meta)
+	man := reload.NewWithPolicy(sv, src.loader(), cand.Meta, reload.Policy{
+		MaxAttempts:      *reloadRetries,
+		BaseBackoff:      *reloadBackoff,
+		BreakerThreshold: *breakerFails,
+		BreakerCooldown:  *breakerCooldown,
+	})
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go reloadOnHUP(hup, man)
@@ -193,12 +226,14 @@ func (s *source) build(ctx context.Context) (*reload.Candidate, *csrplus.Engine,
 	)
 	switch {
 	case s.snapDir != "" && snapshotAvailable(s.snapDir):
-		var path string
-		var gen uint64
-		if path, gen, err = core.CurrentSnapshot(s.snapDir); err == nil {
-			log.Printf("loading snapshot generation %d (%s) over n=%d m=%d ...", gen, path, s.g.N(), s.g.M())
-			eng, err = csrplus.LoadEngine(s.g, path)
-			meta = reload.Meta{Source: "snapshot", Path: path, SnapshotGen: gen}
+		log.Printf("loading snapshot directory %s over n=%d m=%d ...", s.snapDir, s.g.N(), s.g.M())
+		var snap csrplus.RecoveredSnapshot
+		eng, snap, err = csrplus.RecoverEngine(s.g, s.snapDir)
+		if err == nil {
+			if snap.Recovered {
+				log.Printf("WARNING: CURRENT unservable, recovered to snapshot generation %d (%s) — investigate and re-publish", snap.Gen, snap.Path)
+			}
+			meta = reload.Meta{Source: "snapshot", Path: snap.Path, SnapshotGen: snap.Gen, Recovered: snap.Recovered}
 		}
 	case s.indexPath != "":
 		log.Printf("loading index %s over n=%d m=%d ...", s.indexPath, s.g.N(), s.g.M())
@@ -216,15 +251,27 @@ func (s *source) build(ctx context.Context) (*reload.Candidate, *csrplus.Engine,
 	meta.Algorithm, meta.N, meta.M, meta.Rank = st.Algorithm, st.N, st.M, st.Rank
 	meta.BuildTime = time.Since(start)
 	meta.PeakBytes = st.PeakBytes
-	return &reload.Candidate{N: st.N, Query: eng.QueryInto, Meta: meta}, eng, nil
+	return &reload.Candidate{
+		N:         st.N,
+		Query:     eng.QueryInto,
+		RankQuery: eng.QueryRankInto, // rank-aware generation: context + degradation
+		Rank:      st.Rank,
+		Bound:     eng.TruncationBound,
+		Meta:      meta,
+	}, eng, nil
 }
 
-// snapshotAvailable reports whether dir resolves to a loadable snapshot;
-// an empty or still-unprovisioned directory falls through to the other
-// sources instead of failing the boot.
+// snapshotAvailable reports whether dir holds anything a boot could
+// serve — a resolvable CURRENT or, failing that, any index-<gen>.csrx
+// file crash recovery could fall back to. An empty or still-
+// unprovisioned directory falls through to the other sources instead of
+// failing the boot.
 func snapshotAvailable(dir string) bool {
-	_, _, err := core.CurrentSnapshot(dir)
-	return err == nil
+	if _, _, err := core.CurrentSnapshot(dir); err == nil {
+		return true
+	}
+	snaps, err := core.ListSnapshots(dir)
+	return err == nil && len(snaps) > 0
 }
 
 // loader adapts build for the reload manager.
@@ -273,8 +320,39 @@ func loadGraph(dataset string, scale int64, graphPath string, n int) (*csrplus.G
 // guards POST /admin/reload; empty disables the route entirely.
 func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken string) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+	// /health and /healthz are liveness: the process is up and able to
+	// answer HTTP. They stay 200 through failed reloads and degraded mode
+	// — restarting the process would not fix either.
+	liveness := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+	mux.HandleFunc("/health", liveness)
+	mux.HandleFunc("/healthz", liveness)
+	// /readyz is readiness: a generation is serving and the reload
+	// breaker is closed. An open breaker means the index source is
+	// persistently broken — traffic still gets answers from the old
+	// generation, but orchestrators should stop preferring this replica.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := man.Current()
+		b := man.Breaker()
+		body := map[string]interface{}{
+			"generation":     st.Generation,
+			"source":         st.Source,
+			"snapshot_gen":   st.SnapshotGen,
+			"recovered":      st.Recovered,
+			"reload_breaker": b,
+		}
+		switch {
+		case st.Generation == 0:
+			body["status"] = "no generation"
+			writeJSON(w, http.StatusServiceUnavailable, body)
+		case b.Open:
+			body["status"] = "reload breaker open"
+			writeJSON(w, http.StatusServiceUnavailable, body)
+		default:
+			body["status"] = "ready"
+			writeJSON(w, http.StatusOK, body)
+		}
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := man.Current()
@@ -287,6 +365,7 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 			"precompute_seconds": st.BuildSeconds,
 			"peak_bytes":         st.PeakBytes,
 			"serving":            sv.Metrics().Snapshot(),
+			"reload_breaker":     man.Breaker(),
 		}
 		if lru != nil {
 			hits, misses := lru.Stats()
@@ -321,9 +400,15 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 		}
 		st, err := man.Reload(r.Context())
 		switch {
-		case errors.Is(err, reload.ErrInProgress):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, reload.ErrCoalesced):
+			// The trigger was folded into the in-flight reload's pending
+			// re-run: accepted, will happen, nothing for the caller to do.
+			writeJSON(w, http.StatusAccepted, map[string]interface{}{
+				"status": "coalesced", "current": st,
+			})
+		case errors.Is(err, reload.ErrBreakerOpen):
+			w.Header().Set("Retry-After", "10")
+			writeError(w, http.StatusServiceUnavailable, err)
 		case err != nil:
 			writeError(w, http.StatusInternalServerError, err)
 		default:
@@ -346,14 +431,17 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 				return
 			}
 		}
-		matches, cached, err := sv.TopK(r.Context(), queries, k)
+		res, err := sv.Search(r.Context(), queries, k)
 		if err != nil {
 			writeServeError(w, err)
 			return
 		}
-		body := map[string]interface{}{"queries": queries, "matches": matches}
-		if cached {
+		body := map[string]interface{}{"queries": queries, "matches": res.Matches}
+		if res.Cached {
 			body["cached"] = true
+		}
+		if res.Info.Degraded {
+			body["degraded"] = res.Info
 		}
 		writeJSON(w, http.StatusOK, body)
 	})
@@ -368,12 +456,16 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		pairs, err := sv.Similarity(r.Context(), queries, targets)
+		res, err := sv.Score(r.Context(), queries, targets)
 		if err != nil {
 			writeServeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"pairs": pairs})
+		body := map[string]interface{}{"pairs": res.Pairs}
+		if res.Info.Degraded {
+			body["degraded"] = res.Info
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	return mux
 }

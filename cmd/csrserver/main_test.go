@@ -3,15 +3,19 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"csrplus"
+
+	"csrplus/internal/core"
 
 	"csrplus/internal/cache"
 	"csrplus/internal/reload"
@@ -518,5 +522,129 @@ func TestAdminReloadPicksUpNewSnapshot(t *testing.T) {
 	}
 	if code, _ := get(t, srv, "/topk?node=1&k=3"); code != http.StatusOK {
 		t.Fatal("queries broken after snapshot reload")
+	}
+}
+
+func TestHealthzAndReadyz(t *testing.T) {
+	srv := testServer(t, serve.Config{}, nil)
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: code=%d body=%v", code, body)
+	}
+	code, body = get(t, srv, "/readyz")
+	if code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz: code=%d body=%v", code, body)
+	}
+	if body["generation"].(float64) != 1 {
+		t.Fatalf("readyz generation = %v", body["generation"])
+	}
+	if br, ok := body["reload_breaker"].(map[string]interface{}); !ok || br["open"] != false {
+		t.Fatalf("readyz breaker = %v", body["reload_breaker"])
+	}
+}
+
+// An open reload breaker must flip readiness to 503 while query traffic
+// keeps being answered by the old generation.
+func TestReadyzReportsOpenBreaker(t *testing.T) {
+	eng := testEngine(t)
+	sv := serve.NewMat(6, eng.QueryInto, serve.Config{Linger: -1})
+	t.Cleanup(sv.Close)
+	man := reload.NewWithPolicy(sv,
+		func(context.Context) (*reload.Candidate, error) { return nil, errTestDown },
+		reload.Meta{Source: "boot"},
+		reload.Policy{MaxAttempts: 1, BreakerThreshold: 1, BreakerCooldown: time.Minute})
+	srv := httptest.NewServer(newMux(man, sv, nil, ""))
+	t.Cleanup(srv.Close)
+
+	if _, err := man.Reload(context.Background()); err == nil {
+		t.Fatal("reload against a down source succeeded")
+	}
+	code, body := get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with open breaker: code=%d body=%v", code, body)
+	}
+	if code, _ := get(t, srv, "/topk?node=1&k=3"); code != http.StatusOK {
+		t.Fatal("old generation stopped answering while breaker open")
+	}
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Fatal("liveness flipped with the breaker; only readiness should")
+	}
+}
+
+var errTestDown = fmt.Errorf("snapshot source down")
+
+// A degraded answer must carry its provenance through the HTTP layer.
+func TestTopKDegradedTagging(t *testing.T) {
+	eng := testEngine(t)
+	st := eng.Stats()
+	sv := serve.NewRanked(serve.Ranked{
+		N: st.N, Rank: st.Rank, Bound: eng.TruncationBound, Query: eng.QueryRankInto,
+	}, serve.Config{
+		Linger: -1,
+		// The server-imposed Timeout is the deadline the budget check
+		// sees; with MinBudget above it, every request votes to degrade.
+		Timeout: 5 * time.Second,
+		Degrade: serve.DegradeConfig{Rank: 1, MinBudget: time.Hour},
+	})
+	t.Cleanup(sv.Close)
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, ""))
+	t.Cleanup(srv.Close)
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/topk?node=1&k=3", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("code=%d body=%v", resp.StatusCode, body)
+	}
+	deg, ok := body["degraded"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("deadline-pressured response not tagged: %v", body)
+	}
+	if deg["effective_rank"].(float64) != 1 || deg["full_rank"].(float64) != float64(st.Rank) {
+		t.Fatalf("degraded info = %v", deg)
+	}
+	if deg["error_bound"].(float64) <= 0 {
+		t.Fatalf("degraded response missing error bound: %v", deg)
+	}
+}
+
+// Boot must survive a snapshot directory whose CURRENT points at a
+// missing generation: crash recovery serves the newest valid one and
+// flags it.
+func TestBootRecoversFromTornSnapshotDir(t *testing.T) {
+	g := testGraph(t)
+	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		if _, _, err := eng.SaveSnapshot(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn publish: CURRENT names a generation that never hit the disk.
+	if err := os.WriteFile(filepath.Join(dir, core.CurrentFile), []byte(core.SnapshotName(9)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := &source{g: g, algo: csrplus.AlgoCSRPlus, rank: 3, snapDir: dir}
+	cand, _, err := src.build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Meta.Source != "snapshot" || !cand.Meta.Recovered || cand.Meta.SnapshotGen != 2 {
+		t.Fatalf("recovery boot meta = %+v, want recovered snapshot gen 2", cand.Meta)
+	}
+	if cand.RankQuery == nil || cand.Rank != 3 {
+		t.Fatalf("candidate missing rank structure: rank=%d", cand.Rank)
 	}
 }

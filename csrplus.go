@@ -22,6 +22,7 @@
 package csrplus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -287,6 +288,35 @@ func (e *Engine) QueryInto(queries []int, scratch *dense.Mat) (*dense.Mat, error
 	return e.runner.Query(queries)
 }
 
+// QueryRankInto is QueryInto answered from a rank-truncated slice of a
+// CSR+ index, honouring ctx: the serving layer's degraded mode. rank <= 0
+// or >= the index rank answers at full rank; the entrywise error of a
+// truncated answer is bounded by TruncationBound(rank). Engines without a
+// rank-structured index (every non-CSR+ baseline) ignore rank and answer
+// exactly, checking ctx only at entry. It satisfies
+// internal/serve.RankQueryFunc; like QueryInto it is a serving hook, not
+// part of the stable public surface.
+func (e *Engine) QueryRankInto(ctx context.Context, queries []int, rank int, scratch *dense.Mat) (*dense.Mat, error) {
+	if cp, ok := e.runner.(*baseline.CSRPlus); ok {
+		return cp.QueryRankInto(ctx, queries, rank, scratch)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.QueryInto(queries, scratch)
+}
+
+// TruncationBound bounds the entrywise error of a rank-truncated query
+// against the full-rank answer (see core.Index.TruncationBound). It
+// returns 0 for full rank and for engines without a rank-structured index,
+// whose answers never degrade.
+func (e *Engine) TruncationBound(rank int) float64 {
+	if cp, ok := e.runner.(*baseline.CSRPlus); ok && cp.Index() != nil {
+		return cp.Index().TruncationBound(rank)
+	}
+	return 0
+}
+
 // QueryBatch answers a large query set with a pool of worker goroutines,
 // splitting the set into per-worker chunks and merging the columns in
 // order. Results are identical to Query; the speed-up applies to the
@@ -429,6 +459,10 @@ func LoadEngine(g *Graph, path string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return engineFromIndex(g, ix)
+}
+
+func engineFromIndex(g *Graph, ix *core.Index) (*Engine, error) {
 	if ix.N() != g.N() {
 		return nil, fmt.Errorf("csrplus: index built for %d nodes, graph has %d", ix.N(), g.N())
 	}
@@ -439,6 +473,38 @@ func LoadEngine(g *Graph, path string) (*Engine, error) {
 		Tracker: tracker,
 	})
 	return &Engine{gr: g, runner: runner, tracker: tracker, algo: AlgoCSRPlus}, nil
+}
+
+// RecoveredSnapshot describes the snapshot RecoverEngine actually served.
+type RecoveredSnapshot struct {
+	// Gen and Path identify the loaded index-<gen>.csrx file.
+	Gen  uint64
+	Path string
+	// Recovered reports the served snapshot is NOT the one the
+	// directory's CURRENT names — crash recovery fell back to an older
+	// generation, and the operator should investigate and re-publish.
+	Recovered bool
+}
+
+// RecoverEngine is LoadEngine over a versioned snapshot directory with
+// crash recovery: it serves the snapshot CURRENT names when that loads
+// cleanly, and otherwise falls back to the newest generation that still
+// deserialises (torn CURRENT writes, truncated or missing index files —
+// the states a crash mid-publish leaves behind). See core.RecoverSnapshot
+// for the exact fallback order.
+func RecoverEngine(g *Graph, dir string) (*Engine, RecoveredSnapshot, error) {
+	if g == nil || g.g == nil {
+		return nil, RecoveredSnapshot{}, errors.New("csrplus: nil graph")
+	}
+	ix, snap, recovered, err := core.RecoverSnapshot(dir)
+	if err != nil {
+		return nil, RecoveredSnapshot{}, err
+	}
+	eng, err := engineFromIndex(g, ix)
+	if err != nil {
+		return nil, RecoveredSnapshot{}, err
+	}
+	return eng, RecoveredSnapshot{Gen: snap.Gen, Path: snap.Path, Recovered: recovered}, nil
 }
 
 // Stats returns the engine's cost counters so far.

@@ -6,9 +6,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"csrplus/internal/dense"
@@ -91,6 +93,11 @@ type Index struct {
 	u       *dense.Mat // left singular vectors, n x r
 	sigma   []float64  // singular values (diagnostics)
 	precomp time.Duration
+
+	// boundOnce lazily computes boundTail, the truncation error bounds of
+	// TruncationBound: boundTail[r'] = c · Σ_{j ≥ r'} max|Z_{*,j}|·max|U_{*,j}|.
+	boundOnce sync.Once
+	boundTail []float64
 }
 
 // N returns the node count the index was built for.
@@ -281,6 +288,96 @@ func (ix *Index) QueryInto(queries []int, scratch *dense.Mat, track *memtrack.Tr
 		s.Set(q, j, s.At(q, j)+1)
 	}
 	return s, nil
+}
+
+// queryBandRows is how many output rows QueryRankInto computes between
+// cancellation checks: large enough that the check cost vanishes in the
+// band's O(rows · r · |Q|) flops, small enough that an abandoned batch
+// releases its pool worker within a fraction of a millisecond of work.
+const queryBandRows = 1 << 15
+
+// QueryRankInto is phase II answered from a rank-r' truncation of the
+// index, honouring ctx. Because the factor columns are ordered by
+// descending singular value, the truncated answer
+//
+//	S' = [I_n]_{*,Q} + c · Z_{*,<r'} · ([U]_{Q,<r'})ᵀ
+//
+// is a slice of the existing factors — no rebuild — and its entrywise
+// error against the full-rank answer is bounded by TruncationBound(rank).
+// rank ≤ 0 or ≥ the index rank answers at full rank (making this a strict
+// generalisation of QueryInto); the GEMM runs in row bands with a
+// cancellation check between bands, so a batch whose callers have all
+// gone away stops consuming its worker mid-pass instead of running to
+// completion. Returns ctx.Err() on cancellation.
+func (ix *Index) QueryRankInto(ctx context.Context, queries []int, rank int, scratch *dense.Mat, track *memtrack.Tracker) (*dense.Mat, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: empty query set: %w", ErrParams)
+	}
+	for _, q := range queries {
+		if q < 0 || q >= ix.n {
+			return nil, fmt.Errorf("core: node %d not in [0, %d): %w", q, ix.n, ErrQuery)
+		}
+	}
+	if rank <= 0 || rank > ix.rank {
+		rank = ix.rank
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	uq := ix.u.PickRows(queries)
+	track.Alloc("query/UQ", uq.Bytes())
+	s := scratch.Reuse(ix.n, len(queries))
+	track.Alloc("query/S", s.Bytes())
+	cols := len(queries)
+	for lo := 0; lo < ix.n; lo += queryBandRows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := lo + queryBandRows
+		if hi > ix.n {
+			hi = ix.n
+		}
+		zBand := &dense.Mat{Rows: hi - lo, Cols: ix.rank, Data: ix.z.Data[lo*ix.rank : hi*ix.rank]}
+		sBand := &dense.Mat{Rows: hi - lo, Cols: cols, Data: s.Data[lo*cols : hi*cols]}
+		dense.MulTRankInto(sBand, zBand, uq, rank)
+	}
+	s.Scale(ix.c)
+	for j, q := range queries {
+		s.Set(q, j, s.At(q, j)+1)
+	}
+	return s, nil
+}
+
+// TruncationBound returns a rigorous bound on the entrywise error of a
+// rank-truncated query against the full-rank answer:
+//
+//	|S_ik − S'_ik| = c·|Σ_{j ≥ r'} Z_ij·U_kj| ≤ c·Σ_{j ≥ r'} max|Z_{*,j}|·max|U_{*,j}|
+//
+// The per-column maxima are computed once and cached; because the columns
+// are ordered by singular value the tail sum shrinks monotonically as the
+// retained rank grows, mirroring the singular-value tail that governs the
+// approximation error of the low-rank literature. rank ≥ the index rank
+// (or ≤ 0, meaning "full") returns 0.
+func (ix *Index) TruncationBound(rank int) float64 {
+	if rank <= 0 || rank >= ix.rank {
+		return 0
+	}
+	ix.boundOnce.Do(func() {
+		colMax := func(m *dense.Mat, j int) float64 {
+			mx := 0.0
+			for i := 0; i < m.Rows; i++ {
+				if v := math.Abs(m.At(i, j)); v > mx {
+					mx = v
+				}
+			}
+			return mx
+		}
+		ix.boundTail = make([]float64, ix.rank+1)
+		for j := ix.rank - 1; j >= 0; j-- {
+			ix.boundTail[j] = ix.boundTail[j+1] + ix.c*colMax(ix.z, j)*colMax(ix.u, j)
+		}
+	})
+	return ix.boundTail[rank]
 }
 
 // QueryPair returns the single similarity value [S]_{a,b} in O(r) time:

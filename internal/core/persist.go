@@ -33,6 +33,7 @@ import (
 	"runtime"
 
 	"csrplus/internal/dense"
+	"csrplus/internal/fault"
 )
 
 var indexMagic = [4]byte{'C', 'S', 'R', 'X'}
@@ -175,13 +176,20 @@ func SaveIndex(ix *Index, path string) error {
 		return fmt.Errorf("core: SaveIndex: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := ix.WriteTo(tmp); err != nil {
+	// The fault wrapper (chaos builds only) can tear or fail the payload
+	// write mid-file — upstream of the rename, so an injected "crash"
+	// must leave path untouched exactly like a real one.
+	if _, err := ix.WriteTo(fault.Writer(fault.SiteIndexWrite, tmp)); err != nil {
 		tmp.Close()
 		return err
 	}
 	// Data must hit stable storage before the rename can publish it:
 	// rename-then-crash without this fsync is exactly how a reboot yields
 	// a visible, complete-looking file full of zero pages.
+	if err := fault.Hit(fault.SiteIndexSync); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: SaveIndex: fsync: %w", err)
+	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("core: SaveIndex: fsync: %w", err)
@@ -220,7 +228,9 @@ func LoadIndex(path string) (*Index, error) {
 		return nil, fmt.Errorf("core: LoadIndex: %w", err)
 	}
 	defer f.Close()
-	ix, err := ReadIndex(f)
+	// The fault wrapper (chaos builds only) injects read errors and
+	// latency — a degraded disk during a reload.
+	ix, err := ReadIndex(fault.Reader(fault.SiteIndexRead, f))
 	if err != nil {
 		return nil, fmt.Errorf("core: LoadIndex %s: %w", path, err)
 	}

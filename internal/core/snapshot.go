@@ -18,11 +18,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"csrplus/internal/fault"
 )
 
 // CurrentFile is the pointer file naming the live snapshot in a
@@ -128,7 +131,10 @@ func SetCurrent(dir string, gen uint64) error {
 		return fmt.Errorf("core: SetCurrent: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.WriteString(name + "\n"); err != nil {
+	// Chaos builds can tear or fail the pointer write; because the tear
+	// lands in the temp file before the rename, old CURRENT stays intact —
+	// the same guarantee a real crash gets.
+	if _, err := io.WriteString(fault.Writer(fault.SiteCurrentWrite, tmp), name+"\n"); err != nil {
 		tmp.Close()
 		return fmt.Errorf("core: SetCurrent: %w", err)
 	}
@@ -179,6 +185,54 @@ func CurrentSnapshot(dir string) (path string, gen uint64, err error) {
 	default:
 		return "", 0, fmt.Errorf("core: CurrentSnapshot: %w", err)
 	}
+}
+
+// RecoverSnapshot loads the best snapshot a directory can still serve,
+// surviving the crash/corruption states CurrentSnapshot alone cannot: a
+// CURRENT pointing at a missing or truncated index file (a torn publish, a
+// partial rsync), a torn CURRENT naming garbage, or a corrupt newest
+// generation. It tries CURRENT's target first; when that is absent or
+// fails to load, it walks the remaining generations newest-first and
+// returns the first one that deserialises cleanly (CRC and shape checks
+// included). recovered reports that the returned snapshot is NOT the one
+// CURRENT names — the operator's cue to investigate and re-publish. When
+// nothing loads, the error wraps ErrNoSnapshot and names the last
+// failure so "empty directory" and "every generation corrupt" read
+// differently in logs.
+func RecoverSnapshot(dir string) (ix *Index, snap Snapshot, recovered bool, err error) {
+	var loadErr error // most recent load failure, for the final error
+	skip := ""
+	if p, g, cerr := CurrentSnapshot(dir); cerr == nil {
+		ix, loadErr = LoadIndex(p)
+		if loadErr == nil {
+			return ix, Snapshot{Gen: g, Path: p}, false, nil
+		}
+		skip = p
+	} else if !errors.Is(cerr, os.ErrNotExist) && !errors.Is(cerr, ErrNoSnapshot) {
+		// CURRENT exists but is unreadable or names garbage (torn write):
+		// remember why, then fall back to the generation scan.
+		loadErr = cerr
+	}
+	snaps, lerr := ListSnapshots(dir)
+	if lerr != nil {
+		return nil, Snapshot{}, false, lerr
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		s := snaps[i]
+		if s.Path == skip {
+			continue
+		}
+		ix, err := LoadIndex(s.Path)
+		if err != nil {
+			loadErr = err
+			continue
+		}
+		return ix, s, true, nil
+	}
+	if loadErr != nil {
+		return nil, Snapshot{}, false, fmt.Errorf("core: %s: no loadable snapshot (last failure: %v): %w", dir, loadErr, ErrNoSnapshot)
+	}
+	return nil, Snapshot{}, false, fmt.Errorf("core: %s: %w", dir, ErrNoSnapshot)
 }
 
 // PruneSnapshots deletes all but the newest keep generations from dir,

@@ -93,6 +93,49 @@ func mulTRange(out, a, b *Mat, lo, hi int) {
 	}
 }
 
+// MulTRankInto computes a[:, :rank] * (b[:, :rank])ᵀ into out — the
+// rank-truncated variant of MulTInto, reading only the leading rank
+// columns of both operands (which must share a column count ≥ rank). With
+// factor columns ordered by singular value this is how a degraded query
+// answers from a cheaper low-rank slice of the same index without
+// rebuilding anything. rank ≥ a.Cols delegates to the full kernel.
+// Parallelism and determinism match MulTInto: each output element is one
+// dot product accumulated in index order by exactly one goroutine.
+func MulTRankInto(out, a, b *Mat, rank int) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulTRank %dx%d * (%dx%d)ᵀ: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
+	}
+	if rank >= a.Cols {
+		return MulTInto(out, a, b)
+	}
+	if rank < 1 {
+		panic(fmt.Sprintf("dense: MulTRank rank %d: %v", rank, ErrShape))
+	}
+	out = out.Reuse(a.Rows, b.Rows)
+	flops := int64(a.Rows) * int64(b.Rows) * int64(rank)
+	par.Do(a.Rows, flops, func(lo, hi int) {
+		mulTRankRange(out, a, b, rank, lo, hi)
+	})
+	return out
+}
+
+// mulTRankRange computes rows [lo, hi) of out = a[:,:rank] * (b[:,:rank])ᵀ.
+func mulTRankRange(out, a, b *Mat, rank, lo, hi int) {
+	n := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*n : i*n+rank]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*n : j*n+rank]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
 // tmulMaxChunks bounds TMul's reduction grid: at most this many partial
 // output buffers exist at once (the deterministic reduction sums them in
 // chunk order). tmulMaxPartial bounds their combined footprint in floats,

@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"io"
+	"testing"
+)
+
+// These benchmarks measure the cost of an *inactive* hook — what the
+// instrumented production paths pay when no chaos test has armed the
+// site. They carry no build tag, so the same benchmark compares both
+// builds:
+//
+//	go test -run='^$' -bench=Hook ./internal/fault/
+//	go test -run='^$' -bench=Hook -tags faultinject ./internal/fault/
+//
+// Without the tag every hook is an empty leaf the compiler inlines away,
+// so the first run should be indistinguishable from an empty loop —
+// that is the "disabled fault path is zero-overhead" guarantee. With the
+// tag an unarmed hook costs one RLock'd registry lookup.
+
+func BenchmarkHookHit(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit(SiteBatchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHookShouldFailAlloc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ShouldFailAlloc(SiteScratchAlloc) {
+			b.Fatal("unarmed site fired")
+		}
+	}
+}
+
+func BenchmarkHookWriter(b *testing.B) {
+	buf := make([]byte, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := Writer(SiteIndexWrite, io.Discard)
+		if _, err := w.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+//go:build !faultinject
+
+package fault
+
+import "io"
+
+// This file is the production build of the injection hooks: every function
+// is an empty leaf the compiler inlines to nothing (Writer and Reader
+// return their argument unchanged), so instrumented code paths carry zero
+// overhead when the faultinject tag is absent. The enabled counterparts
+// live in enabled.go.
+
+// Enabled reports whether fault injection is compiled in and switched on.
+func Enabled() bool { return false }
+
+// Enable, Disable, Arm and Disarm are no-ops without the faultinject tag;
+// chaos tests that call them must carry the tag themselves.
+func Enable(seed int64)          {}
+func Disable()                   {}
+func Arm(site string, plan Plan) {}
+func Disarm(site string)         {}
+func Hits(site string) int64     { return 0 }
+func Injected(site string) int64 { return 0 }
+
+// Hit never fires in the production build.
+func Hit(site string) error { return nil }
+
+// ShouldFailAlloc never fires in the production build.
+func ShouldFailAlloc(site string) bool { return false }
+
+// Writer returns w unchanged in the production build.
+func Writer(site string, w io.Writer) io.Writer { return w }
+
+// Reader returns r unchanged in the production build.
+func Reader(site string, r io.Reader) io.Reader { return r }

@@ -1,0 +1,41 @@
+//go:build !faultinject
+
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The production build must be inert even when a test (mistakenly compiled
+// without the tag) goes through the full enable/arm motions: hooks return
+// zero values and wrappers are identity.
+func TestDisabledBuildIsInert(t *testing.T) {
+	Enable(42)
+	defer Disable()
+	Arm(SiteBatchQuery, Plan{ErrProb: 1})
+	if Enabled() {
+		t.Fatal("Enabled() = true without the faultinject tag")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Hit(SiteBatchQuery); err != nil {
+			t.Fatalf("Hit injected %v in the production build", err)
+		}
+		if ShouldFailAlloc(SiteScratchAlloc) {
+			t.Fatal("ShouldFailAlloc fired in the production build")
+		}
+	}
+	if Hits(SiteBatchQuery) != 0 || Injected(SiteBatchQuery) != 0 {
+		t.Fatal("counters advanced in the production build")
+	}
+
+	var buf bytes.Buffer
+	if w := Writer(SiteIndexWrite, &buf); w != &buf {
+		t.Fatal("Writer is not identity in the production build")
+	}
+	r := strings.NewReader("x")
+	if got := Reader(SiteIndexRead, r); got != r {
+		t.Fatal("Reader is not identity in the production build")
+	}
+}

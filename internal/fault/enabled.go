@@ -1,0 +1,247 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the chaos build of the injection hooks (-tags faultinject).
+// The registry is process-global: chaos tests Enable(seed) once, Arm the
+// sites under test, and Disable in cleanup. All entry points are safe for
+// concurrent use — sites are hit from pool workers, reload goroutines and
+// HTTP handlers at once under -race.
+
+type site struct {
+	mu       sync.Mutex
+	plan     Plan
+	rng      *rand.Rand
+	hits     atomic.Int64
+	injected atomic.Int64
+}
+
+var registry struct {
+	mu      sync.RWMutex
+	enabled bool
+	seed    int64
+	sites   map[string]*site
+}
+
+// Enabled reports whether fault injection is switched on.
+func Enabled() bool {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.enabled
+}
+
+// Enable switches injection on and resets the registry under seed. Sites
+// armed before Enable are forgotten: each test's fault universe starts
+// empty and fully determined by (seed, its own Arm calls).
+func Enable(seed int64) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.enabled = true
+	registry.seed = seed
+	registry.sites = make(map[string]*site)
+}
+
+// Disable switches injection off and clears every armed site.
+func Disable() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.enabled = false
+	registry.sites = nil
+}
+
+// siteSeed derives a per-site seed so one site's draw sequence is
+// independent of traffic at every other site.
+func siteSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// Arm installs plan at a named site (replacing any previous plan and
+// restarting the site's deterministic draw sequence). Arming before
+// Enable is a no-op.
+func Arm(name string, plan Plan) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if !registry.enabled {
+		return
+	}
+	registry.sites[name] = &site{
+		plan: plan,
+		rng:  rand.New(rand.NewSource(siteSeed(registry.seed, name))),
+	}
+}
+
+// Disarm removes a site's plan; hooks at the site stop firing.
+func Disarm(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.sites, name)
+}
+
+func lookup(name string) *site {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	if !registry.enabled {
+		return nil
+	}
+	return registry.sites[name]
+}
+
+// Hits reports how many times a site's hooks were consulted; Injected how
+// many faults (errors, tears, failed allocs) it actually delivered.
+// Latency-only firings do not count as injected.
+func Hits(name string) int64 {
+	if s := lookup(name); s != nil {
+		return s.hits.Load()
+	}
+	return 0
+}
+
+func Injected(name string) int64 {
+	if s := lookup(name); s != nil {
+		return s.injected.Load()
+	}
+	return 0
+}
+
+// draw runs one latency/error decision under the site lock so the RNG
+// sequence is serialised (deterministic in count, not in which goroutine
+// absorbs each fault).
+func (s *site) draw() (sleep time.Duration, err error) {
+	s.mu.Lock()
+	p := s.plan
+	if p.LatencyProb > 0 && s.rng.Float64() < p.LatencyProb {
+		sleep = p.Latency
+	}
+	if p.ErrProb > 0 && s.rng.Float64() < p.ErrProb {
+		err = p.err()
+	}
+	s.mu.Unlock()
+	return sleep, err
+}
+
+// Hit consults a site: it may sleep (latency spike), then may return the
+// site's injected error. Unarmed or disabled sites return nil immediately.
+func Hit(name string) error {
+	s := lookup(name)
+	if s == nil {
+		return nil
+	}
+	s.hits.Add(1)
+	sleep, err := s.draw()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if err != nil {
+		s.injected.Add(1)
+	}
+	return err
+}
+
+// ShouldFailAlloc reports whether an instrumented allocation should be
+// made to fail at this site.
+func ShouldFailAlloc(name string) bool {
+	s := lookup(name)
+	if s == nil {
+		return false
+	}
+	s.hits.Add(1)
+	s.mu.Lock()
+	fail := s.plan.AllocProb > 0 && s.rng.Float64() < s.plan.AllocProb
+	s.mu.Unlock()
+	if fail {
+		s.injected.Add(1)
+	}
+	return fail
+}
+
+// faultWriter injects write errors and torn writes. A tear is sticky: once
+// a chunk is cut short, every later write fails too — the stream after a
+// crash has no more bytes, not a hole followed by more data.
+type faultWriter struct {
+	name string
+	w    io.Writer
+	torn bool
+}
+
+// Writer wraps w with the site's write faults. Each wrapped writer tears
+// independently (one torn file, not one torn byte offset shared by every
+// file the process ever writes).
+func Writer(name string, w io.Writer) io.Writer {
+	return &faultWriter{name: name, w: w}
+}
+
+func (f *faultWriter) Write(p []byte) (int, error) {
+	if f.torn {
+		return 0, ErrInjected
+	}
+	s := lookup(f.name)
+	if s == nil {
+		return f.w.Write(p)
+	}
+	s.hits.Add(1)
+	s.mu.Lock()
+	plan := s.plan
+	tear := plan.TornProb > 0 && s.rng.Float64() < plan.TornProb
+	var err error
+	if !tear && plan.ErrProb > 0 && s.rng.Float64() < plan.ErrProb {
+		err = plan.err()
+	}
+	s.mu.Unlock()
+	if tear {
+		s.injected.Add(1)
+		f.torn = true
+		keep := plan.TornBytes
+		if keep > len(p) {
+			keep = len(p)
+		}
+		n, werr := f.w.Write(p[:keep])
+		if werr != nil {
+			return n, werr
+		}
+		return n, ErrInjected
+	}
+	if err != nil {
+		s.injected.Add(1)
+		return 0, err
+	}
+	return f.w.Write(p)
+}
+
+// faultReader injects read errors and latency.
+type faultReader struct {
+	name string
+	r    io.Reader
+}
+
+// Reader wraps r with the site's read faults.
+func Reader(name string, r io.Reader) io.Reader {
+	return &faultReader{name: name, r: r}
+}
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	s := lookup(f.name)
+	if s == nil {
+		return f.r.Read(p)
+	}
+	s.hits.Add(1)
+	sleep, err := s.draw()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if err != nil {
+		s.injected.Add(1)
+		return 0, err
+	}
+	return f.r.Read(p)
+}

@@ -1,0 +1,145 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHitDeterministicPerSeed(t *testing.T) {
+	counts := func(seed int64) (injected int64) {
+		Enable(seed)
+		defer Disable()
+		Arm(SiteBatchQuery, Plan{ErrProb: 0.3})
+		for i := 0; i < 1000; i++ {
+			Hit(SiteBatchQuery)
+		}
+		return Injected(SiteBatchQuery)
+	}
+	a, b := counts(7), counts(7)
+	if a != b {
+		t.Fatalf("same seed, different injection counts: %d vs %d", a, b)
+	}
+	if a == 0 || a == 1000 {
+		t.Fatalf("ErrProb=0.3 injected %d/1000", a)
+	}
+	if c := counts(8); c == a {
+		t.Fatalf("different seeds produced identical counts (%d); suspicious", c)
+	}
+}
+
+func TestHitDeliversPlanError(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	boom := errors.New("boom")
+	Arm(SiteReloadLoad, Plan{ErrProb: 1, Err: boom})
+	if err := Hit(SiteReloadLoad); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if err := Hit(SiteBatchQuery); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	Disarm(SiteReloadLoad)
+	if err := Hit(SiteReloadLoad); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	Arm(SiteBatchQuery, Plan{LatencyProb: 1, Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit(SiteBatchQuery); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency plan slept only %v", d)
+	}
+	if Injected(SiteBatchQuery) != 0 {
+		t.Fatal("latency-only firing counted as injected")
+	}
+}
+
+func TestTornWriterIsSticky(t *testing.T) {
+	Enable(3)
+	defer Disable()
+	Arm(SiteIndexWrite, Plan{TornProb: 1, TornBytes: 3})
+	var buf bytes.Buffer
+	w := Writer(SiteIndexWrite, &buf)
+	n, err := w.Write([]byte("hello world"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v, want 3 bytes then ErrInjected", n, err)
+	}
+	if _, err := w.Write([]byte("more")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after tear: err = %v, want sticky failure", err)
+	}
+	if buf.String() != "hel" {
+		t.Fatalf("stream after tear = %q", buf.String())
+	}
+	// A second wrapped writer tears independently — fresh stream, fresh fate.
+	var buf2 bytes.Buffer
+	w2 := Writer(SiteIndexWrite, &buf2)
+	if n, _ := w2.Write([]byte("abcdef")); n != 3 {
+		t.Fatalf("second writer wrote %d bytes before tearing, want 3", n)
+	}
+}
+
+func TestReaderInjectsErrors(t *testing.T) {
+	Enable(5)
+	defer Disable()
+	Arm(SiteIndexRead, Plan{ErrProb: 1})
+	r := Reader(SiteIndexRead, strings.NewReader("payload"))
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v, want ErrInjected", err)
+	}
+	Disarm(SiteIndexRead)
+	b, err := io.ReadAll(Reader(SiteIndexRead, strings.NewReader("payload")))
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("disarmed reader: %q, %v", b, err)
+	}
+}
+
+func TestShouldFailAlloc(t *testing.T) {
+	Enable(9)
+	defer Disable()
+	Arm(SiteScratchAlloc, Plan{AllocProb: 0.5})
+	fails := 0
+	for i := 0; i < 1000; i++ {
+		if ShouldFailAlloc(SiteScratchAlloc) {
+			fails++
+		}
+	}
+	if fails < 300 || fails > 700 {
+		t.Fatalf("AllocProb=0.5 failed %d/1000", fails)
+	}
+}
+
+// The registry is consulted from pool workers, HTTP handlers and reload
+// goroutines concurrently; this must be race-clean under -race.
+func TestConcurrentHits(t *testing.T) {
+	Enable(11)
+	defer Disable()
+	Arm(SiteBatchQuery, Plan{ErrProb: 0.2, LatencyProb: 0.1, Latency: time.Microsecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				Hit(SiteBatchQuery)
+				ShouldFailAlloc(SiteScratchAlloc)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Hits(SiteBatchQuery); got != 4000 {
+		t.Fatalf("hits = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,98 @@
+// Package fault is a deterministic, seedable fault-injection registry for
+// chaos testing the serving stack. Production code is instrumented with
+// named sites — fault.Hit(fault.SiteBatchQuery), fault.Writer(site, w) —
+// and a chaos test arms a subset of sites with a Plan (probabilistic
+// errors, torn writes, latency spikes, forced allocation failures) under a
+// fixed seed, then asserts the system's invariants hold while the faults
+// fire.
+//
+// The package has two builds selected by the `faultinject` build tag:
+//
+//   - Without the tag (the default, what production binaries and tier-1
+//     tests compile), every hook is an empty function returning the zero
+//     value. The compiler inlines them to nothing, so an instrumented hot
+//     path costs exactly what an uninstrumented one does.
+//   - With -tags faultinject, the hooks consult the registry. Chaos tests
+//     carry the same tag, so `go test -tags faultinject -race ./...` runs
+//     the full suite and a plain `go test ./...` cannot even express an
+//     armed fault.
+//
+// Determinism: every site draws from its own RNG seeded by the global seed
+// XOR a hash of the site name, so the fault sequence at one site does not
+// depend on how often other sites are hit, and a fixed seed reproduces the
+// same faults across runs (modulo goroutine interleaving, which decides
+// which request absorbs each fault but not how many fire).
+package fault
+
+import (
+	"errors"
+	"time"
+)
+
+// Injection sites compiled into the serving stack. A site name is an
+// address: Arm(site, plan) makes the hooks at that site start firing.
+const (
+	// SiteIndexWrite guards every payload write of core.(*Index).WriteTo —
+	// torn/short writes and write errors land mid-file, upstream of the
+	// CRC, exactly like a disk filling up or a kernel page-out failure.
+	SiteIndexWrite = "core/index.write"
+	// SiteIndexSync guards the pre-rename fsync in core.SaveIndex.
+	SiteIndexSync = "core/index.fsync"
+	// SiteIndexRead guards the payload reads of core.ReadIndex (via
+	// core.LoadIndex): probabilistic read errors and latency model a
+	// degraded disk or a network filesystem hiccup during reload.
+	SiteIndexRead = "core/index.read"
+	// SiteCurrentWrite guards the CURRENT pointer write in
+	// core.SetCurrent — the torn-CURRENT crash the recovery path must
+	// survive.
+	SiteCurrentWrite = "core/current.write"
+	// SiteReloadLoad fires at the top of every reload.Manager load
+	// attempt, before the LoadFunc runs: a flapping snapshot source.
+	SiteReloadLoad = "reload/load"
+	// SiteBatchQuery fires on a pool worker immediately before each
+	// coalesced engine pass: engine-level latency spikes and failures
+	// that every co-batched request observes at once.
+	SiteBatchQuery = "serve/batch.query"
+	// SiteScratchAlloc gates the scratch-matrix acquisition on the query
+	// path: a forced allocation failure models memory pressure at the
+	// worst moment (ErrAllocFailed surfaces as the engine error).
+	SiteScratchAlloc = "serve/scratch.alloc"
+)
+
+// ErrInjected is the default error delivered by an armed site whose Plan
+// does not override Err. Chaos tests branch on it to tell injected
+// failures from organic ones.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrAllocFailed is delivered by ShouldFailAlloc sites through their
+// callers; exported so tests can assert the failure was the injected one.
+var ErrAllocFailed = errors.New("fault: injected allocation failure")
+
+// Plan arms one site. Probabilities are in [0, 1]; 1 fires every hit.
+// The zero Plan never fires (arming it effectively disarms the site).
+type Plan struct {
+	// ErrProb is the probability Hit (and wrapped reader/writer
+	// operations) return Err.
+	ErrProb float64
+	// Err overrides ErrInjected as the delivered error.
+	Err error
+	// LatencyProb is the probability a hit sleeps for Latency first.
+	// Latency injection composes with error injection: a hit can be slow
+	// and then fail, like real storage.
+	LatencyProb float64
+	Latency     time.Duration
+	// TornProb is the probability a wrapped writer tears the stream: it
+	// writes TornBytes of the offending chunk, then fails every
+	// subsequent write on that writer — a crashed process mid-file.
+	TornProb  float64
+	TornBytes int
+	// AllocProb is the probability ShouldFailAlloc reports true.
+	AllocProb float64
+}
+
+func (p Plan) err() error {
+	if p.Err != nil {
+		return p.Err
+	}
+	return ErrInjected
+}

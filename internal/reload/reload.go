@@ -10,7 +10,18 @@
 // A reload that fails at any stage — load error, implausible candidate,
 // failing smoke query — leaves the serving generation untouched: the old
 // engine cannot be torn down before its replacement has proven it can
-// answer queries.
+// answer queries. Failures are retried with exponential backoff and
+// jitter (transient I/O — a snapshot mid-publish, a briefly degraded disk
+// — usually clears within a retry window), and a run of consecutive
+// failed reloads opens a circuit breaker that fails further triggers fast
+// until a cooldown elapses, so a persistently broken snapshot source
+// cannot keep burning load attempts.
+//
+// Reload triggers coalesce rather than queue: a SIGHUP or admin reload
+// arriving while another reload is in flight marks one pending re-run
+// (returning ErrCoalesced) and the in-flight reload runs the lifecycle
+// once more when it finishes — a trigger storm collapses into at most one
+// extra pass, and no trigger is silently lost.
 package reload
 
 import (
@@ -18,23 +29,30 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"csrplus/internal/dense"
+	"csrplus/internal/fault"
 	"csrplus/internal/serve"
 )
 
-// Errors returned by Reload. ErrInProgress means another reload holds the
-// lifecycle lock (the caller should retry later, not queue); ErrValidation
-// wraps every candidate-rejection reason.
+// Errors returned by Reload. ErrCoalesced means another reload holds the
+// lifecycle lock and this trigger was folded into a pending re-run (the
+// reload WILL happen; the caller need not retry). ErrBreakerOpen means
+// consecutive failures opened the circuit breaker and the trigger was
+// dropped without a load attempt. ErrValidation wraps every
+// candidate-rejection reason.
 var (
-	ErrInProgress = errors.New("reload: another reload is in progress")
-	ErrValidation = errors.New("reload: candidate failed validation")
+	ErrCoalesced   = errors.New("reload: reload in progress, trigger coalesced into a pending re-run")
+	ErrBreakerOpen = errors.New("reload: circuit breaker open after consecutive failures")
+	ErrValidation  = errors.New("reload: candidate failed validation")
 )
 
 // Candidate is a fully built engine generation proposed for swap-in. The
-// Query function must be ready to serve the moment Reload validates it —
+// query function must be ready to serve the moment Reload validates it —
 // all expensive work (index build, snapshot load) happens before the
 // Candidate is returned by a LoadFunc.
 type Candidate struct {
@@ -42,7 +60,19 @@ type Candidate struct {
 	// once the candidate becomes the live generation.
 	N int
 	// Query answers one multi-source pass (csrplus.(*Engine).QueryInto).
+	// Optional when RankQuery is set.
 	Query serve.MatQueryFunc
+	// RankQuery, when set, upgrades the generation to a rank-aware
+	// backend (serve.SwapRanked): context propagation into the engine
+	// pass plus graceful degradation per the server's DegradeConfig.
+	// csrplus.(*Engine).QueryRankInto satisfies it.
+	RankQuery serve.RankQueryFunc
+	// Rank is the engine's full SVD rank (degradation headroom); only
+	// meaningful with RankQuery.
+	Rank int
+	// Bound reports the entrywise error of answering truncated
+	// (csrplus.(*Engine).TruncationBound); only meaningful with RankQuery.
+	Bound func(rank int) float64
 	// Meta describes the candidate for /admin/index and logs.
 	Meta Meta
 }
@@ -59,6 +89,10 @@ type Meta struct {
 	// serving generation: snapshots number index files on disk, the
 	// server numbers swaps.
 	SnapshotGen uint64 `json:"snapshot_gen,omitempty"`
+	// Recovered reports the snapshot served is NOT the one CURRENT
+	// names — crash recovery fell back to an older generation and the
+	// operator should investigate (core.RecoverSnapshot).
+	Recovered bool `json:"recovered,omitempty"`
 	// Algorithm, N, M, Rank describe the engine (csrplus.Engine.Stats).
 	Algorithm string `json:"algorithm"`
 	N         int    `json:"n"`
@@ -84,22 +118,110 @@ type Status struct {
 // honour ctx for cancellation between expensive steps.
 type LoadFunc func(ctx context.Context) (*Candidate, error)
 
+// Policy tunes the retry and circuit-breaker behaviour of a Manager.
+type Policy struct {
+	// MaxAttempts bounds load->validate->swap attempts per reload run
+	// (1 = no retry). Default 3.
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal delay; attempt i waits
+	// BaseBackoff * 2^(i-1), halved-and-jittered. Default 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the nominal delay. Default 2s.
+	MaxBackoff time.Duration
+	// BreakerThreshold is how many consecutive failed reload runs (each
+	// already retried MaxAttempts times) open the breaker; 0 disables
+	// the breaker. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects triggers
+	// before allowing one probe run. Default 10s.
+	BreakerCooldown time.Duration
+}
+
+// DefaultPolicy returns the defaults documented on Policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:      3,
+		BaseBackoff:      50 * time.Millisecond,
+		MaxBackoff:       2 * time.Second,
+		BreakerThreshold: 5,
+		BreakerCooldown:  10 * time.Second,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.BreakerThreshold < 0 {
+		p.BreakerThreshold = 0
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = d.BreakerCooldown
+	}
+	return p
+}
+
+// backoff returns the jittered delay before retry attempt (1-based).
+// Half the nominal delay is kept deterministic and half randomised —
+// enough spread that replicas reloading off the same failed publish do
+// not retry in lockstep, while the minimum wait still grows
+// exponentially.
+func (p Policy) backoff(attempt int) time.Duration {
+	nominal := float64(p.BaseBackoff) * math.Pow(2, float64(attempt-1))
+	if limit := float64(p.MaxBackoff); nominal > limit {
+		nominal = limit
+	}
+	half := nominal / 2
+	return time.Duration(half + rand.Float64()*half)
+}
+
+// Breaker is a point-in-time view of the circuit breaker for status
+// endpoints (/readyz, /stats).
+type Breaker struct {
+	// Open reports the breaker is rejecting triggers right now.
+	Open bool `json:"open"`
+	// ConsecutiveFailures counts failed reload runs since the last
+	// success.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// RetryAt is when an open breaker next admits a probe run; zero when
+	// closed.
+	RetryAt time.Time `json:"retry_at,omitempty"`
+}
+
 // Manager owns the reload lifecycle for one serve.Server. Reloads are
-// serialised (concurrent triggers fail fast with ErrInProgress instead of
-// queueing — a SIGHUP storm must not stack index builds); Current is
-// lock-free for status endpoints.
+// serialised; a trigger landing mid-reload coalesces into one pending
+// re-run instead of queueing or getting lost (a SIGHUP storm must not
+// stack index builds). Current is lock-free for status endpoints.
 type Manager struct {
 	server *serve.Server
 	load   LoadFunc
+	policy Policy
 
-	mu  sync.Mutex // held for the whole load→validate→swap sequence
-	cur atomic.Pointer[Status]
+	mu      sync.Mutex // held for the whole load→validate→swap sequence
+	pending atomic.Bool
+	cur     atomic.Pointer[Status]
+
+	bmu       sync.Mutex // guards the breaker state below
+	fails     int        // consecutive failed runs
+	openUntil time.Time
 }
 
-// New wires a Manager over a server already serving its boot generation,
-// recording boot as the meta of the current status.
+// New wires a Manager with DefaultPolicy over a server already serving
+// its boot generation, recording boot as the meta of the current status.
 func New(server *serve.Server, load LoadFunc, boot Meta) *Manager {
-	m := &Manager{server: server, load: load}
+	return NewWithPolicy(server, load, boot, DefaultPolicy())
+}
+
+// NewWithPolicy is New with explicit retry/breaker tuning.
+func NewWithPolicy(server *serve.Server, load LoadFunc, boot Meta, policy Policy) *Manager {
+	m := &Manager{server: server, load: load, policy: policy.withDefaults()}
 	m.cur.Store(&Status{
 		Generation:   server.Generation(),
 		Meta:         boot,
@@ -112,30 +234,131 @@ func New(server *serve.Server, load LoadFunc, boot Meta) *Manager {
 // Current returns the status of the generation serving new requests.
 func (m *Manager) Current() Status { return *m.cur.Load() }
 
+// Breaker returns the circuit breaker's current state.
+func (m *Manager) Breaker() Breaker {
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	b := Breaker{ConsecutiveFailures: m.fails}
+	if !m.openUntil.IsZero() && time.Now().Before(m.openUntil) {
+		b.Open = true
+		b.RetryAt = m.openUntil
+	}
+	return b
+}
+
+// breakerAdmits reports whether a reload run may proceed. An open breaker
+// past its cooldown admits one probe run (half-open); the probe's outcome
+// re-opens or resets it.
+func (m *Manager) breakerAdmits() (bool, time.Time) {
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	if !m.openUntil.IsZero() && time.Now().Before(m.openUntil) {
+		return false, m.openUntil
+	}
+	return true, time.Time{}
+}
+
+func (m *Manager) breakerRecord(failed bool) {
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	if !failed {
+		m.fails = 0
+		m.openUntil = time.Time{}
+		return
+	}
+	m.fails++
+	if m.policy.BreakerThreshold > 0 && m.fails >= m.policy.BreakerThreshold {
+		m.openUntil = time.Now().Add(m.policy.BreakerCooldown)
+	}
+}
+
 // Reload runs one lifecycle pass: load a candidate, validate it, swap it
-// in. On any failure the previous generation keeps serving and the
-// returned Status still describes it. The whole sequence runs on the
-// calling goroutine — callers wanting an async reload wrap it in one.
+// in, retrying per the Manager's Policy. On any failure the previous
+// generation keeps serving and the returned Status still describes it.
+// The whole sequence runs on the calling goroutine — callers wanting an
+// async reload wrap it in one. A Reload entered while another is in
+// flight returns ErrCoalesced immediately; the in-flight reload runs the
+// lifecycle again before releasing the lock, so the trigger is honoured,
+// just not by its own caller.
 func (m *Manager) Reload(ctx context.Context) (Status, error) {
 	if !m.mu.TryLock() {
-		return m.Current(), ErrInProgress
+		m.pending.Store(true)
+		return m.Current(), ErrCoalesced
 	}
 	defer m.mu.Unlock()
 
+	st, err := m.runWithRetry(ctx)
+	// Honour triggers that coalesced while this run was in flight: each
+	// pass consumes the pending mark, and a mark set mid-pass (the world
+	// may have changed again) schedules one more. Context cancellation
+	// still wins.
+	for m.pending.Swap(false) {
+		if ctx.Err() != nil {
+			break
+		}
+		st, err = m.runWithRetry(ctx)
+	}
+	return st, err
+}
+
+// runWithRetry is one reload run: breaker gate, then up to MaxAttempts
+// lifecycle passes with backoff between them.
+func (m *Manager) runWithRetry(ctx context.Context) (Status, error) {
+	metrics := m.server.Metrics()
+	if ok, until := m.breakerAdmits(); !ok {
+		metrics.ReloadFailed()
+		return m.Current(), fmt.Errorf("%w (retry after %s)", ErrBreakerOpen, time.Until(until).Round(time.Millisecond))
+	}
+	var lastErr error
+	for attempt := 1; attempt <= m.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			metrics.ReloadRetried()
+			select {
+			case <-time.After(m.policy.backoff(attempt - 1)):
+			case <-ctx.Done():
+				m.breakerRecord(true)
+				metrics.ReloadFailed()
+				return m.Current(), fmt.Errorf("reload: %w (after %v)", ctx.Err(), lastErr)
+			}
+		}
+		st, err := m.runOnce(ctx)
+		if err == nil {
+			m.breakerRecord(false)
+			return st, nil
+		}
+		lastErr = err
+		// A closed server or cancelled context cannot be retried into
+		// working; stop burning attempts.
+		if errors.Is(err, serve.ErrClosed) || ctx.Err() != nil {
+			break
+		}
+	}
+	m.breakerRecord(true)
+	metrics.ReloadFailed()
+	return m.Current(), lastErr
+}
+
+// runOnce is a single load→validate→swap pass.
+func (m *Manager) runOnce(ctx context.Context) (Status, error) {
 	metrics := m.server.Metrics()
 	start := time.Now()
+	if err := fault.Hit(fault.SiteReloadLoad); err != nil {
+		return m.Current(), fmt.Errorf("reload: loading candidate: %w", err)
+	}
 	cand, err := m.load(ctx)
 	if err != nil {
-		metrics.ReloadFailed()
 		return m.Current(), fmt.Errorf("reload: loading candidate: %w", err)
 	}
 	if err := Validate(cand); err != nil {
-		metrics.ReloadFailed()
 		return m.Current(), err
 	}
-	gen := m.server.SwapMat(cand.N, cand.Query)
+	var gen uint64
+	if cand.RankQuery != nil {
+		gen = m.server.SwapRanked(serve.Ranked{N: cand.N, Rank: cand.Rank, Bound: cand.Bound, Query: cand.RankQuery})
+	} else {
+		gen = m.server.SwapMat(cand.N, cand.Query)
+	}
 	if gen == 0 {
-		metrics.ReloadFailed()
 		return m.Current(), fmt.Errorf("reload: %w", serve.ErrClosed)
 	}
 	st := Status{
@@ -162,6 +385,17 @@ func probeNodes(n int) []int {
 	return probes
 }
 
+// smokeQuery runs the candidate's engine once, preferring the rank-aware
+// entry point (at full rank — validation must exercise the path real
+// traffic takes, and degraded serving still derives from the same
+// factors).
+func smokeQuery(c *Candidate, probes []int) (*dense.Mat, error) {
+	if c.RankQuery != nil {
+		return c.RankQuery(context.Background(), probes, 0, nil)
+	}
+	return c.Query(probes, nil)
+}
+
 // Validate smoke-tests a candidate before it may take traffic: the shape
 // must be plausible and a real multi-source query against probe nodes
 // must come back with the right dimensions, finite scores, and a positive
@@ -171,14 +405,14 @@ func probeNodes(n int) []int {
 // This is the gate that turns "the file parsed" into "the engine
 // answers"; CRC and header checks live below it in core.ReadIndex.
 func Validate(c *Candidate) error {
-	if c == nil || c.Query == nil {
+	if c == nil || (c.Query == nil && c.RankQuery == nil) {
 		return fmt.Errorf("%w: no query engine", ErrValidation)
 	}
 	if c.N <= 0 {
 		return fmt.Errorf("%w: implausible node count %d", ErrValidation, c.N)
 	}
 	probes := probeNodes(c.N)
-	mat, err := c.Query(probes, nil)
+	mat, err := smokeQuery(c, probes)
 	if err != nil {
 		return fmt.Errorf("%w: smoke query: %v", ErrValidation, err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -85,11 +86,15 @@ func TestManagerReloadSwapsGeneration(t *testing.T) {
 	}
 }
 
+// noRetry keeps legacy failure tests deterministic and fast: one attempt
+// per run, breaker disabled.
+var noRetry = Policy{MaxAttempts: 1, BaseBackoff: time.Millisecond}
+
 func TestManagerLoadFailureKeepsServing(t *testing.T) {
 	sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
 	defer sv.Close()
 	boom := errors.New("disk on fire")
-	m := New(sv, func(ctx context.Context) (*Candidate, error) { return nil, boom }, Meta{Source: "boot"})
+	m := NewWithPolicy(sv, func(ctx context.Context) (*Candidate, error) { return nil, boom }, Meta{Source: "boot"}, noRetry)
 	st, err := m.Reload(context.Background())
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want the loader's error", err)
@@ -132,7 +137,7 @@ func TestManagerValidationFailureKeepsServing(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
 			defer sv.Close()
-			m := New(sv, func(context.Context) (*Candidate, error) { return cand, nil }, Meta{})
+			m := NewWithPolicy(sv, func(context.Context) (*Candidate, error) { return cand, nil }, Meta{}, noRetry)
 			st, err := m.Reload(context.Background())
 			if !errors.Is(err, ErrValidation) {
 				t.Fatalf("err = %v, want ErrValidation", err)
@@ -147,14 +152,20 @@ func TestManagerValidationFailureKeepsServing(t *testing.T) {
 	}
 }
 
-func TestManagerConcurrentReloadsFailFast(t *testing.T) {
+// A trigger landing mid-reload must neither queue nor vanish: it returns
+// ErrCoalesced immediately and the in-flight reload runs the lifecycle
+// once more before releasing the lock.
+func TestManagerConcurrentReloadsCoalesce(t *testing.T) {
 	sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
 	defer sv.Close()
-	entered := make(chan struct{})
+	var calls atomic.Int32
+	entered := make(chan struct{}, 4)
 	release := make(chan struct{})
 	m := New(sv, func(ctx context.Context) (*Candidate, error) {
-		close(entered)
-		<-release
+		entered <- struct{}{}
+		if calls.Add(1) == 1 {
+			<-release // only the first load blocks; the coalesced re-run flows
+		}
 		return candidate(8, 2), nil
 	}, Meta{})
 
@@ -167,13 +178,141 @@ func TestManagerConcurrentReloadsFailFast(t *testing.T) {
 		}
 	}()
 	<-entered // first reload is mid-load and holds the lifecycle lock
-	if _, err := m.Reload(context.Background()); !errors.Is(err, ErrInProgress) {
-		t.Fatalf("concurrent reload: err = %v, want ErrInProgress", err)
+	if _, err := m.Reload(context.Background()); !errors.Is(err, ErrCoalesced) {
+		t.Fatalf("concurrent reload: err = %v, want ErrCoalesced", err)
 	}
 	close(release)
 	wg.Wait()
-	if m.Current().Generation != 2 {
-		t.Fatalf("winning reload did not land: %+v", m.Current())
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("loader ran %d times, want 2 (original + coalesced re-run)", got)
+	}
+	if m.Current().Generation != 3 {
+		t.Fatalf("coalesced trigger did not land its own generation: %+v", m.Current())
+	}
+}
+
+// A failing lifecycle pass must be retried with backoff inside one Reload
+// call — transient I/O clears, the operator never sees it.
+func TestManagerRetriesTransientFailure(t *testing.T) {
+	sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
+	defer sv.Close()
+	var calls atomic.Int32
+	m := NewWithPolicy(sv, func(ctx context.Context) (*Candidate, error) {
+		if calls.Add(1) < 3 {
+			return nil, errors.New("transient: snapshot mid-publish")
+		}
+		return candidate(8, 2), nil
+	}, Meta{}, Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	st, err := m.Reload(context.Background())
+	if err != nil {
+		t.Fatalf("reload with transient failures: %v", err)
+	}
+	if st.Generation != 2 || calls.Load() != 3 {
+		t.Fatalf("gen=%d after %d loads; want gen 2 after 3", st.Generation, calls.Load())
+	}
+	mtr := sv.Metrics()
+	if mtr.ReloadRetries() != 2 || mtr.ReloadFailures() != 0 || mtr.Reloads() != 1 {
+		t.Fatalf("retries/failures/reloads = %d/%d/%d, want 2/0/1",
+			mtr.ReloadRetries(), mtr.ReloadFailures(), mtr.Reloads())
+	}
+}
+
+// Consecutive failed runs open the breaker: triggers fail fast without a
+// load attempt until the cooldown elapses, then one probe run closes it
+// again on success.
+func TestManagerBreakerOpensAndRecovers(t *testing.T) {
+	sv := serve.NewMat(8, fakeEngine(8, 1), serve.Config{Linger: -1})
+	defer sv.Close()
+	var calls atomic.Int32
+	var healthy atomic.Bool
+	m := NewWithPolicy(sv, func(ctx context.Context) (*Candidate, error) {
+		calls.Add(1)
+		if !healthy.Load() {
+			return nil, errors.New("snapshot source down")
+		}
+		return candidate(8, 2), nil
+	}, Meta{}, Policy{
+		MaxAttempts: 1, BaseBackoff: time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond,
+	})
+
+	for i := 0; i < 2; i++ {
+		if _, err := m.Reload(context.Background()); err == nil {
+			t.Fatalf("reload %d unexpectedly succeeded", i)
+		}
+	}
+	if b := m.Breaker(); !b.Open || b.ConsecutiveFailures != 2 {
+		t.Fatalf("breaker after threshold failures: %+v", b)
+	}
+	before := calls.Load()
+	if _, err := m.Reload(context.Background()); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker: err = %v, want ErrBreakerOpen", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("open breaker still hit the loader")
+	}
+	if sv.Generation() != 1 {
+		t.Fatalf("failed reloads moved the generation: %d", sv.Generation())
+	}
+
+	healthy.Store(true)
+	time.Sleep(60 * time.Millisecond) // cooldown elapses; next trigger is the probe
+	st, err := m.Reload(context.Background())
+	if err != nil {
+		t.Fatalf("probe reload after cooldown: %v", err)
+	}
+	if st.Generation != 2 {
+		t.Fatalf("probe did not swap: %+v", st)
+	}
+	if b := m.Breaker(); b.Open || b.ConsecutiveFailures != 0 {
+		t.Fatalf("breaker after recovery: %+v", b)
+	}
+}
+
+// A candidate carrying a RankQuery must install a rank-aware generation:
+// degradation works after the swap.
+func TestManagerRankedCandidateSwap(t *testing.T) {
+	const n, fullRank = 8, 6
+	sv := serve.NewMat(n, fakeEngine(n, 1), serve.Config{
+		Linger:  -1,
+		Degrade: serve.DegradeConfig{Rank: 2, MinBudget: time.Hour},
+	})
+	defer sv.Close()
+	cand := &Candidate{
+		N:     n,
+		Rank:  fullRank,
+		Bound: func(rank int) float64 { return float64(fullRank - rank) },
+		RankQuery: func(ctx context.Context, queries []int, rank int, scratch *dense.Mat) (*dense.Mat, error) {
+			effective := fullRank
+			if rank > 0 && rank < fullRank {
+				effective = rank
+			}
+			m := scratch.Reuse(n, len(queries))
+			for j := range queries {
+				for i := 0; i < n; i++ {
+					m.Set(i, j, float64(effective))
+				}
+			}
+			return m, nil
+		},
+		Meta: Meta{Source: "snapshot", Rank: fullRank},
+	}
+	m := NewWithPolicy(sv, func(context.Context) (*Candidate, error) { return cand, nil }, Meta{}, noRetry)
+	if _, err := m.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := sv.Search(ctx, []int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Info.Degraded || res.Info.EffectiveRank != 2 || res.Info.FullRank != fullRank {
+		t.Fatalf("post-swap degradation info = %+v", res.Info)
+	}
+	if res.Info.ErrorBound != float64(fullRank-2) {
+		t.Fatalf("bound = %v, want %d", res.Info.ErrorBound, fullRank-2)
 	}
 }
 

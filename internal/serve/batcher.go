@@ -4,12 +4,21 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"csrplus/internal/fault"
 )
 
 // QueryFunc answers one multi-source engine pass: cols[j] is the full
 // similarity column of queries[j]. csrplus.(*Engine).Query satisfies it.
 type QueryFunc func(queries []int) ([][]float64, error)
+
+// batchQueryFunc is the batcher's internal engine signature: one
+// multi-source pass at a chosen rank (0 = full), honouring ctx so an
+// abandoned batch can stop mid-pass. The public QueryFunc / MatQueryFunc /
+// RankQueryFunc flavours are all adapted onto it.
+type batchQueryFunc func(ctx context.Context, queries []int, rank int) ([][]float64, error)
 
 // Batcher coalesces concurrent column requests into multi-source engine
 // calls. The paper's complexity bound O(r(m + n(r + |Q|))) makes the
@@ -21,13 +30,25 @@ type QueryFunc func(queries []int) ([][]float64, error)
 // improving throughput), or — with every worker busy — when the linger
 // window expires. Duplicate nodes across co-batched requests are computed
 // once and shared.
+//
+// When a degraded rank is configured, a batch runs truncated — trading
+// accuracy bounded by the factor tail for an r'/r cost reduction — if any
+// of its requests asked for degradation (deadline pressure, decided at
+// admission) or the batcher itself is under load pressure at flush time
+// (queue depth past the threshold, or requests shed since the last
+// batch). The effective rank travels back with every response so callers
+// can tag what they served.
 type Batcher struct {
-	queryFn  QueryFunc
+	queryFn  batchQueryFunc
 	maxBatch int
 	linger   time.Duration
 	strict   bool
 	metrics  *Metrics
 	pool     *Pool
+
+	degradedRank  int   // truncated rank under pressure; 0 = never degrade
+	overloadDepth int64 // queue depth that counts as pressure; 0 = disabled
+	prevShed      atomic.Int64
 
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
@@ -37,28 +58,38 @@ type Batcher struct {
 }
 
 type request struct {
-	ctx   context.Context
-	nodes []int
-	out   chan response // buffered(1): abandoned callers never block a worker
+	ctx     context.Context
+	nodes   []int
+	degrade bool          // admission-time vote to answer truncated
+	out     chan response // buffered(1): abandoned callers never block a worker
 }
 
 type response struct {
 	cols map[int][]float64
+	rank int // effective rank of the answering pass; 0 = full
 	err  error
 }
 
-// NewBatcher starts the dispatch loop and worker pool. maxBatch is the
-// most unique nodes per engine call — a request that would push a batch
-// past it is left to seed the next batch, so the bound holds whenever no
-// single request alone exceeds it (requests are indivisible: one whose
-// own node set tops maxBatch forms its own oversized batch). linger is
-// the longest a request waits
-// for co-batching (0 batches only what is already queued), maxPending the
+// NewBatcher starts the dispatch loop and worker pool over a plain
+// QueryFunc engine (always full rank; the engine is only consulted after
+// a context check). maxBatch is the most unique nodes per engine call — a
+// request that would push a batch past it is left to seed the next batch,
+// so the bound holds whenever no single request alone exceeds it
+// (requests are indivisible: one whose own node set tops maxBatch forms
+// its own oversized batch). linger is the longest a request waits for
+// co-batching (0 batches only what is already queued), maxPending the
 // admission bound beyond which requests are shed, workers the concurrent
 // engine calls. strict disables the idle-worker eager flush: partial
 // batches always wait for the size or linger trigger, maximising batch
 // occupancy (throughput) at the cost of light-load latency.
 func NewBatcher(queryFn QueryFunc, maxBatch int, linger time.Duration, maxPending, workers int, strict bool, m *Metrics) *Batcher {
+	return newBatcher(wrapQuery(queryFn), maxBatch, linger, maxPending, workers, strict, m, 0, 0)
+}
+
+// newBatcher is the full-control constructor used by Server: degradedRank
+// and overloadDepth wire the graceful-degradation policy (both 0 for
+// backends without rank structure).
+func newBatcher(queryFn batchQueryFunc, maxBatch int, linger time.Duration, maxPending, workers int, strict bool, m *Metrics, degradedRank int, overloadDepth int64) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -69,14 +100,16 @@ func NewBatcher(queryFn QueryFunc, maxBatch int, linger time.Duration, maxPendin
 		m = NewMetrics()
 	}
 	b := &Batcher{
-		queryFn:  queryFn,
-		maxBatch: maxBatch,
-		linger:   linger,
-		strict:   strict,
-		metrics:  m,
-		pool:     NewPool(workers),
-		queue:    make(chan *request, maxPending),
-		done:     make(chan struct{}),
+		queryFn:       queryFn,
+		maxBatch:      maxBatch,
+		linger:        linger,
+		strict:        strict,
+		metrics:       m,
+		pool:          NewPool(workers),
+		degradedRank:  degradedRank,
+		overloadDepth: overloadDepth,
+		queue:         make(chan *request, maxPending),
+		done:          make(chan struct{}),
 	}
 	go b.run()
 	return b
@@ -88,7 +121,18 @@ func NewBatcher(queryFn QueryFunc, maxBatch int, linger time.Duration, maxPendin
 // admission queue is full, ErrClosed after Close, and ctx.Err() when the
 // caller's deadline expires before the batch completes.
 func (b *Batcher) Columns(ctx context.Context, nodes []int) (map[int][]float64, error) {
-	req := &request{ctx: ctx, nodes: nodes, out: make(chan response, 1)}
+	cols, _, err := b.ColumnsDegrade(ctx, nodes, false)
+	return cols, err
+}
+
+// ColumnsDegrade is Columns with a degradation vote: degrade asks the
+// answering batch to run at the truncated rank. The returned rank is the
+// effective rank of the pass that answered (0 = full) — it can be
+// truncated even when this caller did not ask (overload pressure, or a
+// co-batched caller's vote), and full when it did (degradation not
+// configured on this backend).
+func (b *Batcher) ColumnsDegrade(ctx context.Context, nodes []int, degrade bool) (map[int][]float64, int, error) {
+	req := &request{ctx: ctx, nodes: nodes, degrade: degrade, out: make(chan response, 1)}
 
 	// The read-lock spans only the non-blocking enqueue, so Close's write
 	// lock cannot be acquired mid-send: after Close sets closed, no sender
@@ -97,7 +141,7 @@ func (b *Batcher) Columns(ctx context.Context, nodes []int) (map[int][]float64, 
 	if b.closed {
 		b.mu.RUnlock()
 		b.metrics.rejected.Add(1)
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	select {
 	case b.queue <- req:
@@ -107,15 +151,15 @@ func (b *Batcher) Columns(ctx context.Context, nodes []int) (map[int][]float64, 
 	default:
 		b.mu.RUnlock()
 		b.metrics.shed.Add(1)
-		return nil, ErrOverloaded
+		return nil, 0, ErrOverloaded
 	}
 
 	select {
 	case resp := <-req.out:
-		return resp.cols, resp.err
+		return resp.cols, resp.rank, resp.err
 	case <-ctx.Done():
 		b.metrics.expired.Add(1)
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	}
 }
 
@@ -234,6 +278,46 @@ func (b *Batcher) run() {
 	}
 }
 
+// overloaded reports whether the batcher is under enough pressure that
+// answering cheap beats answering exact: the admission queue is past the
+// configured depth, or requests were shed since the last batch (the queue
+// hit its hard bound — the strongest possible signal).
+func (b *Batcher) overloaded() bool {
+	if b.overloadDepth <= 0 {
+		return false
+	}
+	shed := b.metrics.shed.Load()
+	if b.prevShed.Swap(shed) < shed {
+		return true
+	}
+	return b.metrics.queueDepth.Load() > b.overloadDepth
+}
+
+// batchContext derives a context that is live while at least one of the
+// batch's callers still is: each request's context decrements a counter
+// as it expires, and the last one cancels the batch. The engine pass
+// checks it between row bands, so a batch every caller has abandoned
+// releases its pool worker mid-pass instead of computing into the void.
+func batchContext(reqs []*request) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	remaining := int64(len(reqs))
+	var counted atomic.Int64
+	stops := make([]func() bool, 0, len(reqs))
+	for _, req := range reqs {
+		stops = append(stops, context.AfterFunc(req.ctx, func() {
+			if counted.Add(1) == remaining {
+				cancel()
+			}
+		}))
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}
+
 // runBatch executes one coalesced engine call on a pool worker and fans
 // the shared column map back out to every caller.
 func (b *Batcher) runBatch(reqs []*request) {
@@ -252,7 +336,9 @@ func (b *Batcher) runBatch(reqs []*request) {
 		return
 	}
 	uniq := make(map[int]struct{})
+	degrade := false
 	for _, req := range live {
+		degrade = degrade || req.degrade
 		for _, n := range req.nodes {
 			uniq[n] = struct{}{}
 		}
@@ -263,11 +349,23 @@ func (b *Batcher) runBatch(reqs []*request) {
 	}
 	sort.Ints(nodes) // deterministic engine input regardless of arrival order
 
+	rank := 0
+	if b.degradedRank > 0 && (degrade || b.overloaded()) {
+		rank = b.degradedRank
+		b.metrics.degradedBatches.Add(1)
+	}
+
 	b.metrics.batches.Add(1)
 	b.metrics.nodes.Add(int64(len(nodes)))
 	b.metrics.BatchOccupancy.Observe(float64(len(nodes)))
 
-	cols, err := b.queryFn(nodes)
+	ctx, release := batchContext(live)
+	err := fault.Hit(fault.SiteBatchQuery) // chaos builds: engine-level latency/failure
+	var cols [][]float64
+	if err == nil {
+		cols, err = b.queryFn(ctx, nodes, rank)
+	}
+	release()
 	if err != nil {
 		for _, req := range live {
 			req.out <- response{err: err}
@@ -279,6 +377,6 @@ func (b *Batcher) runBatch(reqs []*request) {
 		byNode[n] = cols[j]
 	}
 	for _, req := range live {
-		req.out <- response{cols: byNode}
+		req.out <- response{cols: byNode, rank: rank}
 	}
 }

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"csrplus/internal/dense"
+)
+
+// BenchmarkSearchHotPath measures the full per-request serving path —
+// admission, batching, the engine call, top-k selection — over a trivial
+// engine, so the framework itself (including the fault-injection hooks
+// on the batch and scratch-allocation sites) is what is timed. Run it
+// with and without -tags faultinject to confirm the instrumentation is
+// free in production builds and within noise when compiled in but
+// unarmed:
+//
+//	go test -run='^$' -bench=SearchHotPath ./internal/serve/
+//	go test -run='^$' -bench=SearchHotPath -tags faultinject ./internal/serve/
+func BenchmarkSearchHotPath(b *testing.B) {
+	const n = 2048
+	queryFn := func(ctx context.Context, queries []int, rank int, scratch *dense.Mat) (*dense.Mat, error) {
+		if scratch == nil {
+			return dense.NewMat(n, len(queries)), nil
+		}
+		return scratch.Reuse(n, len(queries)), nil
+	}
+	sv := NewRanked(
+		Ranked{N: n, Rank: 8, Bound: func(int) float64 { return 0 }, Query: queryFn},
+		Config{MaxBatch: 1, Workers: 1, MaxPending: 64},
+	)
+	defer sv.Close()
+
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Search(ctx, []int{i % n}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

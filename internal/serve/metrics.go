@@ -21,6 +21,9 @@ type Metrics struct {
 	nodes      atomic.Int64 // unique query nodes across all batches
 	queueDepth atomic.Int64 // requests admitted but not yet answered
 
+	degraded        atomic.Int64 // requests answered at truncated rank
+	degradedBatches atomic.Int64 // engine calls run at truncated rank
+
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
@@ -28,7 +31,8 @@ type Metrics struct {
 
 	generation     atomic.Uint64 // engine generation taking new requests
 	reloads        atomic.Int64  // successful generation swaps after boot
-	reloadFailures atomic.Int64  // reload attempts that never swapped
+	reloadFailures atomic.Int64  // reload runs that never swapped
+	reloadRetries  atomic.Int64  // in-run retry attempts after a failed pass
 
 	// Latency covers admission -> response for answered requests, in
 	// seconds. BatchOccupancy counts unique query nodes per engine call —
@@ -66,6 +70,11 @@ func (m *Metrics) Expired() int64    { return m.expired.Load() }
 func (m *Metrics) Batches() int64    { return m.batches.Load() }
 func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
 
+// Degraded counts requests answered at a truncated rank;
+// DegradedBatches counts the engine calls that ran truncated.
+func (m *Metrics) Degraded() int64        { return m.degraded.Load() }
+func (m *Metrics) DegradedBatches() int64 { return m.degradedBatches.Load() }
+
 // SetGeneration records the engine generation now taking new requests;
 // Server.Swap is the only writer. Generation reads the gauge.
 func (m *Metrics) SetGeneration(gen uint64) { m.generation.Store(gen) }
@@ -82,6 +91,11 @@ func (m *Metrics) ReloadSucceeded(seconds float64) {
 func (m *Metrics) ReloadFailed()         { m.reloadFailures.Add(1) }
 func (m *Metrics) Reloads() int64        { return m.reloads.Load() }
 func (m *Metrics) ReloadFailures() int64 { return m.reloadFailures.Load() }
+
+// ReloadRetried counts one in-run retry (a failed lifecycle pass that is
+// being attempted again after backoff); ReloadRetries reads it back.
+func (m *Metrics) ReloadRetried()       { m.reloadRetries.Add(1) }
+func (m *Metrics) ReloadRetries() int64 { return m.reloadRetries.Load() }
 
 // Snapshot renders every counter and histogram as a JSON-encodable map,
 // the payload of the /metrics endpoint.
@@ -106,6 +120,8 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"batched_nodes":        nodes,
 		"mean_batch_occupancy": mean,
 		"queue_depth":          m.queueDepth.Load(),
+		"requests_degraded":    m.degraded.Load(),
+		"degraded_batches":     m.degradedBatches.Load(),
 		"cache_hits":           hits,
 		"cache_misses":         misses,
 		"cache_evictions":      m.cacheEvictions.Load(),
@@ -114,6 +130,7 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"generation":           m.generation.Load(),
 		"reloads":              m.reloads.Load(),
 		"reload_failures":      m.reloadFailures.Load(),
+		"reload_retries":       m.reloadRetries.Load(),
 		"reload_seconds":       m.ReloadDuration.Snapshot(),
 		"latency_seconds":      m.Latency.Snapshot(),
 		"batch_occupancy":      m.BatchOccupancy.Snapshot(),

@@ -14,6 +14,15 @@
 // requests admitted after the swap see the new engine while in-flight
 // batches finish on the old one — so an index rebuild or snapshot reload
 // never pauses traffic (see internal/reload for the lifecycle around it).
+//
+// Engines with rank structure (SwapRanked) additionally get graceful
+// degradation: under pressure — a request admitted with too little
+// deadline budget, the admission queue past a depth threshold, or
+// requests being shed — batches run at a truncated rank r' < r, trading
+// entrywise accuracy bounded by the factor tail for an r'/r cost cut.
+// Every degraded response is tagged with its effective rank and the
+// engine's advertised error bound, so clients can tell an exact answer
+// from a cheap one.
 package serve
 
 import (
@@ -29,6 +38,7 @@ import (
 
 	"csrplus/internal/cache"
 	"csrplus/internal/dense"
+	"csrplus/internal/fault"
 	"csrplus/internal/topk"
 )
 
@@ -36,6 +46,31 @@ import (
 // unset: large enough for any ranking UI, small enough that one request
 // cannot demand a near-full sort of a massive graph's score vector.
 const DefaultMaxK = 1000
+
+// DefaultDegradeQueueFraction is the admission-queue fill fraction past
+// which batches degrade, when degradation is enabled without an explicit
+// threshold.
+const DefaultDegradeQueueFraction = 0.75
+
+// DegradeConfig tunes graceful degradation. It only takes effect on
+// backends installed with SwapRanked/NewRanked (plain QueryFunc backends
+// have no rank to truncate).
+type DegradeConfig struct {
+	// Rank is the truncated rank served under pressure. 0 disables
+	// degradation; values >= the engine's full rank also disable it
+	// (there is nothing to truncate to).
+	Rank int
+	// QueueFraction is the admission-queue fill fraction (of MaxPending)
+	// past which whole batches degrade. Default
+	// DefaultDegradeQueueFraction when Rank > 0; negative disables the
+	// queue-depth trigger (leaving only per-request budget votes and
+	// shed-pressure).
+	QueueFraction float64
+	// MinBudget degrades a request admitted with less than this much
+	// deadline budget remaining — it would rather answer cheap than miss
+	// its deadline answering exact. 0 disables the budget trigger.
+	MinBudget time.Duration
+}
 
 // Config tunes a Server. The zero value selects sensible production
 // defaults (documented per field).
@@ -70,7 +105,11 @@ type Config struct {
 	// through the server's metrics registry. Keys are namespaced by
 	// engine generation, so a Swap implicitly invalidates every earlier
 	// entry (and Clear is called on swap to release the memory early).
+	// Only full-rank results are cached: a degraded answer must never
+	// outlive the pressure that justified it.
 	Cache *cache.LRU
+	// Degrade configures graceful degradation (see DegradeConfig).
+	Degrade DegradeConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxK == 0 {
 		c.MaxK = DefaultMaxK
 	}
+	if c.Degrade.Rank > 0 && c.Degrade.QueueFraction == 0 {
+		c.Degrade.QueueFraction = DefaultDegradeQueueFraction
+	}
 	return c
 }
 
@@ -107,13 +149,44 @@ type Pair struct {
 	Score  float64 `json:"score"`
 }
 
+// QueryInfo tags a response with how it was answered. The zero value
+// means a full-rank (exact) answer.
+type QueryInfo struct {
+	// Degraded reports the answer was computed at a truncated rank.
+	Degraded bool `json:"degraded"`
+	// EffectiveRank is the rank actually used; 0 when full.
+	EffectiveRank int `json:"effective_rank,omitempty"`
+	// FullRank is the engine's full rank, for r'/r context. 0 when the
+	// backend has no rank structure.
+	FullRank int `json:"full_rank,omitempty"`
+	// ErrorBound is the engine's advertised entrywise bound on
+	// |degraded - exact| for this rank; 0 for exact answers.
+	ErrorBound float64 `json:"error_bound,omitempty"`
+}
+
+// SearchResult is TopK's full-fidelity result shape.
+type SearchResult struct {
+	Matches []Match   `json:"matches"`
+	Cached  bool      `json:"cached"`
+	Info    QueryInfo `json:"info"`
+}
+
+// PairsResult is Similarity's full-fidelity result shape.
+type PairsResult struct {
+	Pairs []Pair    `json:"pairs"`
+	Info  QueryInfo `json:"info"`
+}
+
 // backend is one engine generation: the batcher feeding it, the node
-// count requests are validated against, and the generation number that
-// namespaces its cache entries. Immutable once installed — a reload
-// builds a fresh backend and swaps the pointer.
+// count requests are validated against, the rank structure degradation
+// works with, and the generation number that namespaces its cache
+// entries. Immutable once installed — a reload builds a fresh backend and
+// swaps the pointer.
 type backend struct {
 	gen     uint64
 	n       int
+	rank    int               // engine's full rank; 0 = no rank structure
+	bound   func(int) float64 // entrywise truncation bound; never nil
 	batcher *Batcher
 }
 
@@ -141,14 +214,18 @@ type Server struct {
 // by queryFn (normally csrplus.(*Engine).Query). The engine becomes
 // generation 1; Swap installs successors.
 func New(n int, queryFn QueryFunc, cfg Config) *Server {
+	s := newServer(cfg)
+	s.Swap(n, queryFn)
+	return s
+}
+
+func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	if cfg.Cache != nil {
 		cfg.Cache.SetRecorder(m)
 	}
-	s := &Server{cfg: cfg, metrics: m}
-	s.Swap(n, queryFn)
-	return s
+	return &Server{cfg: cfg, metrics: m}
 }
 
 // MatQueryFunc answers one multi-source engine pass into a reusable
@@ -157,22 +234,73 @@ func New(n int, queryFn QueryFunc, cfg Config) *Server {
 // csrplus.(*Engine).QueryInto satisfies it.
 type MatQueryFunc func(queries []int, scratch *dense.Mat) (*dense.Mat, error)
 
+// RankQueryFunc answers one multi-source engine pass at a chosen rank
+// (0 or >= the engine's rank = full), honouring ctx between row bands so
+// an abandoned batch stops consuming its worker mid-pass.
+// csrplus.(*Engine).QueryRankInto satisfies it.
+type RankQueryFunc func(ctx context.Context, queries []int, rank int, scratch *dense.Mat) (*dense.Mat, error)
+
+// Ranked describes an engine generation with rank structure — the full
+// contract graceful degradation needs.
+type Ranked struct {
+	// N is the node count requests are validated against.
+	N int
+	// Rank is the engine's full SVD rank; 0 disables degradation for
+	// this generation.
+	Rank int
+	// Bound reports the entrywise error bound of answering at a
+	// truncated rank (csrplus.(*Engine).TruncationBound). nil means "no
+	// bound advertised" and reports 0.
+	Bound func(rank int) float64
+	// Query answers one multi-source pass at a chosen rank.
+	Query RankQueryFunc
+}
+
 // NewMat is New for a scratch-aware engine: every engine pass borrows an
 // n x maxBatch-capacity matrix from a sync.Pool instead of allocating
 // n x |Q| afresh, which keeps the steady-state serving hot path
 // allocation-light (the per-column copies handed to callers remain — they
 // outlive the batch). Everything else matches New.
 func NewMat(n int, queryFn MatQueryFunc, cfg Config) *Server {
-	return New(n, wrapMatQuery(queryFn), cfg)
+	s := newServer(cfg)
+	s.SwapMat(n, queryFn)
+	return s
 }
 
-// wrapMatQuery adapts a scratch-aware engine to the batcher's QueryFunc,
-// giving it a private sync.Pool of scratch matrices. Each generation gets
-// its own pool, so scratch dimensioned for an old graph never leaks into
-// a new engine's passes.
-func wrapMatQuery(queryFn MatQueryFunc) QueryFunc {
+// NewRanked is New for an engine with rank structure: scratch pooling as
+// in NewMat, plus context propagation into the engine pass and graceful
+// degradation per cfg.Degrade.
+func NewRanked(e Ranked, cfg Config) *Server {
+	s := newServer(cfg)
+	s.SwapRanked(e)
+	return s
+}
+
+// wrapQuery adapts a plain engine to the batcher's internal signature:
+// the context is checked once at the engine boundary (the engine itself
+// cannot be interrupted) and the rank is ignored (nothing to truncate).
+func wrapQuery(queryFn QueryFunc) batchQueryFunc {
+	return func(ctx context.Context, queries []int, _ int) ([][]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return queryFn(queries)
+	}
+}
+
+// wrapMatQuery adapts a scratch-aware engine to the batcher, giving it a
+// private sync.Pool of scratch matrices. Each generation gets its own
+// pool, so scratch dimensioned for an old graph never leaks into a new
+// engine's passes.
+func wrapMatQuery(queryFn MatQueryFunc) batchQueryFunc {
 	var pool sync.Pool
-	return func(queries []int) ([][]float64, error) {
+	return func(ctx context.Context, queries []int, _ int) ([][]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if fault.ShouldFailAlloc(fault.SiteScratchAlloc) {
+			return nil, fault.ErrAllocFailed
+		}
 		scratch, _ := pool.Get().(*dense.Mat)
 		s, err := queryFn(queries, scratch)
 		if err != nil {
@@ -190,6 +318,31 @@ func wrapMatQuery(queryFn MatQueryFunc) QueryFunc {
 	}
 }
 
+// wrapRankQuery is wrapMatQuery for a rank-aware engine: the context and
+// rank reach the engine pass itself.
+func wrapRankQuery(queryFn RankQueryFunc) batchQueryFunc {
+	var pool sync.Pool
+	return func(ctx context.Context, queries []int, rank int) ([][]float64, error) {
+		if fault.ShouldFailAlloc(fault.SiteScratchAlloc) {
+			return nil, fault.ErrAllocFailed
+		}
+		scratch, _ := pool.Get().(*dense.Mat)
+		s, err := queryFn(ctx, queries, rank, scratch)
+		if err != nil {
+			if scratch != nil {
+				pool.Put(scratch)
+			}
+			return nil, err
+		}
+		cols := make([][]float64, len(queries))
+		for j := range queries {
+			cols[j] = s.Col(j, nil)
+		}
+		pool.Put(s)
+		return cols, nil
+	}
+}
+
 // Swap atomically installs a new engine generation and returns its
 // number. Requests admitted after Swap returns are validated against n,
 // answered by queryFn, and cached under the new generation's key space;
@@ -200,16 +353,45 @@ func wrapMatQuery(queryFn MatQueryFunc) QueryFunc {
 // (they are already unreachable: cache keys embed the generation).
 // Returns 0 without swapping when the server is already closed.
 func (s *Server) Swap(n int, queryFn QueryFunc) uint64 {
+	return s.swapBackend(n, 0, nil, wrapQuery(queryFn))
+}
+
+// SwapMat is Swap for a scratch-aware engine (see NewMat).
+func (s *Server) SwapMat(n int, queryFn MatQueryFunc) uint64 {
+	return s.swapBackend(n, 0, nil, wrapMatQuery(queryFn))
+}
+
+// SwapRanked is Swap for an engine with rank structure (see NewRanked).
+func (s *Server) SwapRanked(e Ranked) uint64 {
+	return s.swapBackend(e.N, e.Rank, e.Bound, wrapRankQuery(e.Query))
+}
+
+func (s *Server) swapBackend(n, rank int, bound func(int) float64, queryFn batchQueryFunc) uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	if s.closed {
 		return 0
 	}
+	if bound == nil {
+		bound = func(int) float64 { return 0 }
+	}
+	// Degradation only arms when the configured truncated rank is a real
+	// truncation of this engine; the queue-depth trigger needs a positive
+	// fraction of the admission bound.
+	degradedRank, overloadDepth := 0, int64(0)
+	if rank > 0 && s.cfg.Degrade.Rank > 0 && s.cfg.Degrade.Rank < rank {
+		degradedRank = s.cfg.Degrade.Rank
+		if f := s.cfg.Degrade.QueueFraction; f > 0 {
+			overloadDepth = int64(f * float64(s.cfg.MaxPending))
+		}
+	}
 	s.gen++
 	nb := &backend{
 		gen:     s.gen,
 		n:       n,
-		batcher: NewBatcher(queryFn, s.cfg.MaxBatch, s.cfg.Linger, s.cfg.MaxPending, s.cfg.Workers, s.cfg.StrictLinger, s.metrics),
+		rank:    rank,
+		bound:   bound,
+		batcher: newBatcher(queryFn, s.cfg.MaxBatch, s.cfg.Linger, s.cfg.MaxPending, s.cfg.Workers, s.cfg.StrictLinger, s.metrics, degradedRank, overloadDepth),
 	}
 	old := s.be.Swap(nb)
 	s.metrics.SetGeneration(s.gen)
@@ -220,11 +402,6 @@ func (s *Server) Swap(n int, queryFn QueryFunc) uint64 {
 		s.cfg.Cache.Clear()
 	}
 	return s.gen
-}
-
-// SwapMat is Swap for a scratch-aware engine (see NewMat).
-func (s *Server) SwapMat(n int, queryFn MatQueryFunc) uint64 {
-	return s.Swap(n, wrapMatQuery(queryFn))
 }
 
 // Generation returns the engine generation currently taking new requests.
@@ -281,14 +458,27 @@ func (s *Server) deadline(ctx context.Context) (context.Context, context.CancelF
 	return ctx, func() {}
 }
 
+// degradeVote is the admission-time degradation decision: a request
+// arriving with less than MinBudget of deadline left votes to be answered
+// cheap rather than risk answering late.
+func (s *Server) degradeVote(ctx context.Context) bool {
+	mb := s.cfg.Degrade.MinBudget
+	if mb <= 0 {
+		return false
+	}
+	dl, ok := ctx.Deadline()
+	return ok && time.Until(dl) < mb
+}
+
 // columns resolves the current generation and runs one batched engine
 // pass on it. When the resolved generation is superseded between the
 // load and the enqueue — its batcher rejects with ErrClosed but the
 // server as a whole is still open — the request transparently retries on
 // the successor, so a reload in progress never surfaces as a caller
 // error. Each retry re-resolves the generation, and the returned backend
-// is the one that actually answered (its gen names the cache key space).
-func (s *Server) columns(ctx context.Context, nodes []int) (*backend, map[int][]float64, error) {
+// is the one that actually answered (its gen names the cache key space,
+// its rank structure interprets the returned effective rank).
+func (s *Server) columns(ctx context.Context, nodes []int, degrade bool) (*backend, map[int][]float64, int, error) {
 	for first := true; ; first = false {
 		be := s.be.Load()
 		if !first {
@@ -296,35 +486,58 @@ func (s *Server) columns(ctx context.Context, nodes []int) (*backend, map[int][]
 			// under the superseded generation must fail validation, not
 			// reach the new engine.
 			if err := validateNodes(nodes, be.n); err != nil {
-				return be, nil, s.reject(err)
+				return be, nil, 0, s.reject(err)
 			}
 		}
-		cols, err := be.batcher.Columns(ctx, nodes)
+		cols, rank, err := be.batcher.ColumnsDegrade(ctx, nodes, degrade)
 		if err != nil {
 			if errors.Is(err, ErrClosed) && s.be.Load() != be {
 				continue // lost the race with a Swap; the successor is live
 			}
-			return be, nil, err
+			return be, nil, 0, err
 		}
-		return be, cols, nil
+		return be, cols, rank, nil
+	}
+}
+
+// info tags a response with the rank that answered it, counting degraded
+// answers in the metrics registry.
+func (s *Server) info(be *backend, rank int) QueryInfo {
+	if rank <= 0 {
+		return QueryInfo{FullRank: be.rank}
+	}
+	s.metrics.degraded.Add(1)
+	return QueryInfo{
+		Degraded:      true,
+		EffectiveRank: rank,
+		FullRank:      be.rank,
+		ErrorBound:    be.bound(rank),
 	}
 }
 
 // TopK returns the k nodes most similar to the query set (aggregate
 // similarity for multi-node sets, each query node excluded), batched with
 // concurrent requests. cached reports a cache hit. k is clamped to n and
-// rejected beyond Config.MaxK.
+// rejected beyond Config.MaxK. For degradation tagging, use Search.
 func (s *Server) TopK(ctx context.Context, queries []int, k int) (matches []Match, cached bool, err error) {
+	res, err := s.Search(ctx, queries, k)
+	return res.Matches, res.Cached, err
+}
+
+// Search is TopK with response provenance: the result reports whether it
+// came from cache and, when the answering batch ran degraded, the
+// effective rank and the engine's advertised error bound.
+func (s *Server) Search(ctx context.Context, queries []int, k int) (SearchResult, error) {
 	start := time.Now()
 	be := s.be.Load()
 	if err := validateNodes(queries, be.n); err != nil {
-		return nil, false, s.reject(err)
+		return SearchResult{}, s.reject(err)
 	}
 	if k < 1 {
-		return nil, false, s.reject(fmt.Errorf("%w: k must be >= 1, got %d", ErrBadRequest, k))
+		return SearchResult{}, s.reject(fmt.Errorf("%w: k must be >= 1, got %d", ErrBadRequest, k))
 	}
 	if k > s.cfg.MaxK {
-		return nil, false, s.reject(fmt.Errorf("%w: k=%d exceeds server maximum %d", ErrBadRequest, k, s.cfg.MaxK))
+		return SearchResult{}, s.reject(fmt.Errorf("%w: k=%d exceeds server maximum %d", ErrBadRequest, k, s.cfg.MaxK))
 	}
 	if k > be.n {
 		k = be.n // a graph has at most n candidates; clamp instead of erroring
@@ -333,48 +546,56 @@ func (s *Server) TopK(ctx context.Context, queries []int, k int) (matches []Matc
 	if s.cfg.Cache != nil {
 		if v, ok := s.cfg.Cache.Get(topKKey(be.gen, queries, k)); ok {
 			s.metrics.Latency.Observe(time.Since(start).Seconds())
-			return v.([]Match), true, nil
+			return SearchResult{Matches: v.([]Match), Cached: true, Info: QueryInfo{FullRank: be.rank}}, nil
 		}
 	}
 
 	ctx, cancel := s.deadline(ctx)
 	defer cancel()
-	served, cols, err := s.columns(ctx, queries)
+	served, cols, rank, err := s.columns(ctx, queries, s.degradeVote(ctx))
 	if err != nil {
-		return nil, false, err
+		return SearchResult{}, err
 	}
-	matches = selectTopK(cols, queries, k)
-	if s.cfg.Cache != nil {
+	matches := selectTopK(cols, queries, k)
+	if s.cfg.Cache != nil && rank <= 0 {
 		// Key by the generation that served the batch (it may be newer
 		// than the one the cache was probed under): the entry must only
 		// ever answer lookups against the engine that produced it.
+		// Degraded results are never cached — the cache would keep
+		// serving them long after the pressure has passed.
 		s.cfg.Cache.Put(topKKey(served.gen, queries, k), matches)
 	}
 	s.metrics.Latency.Observe(time.Since(start).Seconds())
-	return matches, false, nil
+	return SearchResult{Matches: matches, Info: s.info(served, rank)}, nil
 }
 
 // Similarity returns the score of every (query, target) pair, batched
-// with concurrent requests.
+// with concurrent requests. For degradation tagging, use Score.
 func (s *Server) Similarity(ctx context.Context, queries, targets []int) ([]Pair, error) {
+	res, err := s.Score(ctx, queries, targets)
+	return res.Pairs, err
+}
+
+// Score is Similarity with response provenance (see Search).
+func (s *Server) Score(ctx context.Context, queries, targets []int) (PairsResult, error) {
 	start := time.Now()
 	be := s.be.Load()
 	if err := validateNodes(queries, be.n); err != nil {
-		return nil, s.reject(err)
+		return PairsResult{}, s.reject(err)
 	}
 	if len(targets) == 0 {
-		return nil, s.reject(fmt.Errorf("%w: empty target set", ErrBadRequest))
+		return PairsResult{}, s.reject(fmt.Errorf("%w: empty target set", ErrBadRequest))
 	}
 	for _, t := range targets {
 		if t < 0 || t >= be.n {
-			return nil, s.reject(fmt.Errorf("%w: target %d out of range [0, %d)", ErrBadRequest, t, be.n))
+			return PairsResult{}, s.reject(fmt.Errorf("%w: target %d out of range [0, %d)", ErrBadRequest, t, be.n))
 		}
 	}
 	ctx, cancel := s.deadline(ctx)
 	defer cancel()
-	_, cols, err := s.columns(ctx, queries)
+	served, cols, rank, err := s.columns(ctx, queries, s.degradeVote(ctx))
 	if err != nil {
-		return nil, err
+		return PairsResult{}, err
 	}
 	out := make([]Pair, 0, len(queries)*len(targets))
 	for _, q := range queries {
@@ -384,7 +605,7 @@ func (s *Server) Similarity(ctx context.Context, queries, targets []int) ([]Pair
 		}
 	}
 	s.metrics.Latency.Observe(time.Since(start).Seconds())
-	return out, nil
+	return PairsResult{Pairs: out, Info: s.info(served, rank)}, nil
 }
 
 // selectTopK mirrors csrplus.Engine.TopK / TopKMulti exactly: single
