@@ -23,6 +23,15 @@
 // re-resolves CURRENT — publish a new snapshot, repoint CURRENT, send
 // SIGHUP, and traffic moves to the new index without dropping a request.
 //
+// With -shards K (CSR+ only) the index is partitioned into K contiguous
+// node-range shards behind an in-process scatter-gather router. Every
+// query fans out to all shards in parallel and the per-shard partial
+// top-k lists are merged into the exact global answer — results are
+// bitwise-identical to a monolithic server at any K. Each shard has its
+// own generation and snapshot directory (<dir>/shard-<s>), and reloads
+// roll shard by shard: a failure mid-roll leaves a mixed-generation
+// router that still answers every query exactly.
+//
 // Endpoints:
 //
 //	GET /health, /healthz             liveness (process up)
@@ -67,6 +76,7 @@ import (
 	"csrplus/internal/core"
 	"csrplus/internal/reload"
 	"csrplus/internal/serve"
+	"csrplus/internal/shard"
 )
 
 func main() {
@@ -81,6 +91,7 @@ func main() {
 	indexPath := flag.String("index", "", "load a persisted CSR+ index instead of precomputing")
 	saveIndex := flag.String("saveindex", "", "persist the precomputed CSR+ index to this path")
 	snapDir := flag.String("snapshots", "", "versioned snapshot directory (index-<gen>.csrx + CURRENT); boot from CURRENT when present, publish the boot index otherwise")
+	shards := flag.Int("shards", 1, "partition the index into this many node-range shards behind a scatter-gather router (CSR+ only; 1 = monolithic)")
 	adminToken := flag.String("admintoken", "", "bearer token authorising POST /admin/reload (empty disables it)")
 	cacheSize := flag.Int("cache", 1024, "top-k result cache entries (0 disables)")
 	maxBatch := flag.Int("maxbatch", 32, "max query nodes coalesced per engine call")
@@ -105,6 +116,16 @@ func main() {
 	if *snapDir != "" && *algo != csrplus.AlgoCSRPlus {
 		log.Fatalln("csrserver: -snapshots requires the CSR+ algorithm (only CSR+ has a persistable index)")
 	}
+	if *shards < 1 {
+		log.Fatalln("csrserver: -shards must be >= 1")
+	}
+	if *shards > 1 && *algo != csrplus.AlgoCSRPlus {
+		log.Fatalln("csrserver: -shards requires the CSR+ algorithm (only CSR+ factors partition by node range)")
+	}
+	var lru *cache.LRU
+	if *cacheSize > 0 {
+		lru = cache.New(*cacheSize)
+	}
 	src := &source{
 		g:         g,
 		algo:      *algo,
@@ -112,12 +133,17 @@ func main() {
 		damping:   *damping,
 		indexPath: *indexPath,
 		snapDir:   *snapDir,
+		shards:    *shards,
+		lru:       lru,
 	}
 	cand, eng, err := src.build(context.Background())
 	if err != nil {
 		log.Fatalln("csrserver:", err)
 	}
 	if *saveIndex != "" {
+		if eng == nil {
+			log.Fatalln("csrserver: -saveindex needs a full index, but the boot came from per-shard snapshots")
+		}
 		if err := eng.SaveIndex(*saveIndex); err != nil {
 			log.Fatalln("csrserver:", err)
 		}
@@ -125,8 +151,19 @@ func main() {
 	}
 	// Prime an empty snapshot directory with the boot index so the first
 	// SIGHUP has a CURRENT to resolve and operators can roll back to the
-	// generation the server came up with.
-	if *snapDir != "" && cand.Meta.Source != "snapshot" {
+	// generation the server came up with. Sharded servers prime one
+	// snapshot directory per shard (<dir>/shard-<s>) instead.
+	switch {
+	case *snapDir != "" && src.router != nil && cand.Meta.Source != "shard-snapshots":
+		ix, ok := eng.CoreIndex()
+		if !ok {
+			log.Fatalln("csrserver: sharded boot without a CSR+ index")
+		}
+		if err := publishShardSnapshots(*snapDir, ix, src.router.Plan()); err != nil {
+			log.Fatalln("csrserver:", err)
+		}
+		log.Printf("boot index published as %d per-shard snapshots under %s", src.router.K(), *snapDir)
+	case *snapDir != "" && src.router == nil && cand.Meta.Source != "snapshot":
 		gen, path, err := eng.SaveSnapshot(*snapDir)
 		if err != nil {
 			log.Fatalln("csrserver:", err)
@@ -136,10 +173,6 @@ func main() {
 	}
 	log.Printf("ready in %v (source=%s peak %d bytes)", cand.Meta.BuildTime, cand.Meta.Source, cand.Meta.PeakBytes)
 
-	var lru *cache.LRU
-	if *cacheSize > 0 {
-		lru = cache.New(*cacheSize)
-	}
 	// NewRanked: engine passes reuse a pooled n x |Q| scratch matrix and
 	// see the batch context (an abandoned batch stops mid-pass); engines
 	// with rank structure additionally serve truncated under pressure.
@@ -162,6 +195,9 @@ func main() {
 			MinBudget:     *degradeBudget,
 		},
 	})
+	if src.router != nil {
+		sv.Metrics().SetShards(src.router.K())
+	}
 	man := reload.NewWithPolicy(sv, src.loader(), cand.Meta, reload.Policy{
 		MaxAttempts:      *reloadRetries,
 		BaseBackoff:      *reloadBackoff,
@@ -173,7 +209,7 @@ func main() {
 	go reloadOnHUP(hup, man)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(man, sv, lru, *adminToken),
+		Handler:           newMux(man, sv, lru, *adminToken, src.router),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -208,13 +244,33 @@ type source struct {
 	damping   float64
 	indexPath string
 	snapDir   string
+
+	// shards > 1 routes serving through a scatter-gather router; the
+	// router persists across reloads (only shard factors roll), and lru is
+	// invalidated on a partial roll so no cached answer outlives a shard
+	// whose factors changed without a serve-generation bump.
+	shards int
+	router *shard.Router
+	lru    *cache.LRU
 }
 
 // build produces the next engine generation plus its provenance. The
 // engine handle is returned alongside the candidate because boot-time
 // callers need it (-saveindex, snapshot priming); reloads only keep the
-// candidate.
+// candidate. Sharded sources may return a nil engine (a boot straight
+// from per-shard snapshots never materialises the monolithic index).
 func (s *source) build(ctx context.Context) (*reload.Candidate, *csrplus.Engine, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if s.shards > 1 {
+		return s.buildSharded(ctx)
+	}
+	return s.buildMono(ctx)
+}
+
+// buildMono is the monolithic path: one engine serves the whole graph.
+func (s *source) buildMono(ctx context.Context) (*reload.Candidate, *csrplus.Engine, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -259,6 +315,161 @@ func (s *source) build(ctx context.Context) (*reload.Candidate, *csrplus.Engine,
 		Bound:     eng.TruncationBound,
 		Meta:      meta,
 	}, eng, nil
+}
+
+// buildSharded produces the next sharded generation. Sources, in
+// precedence order: per-shard snapshot directories (<snapDir>/shard-<s>,
+// each with its own index-<gen>.csrx + CURRENT) when every slot
+// resolves, else a full monolithic build (buildMono's precedence) sliced
+// by node range. The first build assembles the router; every later build
+// is a rolling shard-by-shard swap into it — load, validate, swap one
+// slot at a time, so a reload never has more than one shard's worth of
+// the index in motion and a failure leaves a mixed-generation router
+// that still answers every query exactly.
+func (s *source) buildSharded(ctx context.Context) (*reload.Candidate, *csrplus.Engine, error) {
+	start := time.Now()
+	if s.snapDir != "" && shardSnapshotsAvailable(s.snapDir, s.shards) {
+		cand, err := s.buildFromShardSnapshots(ctx, start)
+		return cand, nil, err
+	}
+	cand, eng, err := s.buildMono(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, ok := eng.CoreIndex()
+	if !ok {
+		return nil, nil, fmt.Errorf("-shards requires the CSR+ algorithm")
+	}
+	if s.router == nil {
+		rt, err := shard.NewRouterFromIndex(ix, s.shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.router = rt
+	} else {
+		swapped, err := reload.RollShards(ctx, s.router, func(_ context.Context, _, lo, hi int) (*core.IndexShard, error) {
+			return ix.Shard(lo, hi)
+		})
+		if err != nil {
+			s.invalidateAfterPartialRoll(swapped)
+			return nil, nil, err
+		}
+	}
+	meta := cand.Meta
+	meta.Shards = s.router.K()
+	meta.BuildTime = time.Since(start)
+	return s.shardCandidate(meta), eng, nil
+}
+
+// buildFromShardSnapshots loads every slot from its own snapshot
+// directory. On the first build it assembles the router from the loaded
+// shards (their ranges define the plan); on reloads it rolls them in
+// slot by slot.
+func (s *source) buildFromShardSnapshots(ctx context.Context, start time.Time) (*reload.Candidate, error) {
+	loadSlot := func(slot int) (*core.IndexShard, error) {
+		dir := core.ShardDir(s.snapDir, slot)
+		sh, snap, recovered, err := core.RecoverShardSnapshot(dir)
+		if err != nil {
+			return nil, err
+		}
+		if recovered {
+			log.Printf("WARNING: shard %d CURRENT unservable, recovered to snapshot generation %d (%s) — investigate and re-publish", slot, snap.Gen, snap.Path)
+		}
+		if sh.N() != s.g.N() {
+			return nil, fmt.Errorf("shard %d snapshot built for %d nodes, graph has %d", slot, sh.N(), s.g.N())
+		}
+		return sh, nil
+	}
+	if s.router == nil {
+		shards := make([]*core.IndexShard, s.shards)
+		for slot := range shards {
+			var err error
+			if shards[slot], err = loadSlot(slot); err != nil {
+				return nil, err
+			}
+		}
+		rt, err := shard.NewRouter(shards)
+		if err != nil {
+			return nil, err
+		}
+		s.router = rt
+	} else {
+		swapped, err := reload.RollShards(ctx, s.router, func(_ context.Context, slot, _, _ int) (*core.IndexShard, error) {
+			return loadSlot(slot)
+		})
+		if err != nil {
+			s.invalidateAfterPartialRoll(swapped)
+			return nil, err
+		}
+	}
+	meta := reload.Meta{
+		Source:    "shard-snapshots",
+		Path:      s.snapDir,
+		Algorithm: csrplus.AlgoCSRPlus,
+		N:         s.router.N(),
+		M:         s.g.M(),
+		Rank:      s.router.Rank(),
+		Shards:    s.router.K(),
+		BuildTime: time.Since(start),
+	}
+	return s.shardCandidate(meta), nil
+}
+
+// shardCandidate wraps the router as a reload candidate. The closures
+// are rebuilt each reload so the Manager's swap installs a fresh serve
+// generation — that generation bump is what invalidates every cached
+// result computed before the roll.
+func (s *source) shardCandidate(meta reload.Meta) *reload.Candidate {
+	rt := s.router
+	return &reload.Candidate{
+		N:         rt.N(),
+		Query:     rt.QueryInto,
+		RankQuery: rt.QueryRankInto,
+		Rank:      rt.Rank(),
+		Bound:     rt.TruncationBound,
+		Meta:      meta,
+	}
+}
+
+// invalidateAfterPartialRoll clears the result cache when a rolling
+// reload failed after swapping at least one shard: the serve generation
+// never bumped (the reload errored before the Manager's swap), but some
+// shards now answer from new factors, so pre-roll cache entries could
+// otherwise be served against a changed index.
+func (s *source) invalidateAfterPartialRoll(swapped int) {
+	if swapped > 0 && s.lru != nil {
+		s.lru.Clear()
+		log.Printf("csrserver: rolling reload failed after %d shard swap(s); result cache cleared", swapped)
+	}
+}
+
+// shardSnapshotsAvailable reports whether every one of the k per-shard
+// snapshot directories under dir can resolve a snapshot. All-or-nothing:
+// a partially published set falls back to a full rebuild rather than
+// mixing snapshot shards with rebuild shards in one boot.
+func shardSnapshotsAvailable(dir string, k int) bool {
+	for s := 0; s < k; s++ {
+		if !snapshotAvailable(core.ShardDir(dir, s)) {
+			return false
+		}
+	}
+	return true
+}
+
+// publishShardSnapshots slices ix by plan and publishes each slice as
+// the next generation of its shard directory.
+func publishShardSnapshots(dir string, ix *core.Index, plan shard.Plan) error {
+	for s := 0; s < plan.K(); s++ {
+		lo, hi := plan.Range(s)
+		sh, err := ix.Shard(lo, hi)
+		if err != nil {
+			return err
+		}
+		if _, _, err := core.WriteShardSnapshot(core.ShardDir(dir, s), sh); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // snapshotAvailable reports whether dir holds anything a boot could
@@ -317,8 +528,11 @@ func loadGraph(dataset string, scale int64, graphPath string, n int) (*csrplus.G
 // newMux wires the HTTP routes: query traffic goes through the serve
 // layer sv; the reload manager man answers /stats and the /admin routes.
 // Split from main so the handlers are testable with httptest. adminToken
-// guards POST /admin/reload; empty disables the route entirely.
-func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken string) *http.ServeMux {
+// guards POST /admin/reload; empty disables the route entirely. rt is the
+// scatter-gather router when -shards > 1 (nil otherwise) and only adds
+// per-shard detail to /stats and /admin/index — their unsharded shapes
+// are unchanged.
+func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken string, rt *shard.Router) *http.ServeMux {
 	mux := http.NewServeMux()
 	// /health and /healthz are liveness: the process is up and able to
 	// answer HTTP. They stay 200 through failed reloads and degraded mode
@@ -373,10 +587,31 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 			body["cache_misses"] = misses
 			body["cache_entries"] = lru.Len()
 		}
+		if rt != nil {
+			body["shards"] = rt.Status()
+		}
 		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("/admin/index", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, man.Current())
+		st := man.Current()
+		if rt == nil {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		// Re-marshal the status struct into a map so the per-shard
+		// generations ride along without changing the unsharded shape.
+		raw, err := json.Marshal(st)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		body := map[string]interface{}{}
+		if err := json.Unmarshal(raw, &body); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		body["shards"] = rt.Status()
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

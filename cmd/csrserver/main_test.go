@@ -20,6 +20,7 @@ import (
 	"csrplus/internal/cache"
 	"csrplus/internal/reload"
 	"csrplus/internal/serve"
+	"csrplus/internal/shard"
 )
 
 func testGraph(t testing.TB) *csrplus.Graph {
@@ -76,7 +77,7 @@ func testServerAuth(t *testing.T, cfg serve.Config, lru *cache.LRU, adminToken s
 	cfg.Cache = lru
 	sv := serve.New(6, eng.Query, cfg)
 	t.Cleanup(sv.Close)
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, lru, adminToken))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, lru, adminToken, nil))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -243,7 +244,7 @@ func TestOverloadReturns429(t *testing.T) {
 		return eng.Query(queries)
 	}
 	sv := serve.New(6, blocking, serve.Config{MaxBatch: 1, Linger: -1, MaxPending: 1, Workers: 1})
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, ""))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil))
 	var gateOnce sync.Once
 	release := func() { gateOnce.Do(func() { close(gate) }) }
 	defer srv.Close()
@@ -297,7 +298,7 @@ func TestDeadlineReturns504(t *testing.T) {
 	}
 	sv := serve.New(6, slow, serve.Config{Linger: -1, Timeout: 5 * time.Millisecond})
 	defer sv.Close()
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, ""))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil))
 	defer srv.Close()
 	code, body := get(t, srv, "/topk?node=1&k=2")
 	if code != http.StatusGatewayTimeout {
@@ -354,7 +355,7 @@ func BenchmarkTopKHandler(b *testing.B) {
 	run := func(b *testing.B, lru *cache.LRU) {
 		sv := serve.New(6, eng.Query, serve.Config{Linger: -1, Cache: lru})
 		defer sv.Close()
-		srv := httptest.NewServer(newMux(testManager(b, eng, sv), sv, lru, ""))
+		srv := httptest.NewServer(newMux(testManager(b, eng, sv), sv, lru, "", nil))
 		defer srv.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -507,7 +508,7 @@ func TestAdminReloadPicksUpNewSnapshot(t *testing.T) {
 	sv := serve.NewMat(cand.N, cand.Query, serve.Config{Linger: -1})
 	defer sv.Close()
 	man := reload.New(sv, src.loader(), cand.Meta)
-	srv := httptest.NewServer(newMux(man, sv, nil, "sesame"))
+	srv := httptest.NewServer(newMux(man, sv, nil, "sesame", nil))
 	defer srv.Close()
 
 	if _, _, err := eng.SaveSnapshot(dir); err != nil { // publish generation 2
@@ -553,7 +554,7 @@ func TestReadyzReportsOpenBreaker(t *testing.T) {
 		func(context.Context) (*reload.Candidate, error) { return nil, errTestDown },
 		reload.Meta{Source: "boot"},
 		reload.Policy{MaxAttempts: 1, BreakerThreshold: 1, BreakerCooldown: time.Minute})
-	srv := httptest.NewServer(newMux(man, sv, nil, ""))
+	srv := httptest.NewServer(newMux(man, sv, nil, "", nil))
 	t.Cleanup(srv.Close)
 
 	if _, err := man.Reload(context.Background()); err == nil {
@@ -587,7 +588,7 @@ func TestTopKDegradedTagging(t *testing.T) {
 		Degrade: serve.DegradeConfig{Rank: 1, MinBudget: time.Hour},
 	})
 	t.Cleanup(sv.Close)
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, ""))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil))
 	t.Cleanup(srv.Close)
 
 	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/topk?node=1&k=3", nil)
@@ -646,5 +647,115 @@ func TestBootRecoversFromTornSnapshotDir(t *testing.T) {
 	}
 	if cand.RankQuery == nil || cand.Rank != 3 {
 		t.Fatalf("candidate missing rank structure: rank=%d", cand.Rank)
+	}
+}
+
+// A sharded source boots by slicing a monolithic build, publishes
+// per-shard snapshots, and then reloads by rolling those snapshots in
+// shard by shard.
+func TestShardedSourceBuildAndRoll(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	src := &source{g: g, algo: csrplus.AlgoCSRPlus, rank: 3, snapDir: dir, shards: 3}
+	cand, eng, err := src.build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.router == nil || src.router.K() != 3 || cand.Meta.Shards != 3 {
+		t.Fatalf("boot meta = %+v, router = %v", cand.Meta, src.router)
+	}
+	for s, gen := range src.router.Generations() {
+		if gen != 1 {
+			t.Fatalf("shard %d at generation %d after boot, want 1", s, gen)
+		}
+	}
+	ix, ok := eng.CoreIndex()
+	if !ok {
+		t.Fatal("sharded boot without a core index")
+	}
+	if err := publishShardSnapshots(dir, ix, src.router.Plan()); err != nil {
+		t.Fatal(err)
+	}
+	if !shardSnapshotsAvailable(dir, 3) {
+		t.Fatal("published shard snapshots not detected")
+	}
+	cand2, eng2, err := src.build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2 != nil {
+		t.Fatal("shard-snapshot reload should not build a monolithic engine")
+	}
+	if cand2.Meta.Source != "shard-snapshots" || cand2.Meta.Shards != 3 {
+		t.Fatalf("reload meta = %+v", cand2.Meta)
+	}
+	for s, gen := range src.router.Generations() {
+		if gen != 2 {
+			t.Fatalf("shard %d at generation %d after roll, want 2", s, gen)
+		}
+	}
+}
+
+// The sharded mux serves bitwise-identical top-k to the monolithic one
+// and surfaces per-shard detail on /stats and /admin/index without
+// changing the unsharded response shapes.
+func TestShardedMuxEndpoints(t *testing.T) {
+	eng := testEngine(t)
+	ix, ok := eng.CoreIndex()
+	if !ok {
+		t.Fatal("engine has no core index")
+	}
+	rt, err := shard.NewRouterFromIndex(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := serve.NewRanked(serve.Ranked{
+		N: rt.N(), Rank: rt.Rank(), Bound: rt.TruncationBound, Query: rt.QueryRankInto,
+	}, serve.Config{Linger: -1})
+	t.Cleanup(sv.Close)
+	sv.Metrics().SetShards(rt.K())
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", rt))
+	t.Cleanup(srv.Close)
+	mono := testServer(t, serve.Config{}, nil)
+
+	for _, path := range []string{"/topk?node=1&k=5", "/topk?nodes=1,3&k=4"} {
+		codeA, bodyA := get(t, srv, path)
+		codeB, bodyB := get(t, mono, path)
+		if codeA != http.StatusOK || codeB != http.StatusOK {
+			t.Fatalf("%s: sharded=%d mono=%d", path, codeA, codeB)
+		}
+		a, _ := json.Marshal(bodyA["matches"])
+		b, _ := json.Marshal(bodyB["matches"])
+		if string(a) != string(b) {
+			t.Fatalf("%s: sharded %s != monolithic %s", path, a, b)
+		}
+	}
+
+	code, body := get(t, srv, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats code=%d", code)
+	}
+	shardList, ok := body["shards"].([]interface{})
+	if !ok || len(shardList) != 3 {
+		t.Fatalf("/stats shards = %v", body["shards"])
+	}
+	first := shardList[0].(map[string]interface{})
+	if first["lo"].(float64) != 0 || first["generation"].(float64) != 1 {
+		t.Fatalf("/stats shard 0 = %v", first)
+	}
+	serving := body["serving"].(map[string]interface{})
+	if serving["shard_count"].(float64) != 3 {
+		t.Fatalf("shard_count = %v", serving["shard_count"])
+	}
+
+	code, body = get(t, srv, "/admin/index")
+	if code != http.StatusOK {
+		t.Fatalf("/admin/index code=%d", code)
+	}
+	if _, ok := body["shards"].([]interface{}); !ok {
+		t.Fatalf("/admin/index missing shards: %v", body)
+	}
+	if _, ok := body["generation"]; !ok {
+		t.Fatalf("/admin/index lost generation key: %v", body)
 	}
 }

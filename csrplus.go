@@ -404,22 +404,28 @@ func (e *Engine) TopKMulti(queries []int, k int) ([]Match, error) {
 			agg[i] += v
 		}
 	}
-	exclude := map[int]bool{}
+	exclude := make(map[int]bool, len(queries))
 	for _, q := range queries {
 		exclude[q] = true
 	}
-	items := topk.Select(agg, k+len(queries), -1)
-	out := make([]Match, 0, k)
+	items := topk.SelectSet(agg, k, exclude)
+	out := make([]Match, 0, len(items))
 	for _, it := range items {
-		if exclude[it.Node] {
-			continue
-		}
 		out = append(out, Match{Node: it.Node, Score: it.Score})
-		if len(out) == k {
-			break
-		}
 	}
 	return out, nil
+}
+
+// CoreIndex returns the engine's underlying CSR+ index, reporting false
+// for algorithms without one (every non-CSR+ baseline). Like QueryInto,
+// this is a module-internal serving hook — internal/shard slices the
+// index into node-range shards through it — not part of the stable
+// public surface.
+func (e *Engine) CoreIndex() (*core.Index, bool) {
+	if cp, ok := e.runner.(*baseline.CSRPlus); ok {
+		return cp.Index(), true
+	}
+	return nil, false
 }
 
 // ErrNotCSRPlus is returned by index persistence on non-CSR+ engines.

@@ -170,16 +170,22 @@ func ReadIndex(r io.Reader) (*Index, error) {
 // survives a crash. A kill at any point leaves either the old file, the
 // new file, or a stray temp file — never a truncated index at path.
 func SaveIndex(ix *Index, path string) error {
+	return saveAtomic("SaveIndex", path, ix.WriteTo)
+}
+
+// saveAtomic is the write-temp/fsync/rename/fsync-dir discipline shared
+// by SaveIndex and SaveShard; op names the caller in error messages.
+func saveAtomic(op, path string, writeTo func(io.Writer) (int64, error)) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".csrx-*")
 	if err != nil {
-		return fmt.Errorf("core: SaveIndex: %w", err)
+		return fmt.Errorf("core: %s: %w", op, err)
 	}
 	defer os.Remove(tmp.Name())
 	// The fault wrapper (chaos builds only) can tear or fail the payload
 	// write mid-file — upstream of the rename, so an injected "crash"
 	// must leave path untouched exactly like a real one.
-	if _, err := ix.WriteTo(fault.Writer(fault.SiteIndexWrite, tmp)); err != nil {
+	if _, err := writeTo(fault.Writer(fault.SiteIndexWrite, tmp)); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -188,20 +194,20 @@ func SaveIndex(ix *Index, path string) error {
 	// a visible, complete-looking file full of zero pages.
 	if err := fault.Hit(fault.SiteIndexSync); err != nil {
 		tmp.Close()
-		return fmt.Errorf("core: SaveIndex: fsync: %w", err)
+		return fmt.Errorf("core: %s: fsync: %w", op, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("core: SaveIndex: fsync: %w", err)
+		return fmt.Errorf("core: %s: fsync: %w", op, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("core: SaveIndex: %w", err)
+		return fmt.Errorf("core: %s: %w", op, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("core: SaveIndex: %w", err)
+		return fmt.Errorf("core: %s: %w", op, err)
 	}
 	if err := syncDir(dir); err != nil {
-		return fmt.Errorf("core: SaveIndex: %w", err)
+		return fmt.Errorf("core: %s: %w", op, err)
 	}
 	return nil
 }

@@ -1,0 +1,387 @@
+package core
+
+// shard.go implements the row-range slicing that makes CSR+ shardable:
+// because phase II is [S]_{*,Q} = [I_n]_{*,Q} + c · Z · [U]_{Q,*}ᵀ, output
+// row i depends only on row i of Z (plus the |Q| broadcast rows of U), so
+// the factor matrices partition cleanly by contiguous node range. A shard
+// owns rows [lo, hi) of both Z and U and can score exactly its own nodes;
+// a router that gathers the U rows of the query nodes from their owner
+// shards and broadcasts them reproduces the monolithic answer bitwise —
+// same dot-product kernel, same per-element operation order (dot, ×c, +1).
+//
+// On-disk shard format (little endian), magic "CSRS":
+//
+//	magic   [4]byte  "CSRS"
+//	version uint32   currently 1
+//	n       uint64   GLOBAL node count
+//	lo      uint64   first node owned (inclusive)
+//	hi      uint64   one past the last node owned
+//	rank    uint64   SVD rank r
+//	c       float64  damping factor
+//	z       [(hi-lo)*rank]float64   (row-major)
+//	u       [(hi-lo)*rank]float64   (row-major)
+//	crc     uint32   IEEE CRC-32 of everything after the magic
+//
+// The global n travels with every shard so a router can refuse to
+// assemble shards cut from different graphs.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/fault"
+)
+
+var shardMagic = [4]byte{'C', 'S', 'R', 'S'}
+
+// shardVersion is the current on-disk shard format version.
+const shardVersion = 1
+
+// IndexShard is the contiguous node range [Lo, Hi) of an Index: the
+// corresponding rows of Z and U plus the global metadata (n, c, rank)
+// needed to answer queries and to validate reassembly. It is immutable
+// after construction, so any number of goroutines may query it.
+type IndexShard struct {
+	n      int // global node count
+	lo, hi int
+	c      float64
+	rank   int
+	z      *dense.Mat // rows [lo, hi) of Z, (hi-lo) x rank
+	u      *dense.Mat // rows [lo, hi) of U, (hi-lo) x rank
+}
+
+// Shard slices the index to the node range [lo, hi). The shard shares the
+// index's backing arrays (no copy): slicing an index into K shards costs
+// O(K), not O(rn).
+func (ix *Index) Shard(lo, hi int) (*IndexShard, error) {
+	if lo < 0 || hi > ix.n || lo >= hi {
+		return nil, fmt.Errorf("core: shard range [%d, %d) not within [0, %d): %w", lo, hi, ix.n, ErrParams)
+	}
+	viewRows := func(m *dense.Mat) *dense.Mat {
+		return &dense.Mat{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+	}
+	return &IndexShard{
+		n:    ix.n,
+		lo:   lo,
+		hi:   hi,
+		c:    ix.c,
+		rank: ix.rank,
+		z:    viewRows(ix.z),
+		u:    viewRows(ix.u),
+	}, nil
+}
+
+// N returns the GLOBAL node count of the graph the shard was cut from.
+func (sh *IndexShard) N() int { return sh.n }
+
+// Lo returns the first node the shard owns.
+func (sh *IndexShard) Lo() int { return sh.lo }
+
+// Hi returns one past the last node the shard owns.
+func (sh *IndexShard) Hi() int { return sh.hi }
+
+// Rows returns how many nodes the shard owns.
+func (sh *IndexShard) Rows() int { return sh.hi - sh.lo }
+
+// Rank returns the SVD rank of the shard's factors.
+func (sh *IndexShard) Rank() int { return sh.rank }
+
+// Damping returns the damping factor baked into the shard.
+func (sh *IndexShard) Damping() float64 { return sh.c }
+
+// Bytes reports the resident memory of the shard's factors — the 1/K
+// slice of the index's O(rn) that actually lives on this shard.
+func (sh *IndexShard) Bytes() int64 { return sh.z.Bytes() + sh.u.Bytes() }
+
+// Owns reports whether global node q falls in the shard's range.
+func (sh *IndexShard) Owns(q int) bool { return q >= sh.lo && q < sh.hi }
+
+// URow returns the shard's U row for global node q, which must be owned.
+// The slice aliases the shard's backing array and must not be modified —
+// it is the row a router gathers into its query broadcast, and sharing
+// the exact float64s is what keeps sharded scores bitwise-identical to
+// the monolithic path.
+func (sh *IndexShard) URow(q int) []float64 {
+	if !sh.Owns(q) {
+		panic(fmt.Sprintf("core: URow(%d) outside shard [%d, %d)", q, sh.lo, sh.hi))
+	}
+	return sh.u.Row(q - sh.lo)
+}
+
+// PartialInto computes the shard's slice of a (possibly rank-truncated)
+// phase II answer: rows [lo, hi) of S' = [I]_{*,Q} + c · Z_{*,<r'} ·
+// (U_{Q,<r'})ᵀ, written into out (which must be (hi-lo) x |Q|; pass a
+// band view of a shared n x |Q| matrix for zero-copy scatter). uq holds
+// the gathered U rows of the queries, row j for queries[j] — gathered
+// globally by the router because query nodes usually live on other
+// shards. queries are global ids and are only used here to place the +1
+// self-similarity for query nodes this shard owns.
+//
+// The kernel, banding, and per-element operation order (dot product in
+// column index order, then ×c, then +1) are exactly those of
+// Index.QueryRankInto, so stitching every shard's PartialInto output
+// together reproduces the monolithic answer bitwise. Honours ctx between
+// row bands like QueryRankInto; returns ctx.Err() on cancellation.
+func (sh *IndexShard) PartialInto(ctx context.Context, queries []int, uq *dense.Mat, rank int, out *dense.Mat) error {
+	cols := len(queries)
+	if cols == 0 {
+		return fmt.Errorf("core: empty query set: %w", ErrParams)
+	}
+	if !uq.IsShape(cols, sh.rank) {
+		return fmt.Errorf("core: uq is %dx%d, want %dx%d: %w", uq.Rows, uq.Cols, cols, sh.rank, ErrParams)
+	}
+	if !out.IsShape(sh.Rows(), cols) {
+		return fmt.Errorf("core: out is %dx%d, want %dx%d: %w", out.Rows, out.Cols, sh.Rows(), cols, ErrParams)
+	}
+	if rank <= 0 || rank > sh.rank {
+		rank = sh.rank
+	}
+	rows := sh.Rows()
+	for lo := 0; lo < rows; lo += queryBandRows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + queryBandRows
+		if hi > rows {
+			hi = rows
+		}
+		zBand := &dense.Mat{Rows: hi - lo, Cols: sh.rank, Data: sh.z.Data[lo*sh.rank : hi*sh.rank]}
+		sBand := &dense.Mat{Rows: hi - lo, Cols: cols, Data: out.Data[lo*cols : hi*cols]}
+		dense.MulTRankInto(sBand, zBand, uq, rank)
+	}
+	out.Scale(sh.c)
+	for j, q := range queries {
+		if sh.Owns(q) {
+			i := q - sh.lo
+			out.Set(i, j, out.At(i, j)+1)
+		}
+	}
+	return nil
+}
+
+// ColMaxes returns the per-column maxima max|Z_{[lo:hi),j}| and
+// max|U_{[lo:hi),j}| over the shard's rows. Because a max over the full
+// column is the max of the per-shard maxima, a router combines these and
+// runs Index.TruncationBound's recurrence to get a truncation bound
+// bitwise-equal to the monolithic one.
+func (sh *IndexShard) ColMaxes() (zmax, umax []float64) {
+	colMax := func(m *dense.Mat) []float64 {
+		mx := make([]float64, m.Cols)
+		for i := 0; i < m.Rows; i++ {
+			row := m.Row(i)
+			for j, v := range row {
+				if a := math.Abs(v); a > mx[j] {
+					mx[j] = a
+				}
+			}
+		}
+		return mx
+	}
+	return colMax(sh.z), colMax(sh.u)
+}
+
+// TailBound runs Index.TruncationBound's recurrence over combined
+// per-column maxima: boundTail[j] = boundTail[j+1] + c·zmax[j]·umax[j],
+// returning boundTail so callers can index it by retained rank. Exposed
+// from core so the router and the Index share one formula.
+func TailBound(c float64, zmax, umax []float64) []float64 {
+	r := len(zmax)
+	tail := make([]float64, r+1)
+	for j := r - 1; j >= 0; j-- {
+		tail[j] = tail[j+1] + c*zmax[j]*umax[j]
+	}
+	return tail
+}
+
+// WriteTo serialises the shard. It implements io.WriterTo.
+func (sh *IndexShard) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := &countingWriter{w: bw}
+	if _, err := n.Write(shardMagic[:]); err != nil {
+		return n.n, fmt.Errorf("core: writing shard magic: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	body := io.MultiWriter(n, crc)
+	le := binary.LittleEndian
+	if err := binary.Write(body, le, uint32(shardVersion)); err != nil {
+		return n.n, fmt.Errorf("core: writing shard version: %w", err)
+	}
+	header := []uint64{uint64(sh.n), uint64(sh.lo), uint64(sh.hi), uint64(sh.rank), math.Float64bits(sh.c)}
+	for _, s := range header {
+		if err := binary.Write(body, le, s); err != nil {
+			return n.n, fmt.Errorf("core: writing shard header: %w", err)
+		}
+	}
+	for _, block := range [][]float64{sh.z.Data, sh.u.Data} {
+		if err := writeFloats(body, block); err != nil {
+			return n.n, fmt.Errorf("core: writing shard payload: %w", err)
+		}
+	}
+	if err := binary.Write(n, le, crc.Sum32()); err != nil {
+		return n.n, fmt.Errorf("core: writing shard checksum: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return n.n, fmt.Errorf("core: flushing shard: %w", err)
+	}
+	return n.n, nil
+}
+
+// ReadShard deserialises a shard written by WriteTo, validating magic,
+// version, shape bounds and checksum with the same discipline as
+// ReadIndex: every validation failure is a wrapped ErrCorrupt.
+func ReadShard(r io.Reader) (*IndexShard, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading shard magic: %w", corruptEOF(err))
+	}
+	if magic != shardMagic {
+		return nil, fmt.Errorf("core: bad shard magic %q: %w", magic, ErrCorrupt)
+	}
+	crc := crc32.NewIEEE()
+	body := io.TeeReader(br, crc)
+	le := binary.LittleEndian
+	var version uint32
+	if err := binary.Read(body, le, &version); err != nil {
+		return nil, fmt.Errorf("core: reading shard version: %w", corruptEOF(err))
+	}
+	if version != shardVersion {
+		return nil, fmt.Errorf("core: shard version %d, want %d: %w", version, shardVersion, ErrCorrupt)
+	}
+	var nNodes, lo, hi, rank, cBits uint64
+	for _, dst := range []*uint64{&nNodes, &lo, &hi, &rank, &cBits} {
+		if err := binary.Read(body, le, dst); err != nil {
+			return nil, fmt.Errorf("core: reading shard header: %w", corruptEOF(err))
+		}
+	}
+	c := math.Float64frombits(cBits)
+	// Same divide-based overflow discipline as ReadIndex: a forged header
+	// must not produce a plausible product by wrapping around.
+	if nNodes == 0 || rank == 0 || rank > nNodes || nNodes > maxIndexElems/rank {
+		return nil, fmt.Errorf("core: implausible shard shape n=%d r=%d: %w", nNodes, rank, ErrCorrupt)
+	}
+	if lo >= hi || hi > nNodes {
+		return nil, fmt.Errorf("core: implausible shard range [%d, %d) of n=%d: %w", lo, hi, nNodes, ErrCorrupt)
+	}
+	if c <= 0 || c >= 1 || math.IsNaN(c) {
+		return nil, fmt.Errorf("core: implausible damping %v: %w", c, ErrCorrupt)
+	}
+	rows := int(hi - lo)
+	zdata, err := readFloats(body, rows*int(rank))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading shard Z: %w", corruptEOF(err))
+	}
+	udata, err := readFloats(body, rows*int(rank))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading shard U: %w", corruptEOF(err))
+	}
+	sum := crc.Sum32()
+	var want uint32
+	if err := binary.Read(br, le, &want); err != nil {
+		return nil, fmt.Errorf("core: reading shard checksum: %w", corruptEOF(err))
+	}
+	if sum != want {
+		return nil, fmt.Errorf("core: shard checksum %08x, want %08x: %w", sum, want, ErrCorrupt)
+	}
+	return &IndexShard{
+		n:    int(nNodes),
+		lo:   int(lo),
+		hi:   int(hi),
+		c:    c,
+		rank: int(rank),
+		z:    dense.NewMatFrom(rows, int(rank), zdata),
+		u:    dense.NewMatFrom(rows, int(rank), udata),
+	}, nil
+}
+
+// SaveShard writes the shard to path with the same atomic,
+// crash-consistent discipline as SaveIndex (temp file, fsync, rename,
+// directory fsync), through the same chaos fault sites.
+func SaveShard(sh *IndexShard, path string) error {
+	return saveAtomic("SaveShard", path, sh.WriteTo)
+}
+
+// LoadShard reads a shard from path, through the same injected-fault read
+// path as LoadIndex.
+func LoadShard(path string) (*IndexShard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: LoadShard: %w", err)
+	}
+	defer f.Close()
+	sh, err := ReadShard(fault.Reader(fault.SiteIndexRead, f))
+	if err != nil {
+		return nil, fmt.Errorf("core: LoadShard %s: %w", path, err)
+	}
+	return sh, nil
+}
+
+// ShardDir returns the conventional snapshot directory of shard s under
+// root: <root>/shard-<s>. Each shard gets its own snapshot directory so
+// generations advance (and roll back) independently per shard — the unit
+// of a rolling reload.
+func ShardDir(root string, s int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%d", s))
+}
+
+// WriteShardSnapshot persists sh as the next generation in dir and
+// repoints CURRENT at it — WriteSnapshot for a shard directory.
+func WriteShardSnapshot(dir string, sh *IndexShard) (gen uint64, path string, err error) {
+	gen, path, err = nextSnapshotPath(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	if err := SaveShard(sh, path); err != nil {
+		return 0, "", err
+	}
+	if err := SetCurrent(dir, gen); err != nil {
+		return 0, "", err
+	}
+	return gen, path, nil
+}
+
+// RecoverShardSnapshot loads the best shard snapshot dir can still serve,
+// with RecoverSnapshot's fallback ladder: CURRENT's target first, then
+// remaining generations newest-first; recovered reports the returned
+// snapshot is not the one CURRENT names.
+func RecoverShardSnapshot(dir string) (sh *IndexShard, snap Snapshot, recovered bool, err error) {
+	var loadErr error
+	skip := ""
+	if p, g, cerr := CurrentSnapshot(dir); cerr == nil {
+		sh, loadErr = LoadShard(p)
+		if loadErr == nil {
+			return sh, Snapshot{Gen: g, Path: p}, false, nil
+		}
+		skip = p
+	} else if !os.IsNotExist(cerr) {
+		loadErr = cerr
+	}
+	snaps, lerr := ListSnapshots(dir)
+	if lerr != nil {
+		return nil, Snapshot{}, false, lerr
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		s := snaps[i]
+		if s.Path == skip {
+			continue
+		}
+		sh, err := LoadShard(s.Path)
+		if err != nil {
+			loadErr = err
+			continue
+		}
+		return sh, s, true, nil
+	}
+	if loadErr != nil {
+		return nil, Snapshot{}, false, fmt.Errorf("core: %s: no loadable shard snapshot (last failure: %v): %w", dir, loadErr, ErrNoSnapshot)
+	}
+	return nil, Snapshot{}, false, fmt.Errorf("core: %s: %w", dir, ErrNoSnapshot)
+}

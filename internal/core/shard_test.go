@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+)
+
+// bigIndex builds an index over a graph large enough that shard
+// boundaries cut through real structure.
+func bigIndex(t *testing.T, n int, rank int) *Index {
+	t.Helper()
+	g, err := graph.ErdosRenyi(n, int64(4*n), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Precompute(g, Options{Rank: rank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// gatherQueryRows assembles the |Q| x r broadcast matrix of U rows the
+// router would gather before fanning out.
+func gatherQueryRows(t *testing.T, shards []*IndexShard, queries []int) *dense.Mat {
+	t.Helper()
+	uq := dense.NewMat(len(queries), shards[0].Rank())
+	for j, q := range queries {
+		for _, sh := range shards {
+			if sh.Owns(q) {
+				copy(uq.Row(j), sh.URow(q))
+			}
+		}
+	}
+	return uq
+}
+
+// Stitching every shard's PartialInto band together must reproduce the
+// monolithic QueryRankInto answer bitwise, at any boundary placement and
+// any retained rank.
+func TestShardPartialIntoMatchesQueryInto(t *testing.T) {
+	const n, r = 97, 6
+	ix := bigIndex(t, n, r)
+	queries := []int{0, 13, 52, 96}
+	cuts := [][]int{
+		{0, n},                     // K=1
+		{0, 48, n},                 // K=2, near-even
+		{0, 1, 2, n},               // tiny leading shards
+		{0, 30, 31, 90, n},         // uneven
+		{0, 13, 14, 52, 53, 96, n}, // boundaries on query nodes
+	}
+	for _, rank := range []int{0, 1, 3, r} {
+		want, err := ix.QueryRankInto(context.Background(), queries, rank, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bounds := range cuts {
+			shards := make([]*IndexShard, len(bounds)-1)
+			for s := range shards {
+				if shards[s], err = ix.Shard(bounds[s], bounds[s+1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			uq := gatherQueryRows(t, shards, queries)
+			got := dense.NewMat(n, len(queries))
+			cols := len(queries)
+			for _, sh := range shards {
+				band := &dense.Mat{Rows: sh.Rows(), Cols: cols, Data: got.Data[sh.Lo()*cols : sh.Hi()*cols]}
+				if err := sh.PartialInto(context.Background(), queries, uq, rank, band); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !got.Equal(want, 0) {
+				t.Fatalf("rank=%d cuts=%v: stitched shard answer differs from monolithic", rank, bounds)
+			}
+		}
+	}
+}
+
+func TestShardRangeValidation(t *testing.T) {
+	ix := buildIndex(t)
+	for _, bad := range [][2]int{{-1, 3}, {0, 7}, {3, 3}, {4, 2}} {
+		if _, err := ix.Shard(bad[0], bad[1]); !errors.Is(err, ErrParams) {
+			t.Fatalf("Shard(%d, %d): err = %v, want ErrParams", bad[0], bad[1], err)
+		}
+	}
+	sh, err := ix.Shard(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.N() != ix.N() || sh.Lo() != 2 || sh.Hi() != 5 || sh.Rows() != 3 {
+		t.Fatalf("shard metadata = n=%d [%d,%d) rows=%d", sh.N(), sh.Lo(), sh.Hi(), sh.Rows())
+	}
+	if !sh.Owns(2) || !sh.Owns(4) || sh.Owns(1) || sh.Owns(5) {
+		t.Fatal("Owns misreports the range")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("URow outside the shard range did not panic")
+		}
+	}()
+	sh.URow(0)
+}
+
+func TestShardPartialIntoRejectsBadShapes(t *testing.T) {
+	ix := buildIndex(t)
+	sh, err := ix.Shard(0, ix.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{1, 3}
+	uq := gatherQueryRows(t, []*IndexShard{sh}, queries)
+	out := dense.NewMat(ix.N(), len(queries))
+	if err := sh.PartialInto(context.Background(), nil, uq, 0, out); !errors.Is(err, ErrParams) {
+		t.Fatalf("empty queries: err = %v", err)
+	}
+	if err := sh.PartialInto(context.Background(), queries, dense.NewMat(1, sh.Rank()), 0, out); !errors.Is(err, ErrParams) {
+		t.Fatalf("wrong uq shape: err = %v", err)
+	}
+	if err := sh.PartialInto(context.Background(), queries, uq, 0, dense.NewMat(2, 2)); !errors.Is(err, ErrParams) {
+		t.Fatalf("wrong out shape: err = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sh.PartialInto(ctx, queries, uq, 0, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v", err)
+	}
+}
+
+// Per-shard ColMaxes combined with TailBound must reproduce the
+// monolithic TruncationBound bitwise: max over a column is the max of
+// the per-shard maxima, and the recurrence is shared code.
+func TestTailBoundMatchesTruncationBound(t *testing.T) {
+	const n, r = 97, 6
+	ix := bigIndex(t, n, r)
+	bounds := []int{0, 30, 31, 90, n}
+	zmax := make([]float64, r)
+	umax := make([]float64, r)
+	for s := 0; s < len(bounds)-1; s++ {
+		sh, err := ix.Shard(bounds[s], bounds[s+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		zm, um := sh.ColMaxes()
+		for j := 0; j < r; j++ {
+			zmax[j] = math.Max(zmax[j], zm[j])
+			umax[j] = math.Max(umax[j], um[j])
+		}
+	}
+	tail := TailBound(ix.Damping(), zmax, umax)
+	for rank := 1; rank < r; rank++ {
+		if got, want := tail[rank], ix.TruncationBound(rank); got != want {
+			t.Fatalf("rank %d: combined tail bound %v != monolithic %v", rank, got, want)
+		}
+	}
+	if tail[r] != 0 {
+		t.Fatalf("full-rank tail = %v, want 0", tail[r])
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	ix := buildIndex(t)
+	sh, err := ix.Shard(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	wrote, err := sh.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", wrote, buf.Len())
+	}
+	back, err := ReadShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != sh.N() || back.Lo() != sh.Lo() || back.Hi() != sh.Hi() ||
+		back.Rank() != sh.Rank() || back.Damping() != sh.Damping() {
+		t.Fatalf("metadata mismatch: %+v vs %+v", back, sh)
+	}
+	queries := []int{1, 3}
+	uq := gatherQueryRows(t, []*IndexShard{func() *IndexShard {
+		full, _ := ix.Shard(0, ix.N())
+		return full
+	}()}, queries)
+	want := dense.NewMat(sh.Rows(), len(queries))
+	got := dense.NewMat(sh.Rows(), len(queries))
+	if err := sh.PartialInto(context.Background(), queries, uq, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.PartialInto(context.Background(), queries, uq, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Fatal("deserialised shard answers differently")
+	}
+}
+
+func TestReadShardRejectsCorruption(t *testing.T) {
+	ix := buildIndex(t)
+	sh, err := ix.Shard(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sh.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	check := func(name string, raw []byte) {
+		t.Helper()
+		if _, err := ReadShard(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	check("bad magic", bad)
+	check("truncated header", good[:10])
+	check("truncated payload", good[:len(good)-20])
+	bad = append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xFF
+	check("flipped payload byte", bad)
+}
+
+func TestShardSnapshotDirRoundTrip(t *testing.T) {
+	ix := buildIndex(t)
+	sh, err := ix.Shard(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := ShardDir(t.TempDir(), 2)
+	for want := uint64(1); want <= 2; want++ {
+		gen, path, err := WriteShardSnapshot(dir, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != want {
+			t.Fatalf("generation %d, want %d", gen, want)
+		}
+		if filepath.Dir(path) != dir {
+			t.Fatalf("snapshot path %s outside shard dir %s", path, dir)
+		}
+	}
+	back, snap, recovered, err := RecoverShardSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered || snap.Gen != 2 {
+		t.Fatalf("recovered=%v gen=%d, want clean CURRENT at gen 2", recovered, snap.Gen)
+	}
+	if back.Lo() != sh.Lo() || back.Hi() != sh.Hi() {
+		t.Fatalf("recovered range [%d,%d), want [%d,%d)", back.Lo(), back.Hi(), sh.Lo(), sh.Hi())
+	}
+
+	// Torn publish: CURRENT names a generation that never hit the disk.
+	// Recovery falls back to the newest loadable snapshot and says so.
+	if err := os.WriteFile(filepath.Join(dir, CurrentFile), []byte(SnapshotName(9)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, snap, recovered, err = RecoverShardSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered || snap.Gen != 2 {
+		t.Fatalf("torn CURRENT: recovered=%v gen=%d, want recovered gen 2", recovered, snap.Gen)
+	}
+
+	if _, _, _, err := RecoverShardSnapshot(t.TempDir()); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty dir: err = %v, want ErrNoSnapshot", err)
+	}
+}

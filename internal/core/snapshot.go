@@ -97,6 +97,23 @@ func ListSnapshots(dir string) ([]Snapshot, error) {
 // fsynced, so a crash anywhere leaves the directory serving its previous
 // generation. The directory is created if missing.
 func WriteSnapshot(dir string, ix *Index) (gen uint64, path string, err error) {
+	gen, path, err = nextSnapshotPath(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	if err := SaveIndex(ix, path); err != nil {
+		return 0, "", err
+	}
+	if err := SetCurrent(dir, gen); err != nil {
+		return 0, "", err
+	}
+	return gen, path, nil
+}
+
+// nextSnapshotPath creates dir if missing and reserves the next
+// generation number and file path — the shared front half of
+// WriteSnapshot and WriteShardSnapshot.
+func nextSnapshotPath(dir string) (gen uint64, path string, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, "", fmt.Errorf("core: WriteSnapshot: %w", err)
 	}
@@ -108,14 +125,7 @@ func WriteSnapshot(dir string, ix *Index) (gen uint64, path string, err error) {
 	if len(snaps) > 0 {
 		gen = snaps[len(snaps)-1].Gen + 1
 	}
-	path = filepath.Join(dir, SnapshotName(gen))
-	if err := SaveIndex(ix, path); err != nil {
-		return 0, "", err
-	}
-	if err := SetCurrent(dir, gen); err != nil {
-		return 0, "", err
-	}
-	return gen, path, nil
+	return gen, filepath.Join(dir, SnapshotName(gen)), nil
 }
 
 // SetCurrent atomically repoints CURRENT at generation gen, which must

@@ -98,6 +98,8 @@ type Meta struct {
 	N         int    `json:"n"`
 	M         int64  `json:"m"`
 	Rank      int    `json:"rank,omitempty"`
+	// Shards is the shard count of a sharded backend, 0 when monolithic.
+	Shards int `json:"shards,omitempty"`
 	// BuildTime is the candidate's load/precompute wall time.
 	BuildTime time.Duration `json:"-"`
 	// PeakBytes is the build's analytic memory peak, 0 when unknown.

@@ -1,0 +1,99 @@
+package reload
+
+// rolling.go extends the reload lifecycle to a sharded backend: instead
+// of one load→validate→swap over a monolithic engine, a rolling reload
+// walks the shard slots in order and runs load→validate→swap per shard.
+// Each slot's swap is atomic, so traffic is never dropped; because only
+// one shard is ever mid-swap, at most 1/K of the index is "in motion" at
+// any instant, and a failure mid-roll strands nothing — slots already
+// rolled serve the new factors, the failed slot and its successors keep
+// serving their old generation, and every answer remains exact for the
+// generation that produced it (the chaos suite pins this).
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"csrplus/internal/core"
+	"csrplus/internal/dense"
+	"csrplus/internal/fault"
+	"csrplus/internal/shard"
+)
+
+// ShardLoadFunc produces the replacement factors for shard slot s, which
+// covers global node range [lo, hi). It runs on the reloading goroutine,
+// never the serving path, and should honour ctx.
+type ShardLoadFunc func(ctx context.Context, s, lo, hi int) (*core.IndexShard, error)
+
+// RollShards runs one rolling reload over every slot of rt: for each
+// shard in order, load a candidate, validate it (ValidateShard — BEFORE
+// the swap, so a candidate that cannot answer queries never takes
+// traffic), and atomically swap it in. It returns how many slots were
+// swapped; on error, slots [0, swapped) serve the new generation and the
+// rest keep their old one — a state the router serves exactly (per-shard
+// answers never mix generations), and which the next successful roll
+// converges. Callers fronting a result cache must invalidate it even on
+// partial rolls: some slots changed factors.
+func RollShards(ctx context.Context, rt *shard.Router, load ShardLoadFunc) (swapped int, err error) {
+	for s := 0; s < rt.K(); s++ {
+		if err := ctx.Err(); err != nil {
+			return swapped, fmt.Errorf("reload: rolling swap at shard %d/%d: %w", s, rt.K(), err)
+		}
+		lo, hi := rt.Plan().Range(s)
+		if err := fault.Hit(fault.SiteReloadLoad); err != nil {
+			return swapped, fmt.Errorf("reload: loading shard %d/%d: %w", s, rt.K(), err)
+		}
+		sh, err := load(ctx, s, lo, hi)
+		if err != nil {
+			return swapped, fmt.Errorf("reload: loading shard %d/%d: %w", s, rt.K(), err)
+		}
+		if err := ValidateShard(sh); err != nil {
+			return swapped, fmt.Errorf("reload: shard %d/%d: %w", s, rt.K(), err)
+		}
+		if _, err := rt.SwapShard(s, sh); err != nil {
+			return swapped, fmt.Errorf("reload: shard %d/%d: %w", s, rt.K(), err)
+		}
+		swapped++
+	}
+	return swapped, nil
+}
+
+// ValidateShard smoke-tests a shard candidate before it may take traffic,
+// mirroring Validate's contract at shard granularity: a partial query
+// against probe nodes the shard owns must return finite scores and a
+// positive self-similarity for each probe. The probes' U rows come from
+// the candidate itself, so validation is self-contained — no cross-shard
+// gather — and exercises the exact kernel (PartialInto) serving will use.
+func ValidateShard(sh *core.IndexShard) error {
+	if sh == nil {
+		return fmt.Errorf("%w: nil shard", ErrValidation)
+	}
+	lo, hi := sh.Lo(), sh.Hi()
+	probes := []int{lo}
+	if hi-lo > 2 {
+		probes = append(probes, lo+(hi-lo)/2)
+	}
+	if hi-lo > 1 {
+		probes = append(probes, hi-1)
+	}
+	uq := dense.NewMat(len(probes), sh.Rank())
+	for j, q := range probes {
+		copy(uq.Row(j), sh.URow(q))
+	}
+	out := dense.NewMat(sh.Rows(), len(probes))
+	if err := sh.PartialInto(context.Background(), probes, uq, 0, out); err != nil {
+		return fmt.Errorf("%w: smoke query: %v", ErrValidation, err)
+	}
+	for j, q := range probes {
+		for i := 0; i < out.Rows; i++ {
+			if v := out.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: non-finite score %v for pair (%d, %d)", ErrValidation, v, lo+i, q)
+			}
+		}
+		if self := out.At(q-lo, j); self <= 0 {
+			return fmt.Errorf("%w: self-similarity of node %d is %v, want > 0", ErrValidation, q, self)
+		}
+	}
+	return nil
+}

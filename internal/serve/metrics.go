@@ -30,6 +30,7 @@ type Metrics struct {
 	cacheRefreshes atomic.Int64
 
 	generation     atomic.Uint64 // engine generation taking new requests
+	shards         atomic.Int64  // shard count of the serving backend; 0 = unsharded
 	reloads        atomic.Int64  // successful generation swaps after boot
 	reloadFailures atomic.Int64  // reload runs that never swapped
 	reloadRetries  atomic.Int64  // in-run retry attempts after a failed pass
@@ -80,6 +81,11 @@ func (m *Metrics) DegradedBatches() int64 { return m.degradedBatches.Load() }
 func (m *Metrics) SetGeneration(gen uint64) { m.generation.Store(gen) }
 func (m *Metrics) Generation() uint64       { return m.generation.Load() }
 
+// SetShards records the shard count of the serving backend (0 =
+// unsharded); Shards reads the gauge back.
+func (m *Metrics) SetShards(k int) { m.shards.Store(int64(k)) }
+func (m *Metrics) Shards() int64   { return m.shards.Load() }
+
 // ReloadSucceeded counts one completed hot reload and its duration;
 // ReloadFailed counts an attempt that was abandoned before the swap (the
 // old generation kept serving). Reloads and ReloadFailures read back the
@@ -128,6 +134,7 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"cache_refreshes":      m.cacheRefreshes.Load(),
 		"cache_hit_ratio":      ratio,
 		"generation":           m.generation.Load(),
+		"shard_count":          m.shards.Load(),
 		"reloads":              m.reloads.Load(),
 		"reload_failures":      m.reloadFailures.Load(),
 		"reload_retries":       m.reloadRetries.Load(),

@@ -628,20 +628,14 @@ func selectTopK(cols map[int][]float64, queries []int, k int) []Match {
 			agg[i] += v
 		}
 	}
-	exclude := map[int]bool{}
+	exclude := make(map[int]bool, len(queries))
 	for _, q := range queries {
 		exclude[q] = true
 	}
-	items := topk.Select(agg, k+len(queries), -1)
-	out := make([]Match, 0, k)
+	items := topk.SelectSet(agg, k, exclude)
+	out := make([]Match, 0, len(items))
 	for _, it := range items {
-		if exclude[it.Node] {
-			continue
-		}
 		out = append(out, Match{Node: it.Node, Score: it.Score})
-		if len(out) == k {
-			break
-		}
 	}
 	return out
 }

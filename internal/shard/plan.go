@@ -1,0 +1,146 @@
+// Package shard implements horizontal sharding for CSR+ serving: the
+// factor matrices are partitioned by contiguous node range into K
+// in-process shard engines, each with its own atomic generation
+// lifecycle, behind a stateless router that fans multi-source queries to
+// every shard in parallel and merges the per-shard partial top-k lists
+// into an exact global answer.
+//
+// The exactness argument has two halves. Scores: output row i of phase II
+// depends only on row i of Z plus the U rows of the query nodes, so a
+// shard holding rows [lo, hi) computes exactly the same float64 for every
+// node it owns as the monolithic engine — same kernel, same accumulation
+// order (core.IndexShard.PartialInto). Selection: each candidate node
+// lives on exactly one shard, so any node in the global top-k is in the
+// top-k of its own shard, and the deterministic merge of per-shard top-k
+// lists (topk.Merge, under the package-wide score-desc/node-asc ordering)
+// is the global top-k. Together: the router's answers are bitwise
+// identical to a single engine over the whole graph, at any shard count
+// and any partition boundaries.
+//
+// This delivers the in-process N× memory-scaling and parallelism win; the
+// wire split (shard processes behind RPC) is future work and would slot
+// in behind the same Router surface.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"csrplus/internal/core"
+)
+
+// ErrPlan is returned (wrapped) for invalid partition plans.
+var ErrPlan = errors.New("shard: invalid partition plan")
+
+// ErrShard is returned (wrapped) when a shard does not fit its slot:
+// wrong node range, node count, rank, or damping factor.
+var ErrShard = errors.New("shard: shard does not match its slot")
+
+// Plan is a partition of [0, n) into K contiguous node ranges, described
+// by K+1 fenceposts: shard s owns [bounds[s], bounds[s+1]). Immutable.
+type Plan struct {
+	bounds []int
+}
+
+// NewPlan validates fenceposts: strictly increasing, starting at 0,
+// ending at n (the last bound), with at least one shard. Empty shards
+// are rejected — a shard that owns no nodes can never answer for any.
+func NewPlan(bounds []int) (Plan, error) {
+	if len(bounds) < 2 {
+		return Plan{}, fmt.Errorf("%w: need at least 2 fenceposts, got %d", ErrPlan, len(bounds))
+	}
+	if bounds[0] != 0 {
+		return Plan{}, fmt.Errorf("%w: first fencepost %d, want 0", ErrPlan, bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return Plan{}, fmt.Errorf("%w: fenceposts not strictly increasing at %d (%d then %d)", ErrPlan, i, bounds[i-1], bounds[i])
+		}
+	}
+	return Plan{bounds: append([]int(nil), bounds...)}, nil
+}
+
+// SplitEven partitions [0, n) into k near-equal contiguous ranges (the
+// first n mod k shards get one extra node). k is clamped to n — a graph
+// cannot usefully spread over more shards than it has nodes.
+func SplitEven(n, k int) (Plan, error) {
+	if n < 1 || k < 1 {
+		return Plan{}, fmt.Errorf("%w: n=%d k=%d", ErrPlan, n, k)
+	}
+	if k > n {
+		k = n
+	}
+	bounds := make([]int, k+1)
+	base, extra := n/k, n%k
+	for s := 0; s < k; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		bounds[s+1] = bounds[s] + size
+	}
+	return Plan{bounds: bounds}, nil
+}
+
+// K returns the shard count.
+func (p Plan) K() int { return len(p.bounds) - 1 }
+
+// N returns the node count the plan covers.
+func (p Plan) N() int { return p.bounds[len(p.bounds)-1] }
+
+// Range returns shard s's node range [lo, hi).
+func (p Plan) Range(s int) (lo, hi int) { return p.bounds[s], p.bounds[s+1] }
+
+// Bounds returns a copy of the K+1 fenceposts.
+func (p Plan) Bounds() []int { return append([]int(nil), p.bounds...) }
+
+// Owner returns the shard owning global node q, which must be in [0, n).
+func (p Plan) Owner(q int) int {
+	// sort.Search finds the first fencepost > q; the owning shard is one
+	// before it.
+	return sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > q }) - 1
+}
+
+// generation is one immutable shard engine generation: the loaded factors
+// plus the number identifying them. Swapped as a unit so a reader always
+// sees a shard and its generation number together.
+type generation struct {
+	gen uint64
+	sh  *core.IndexShard
+}
+
+// Engine is one shard slot with PR 3's atomic-swap lifecycle scaled down
+// to a single shard: readers resolve the current generation with one
+// atomic load and compute entirely on that immutable snapshot, while a
+// rolling reload installs replacements one slot at a time.
+type Engine struct {
+	cur    atomic.Pointer[generation]
+	swapMu sync.Mutex // serialises swaps; readers never take it
+}
+
+// newEngine boots the slot at generation 1.
+func newEngine(sh *core.IndexShard) *Engine {
+	e := &Engine{}
+	e.cur.Store(&generation{gen: 1, sh: sh})
+	return e
+}
+
+// current returns the shard and generation serving new work.
+func (e *Engine) current() (*core.IndexShard, uint64) {
+	g := e.cur.Load()
+	return g.sh, g.gen
+}
+
+// swap installs sh as the next generation and returns its number.
+// Queries already computing on the old generation finish on it — shards
+// are immutable, so there is nothing to drain.
+func (e *Engine) swap(sh *core.IndexShard) uint64 {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	next := e.cur.Load().gen + 1
+	e.cur.Store(&generation{gen: next, sh: sh})
+	return next
+}

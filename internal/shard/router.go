@@ -1,0 +1,355 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"csrplus/internal/core"
+	"csrplus/internal/dense"
+	"csrplus/internal/par"
+	"csrplus/internal/topk"
+)
+
+// Router fans multi-source queries out to K shard engines and assembles
+// exact global answers. It is stateless per request — every query
+// resolves each shard's current generation once at entry and computes
+// entirely on that snapshot — so it is safe for concurrent use, including
+// concurrently with rolling SwapShard calls. Its QueryRankInto satisfies
+// serve.RankQueryFunc, making the router a drop-in serving backend with
+// batching, degradation and generation-swap support unchanged.
+type Router struct {
+	n    int
+	rank int
+	c    float64
+	plan Plan
+
+	engines []*Engine
+
+	// bound caches the global truncation-bound tail, keyed by the shard
+	// generation vector that produced it; a rolling swap invalidates it by
+	// changing a generation number.
+	bound atomic.Pointer[boundEntry]
+}
+
+type boundEntry struct {
+	gens []uint64
+	tail []float64
+}
+
+// NewRouter assembles a router over shards, which must be ordered by node
+// range, contiguous from 0 to n, and cut from the same index family
+// (equal global n, rank, and damping). Shard boundaries become the
+// router's immutable Plan; SwapShard replaces a shard's factors but never
+// its range.
+func NewRouter(shards []*core.IndexShard) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("%w: no shards", ErrPlan)
+	}
+	n, rank, c := shards[0].N(), shards[0].Rank(), shards[0].Damping()
+	bounds := make([]int, 0, len(shards)+1)
+	bounds = append(bounds, 0)
+	for s, sh := range shards {
+		if sh.N() != n || sh.Rank() != rank || sh.Damping() != c {
+			return nil, fmt.Errorf("%w: shard %d has n=%d r=%d c=%v, shard 0 has n=%d r=%d c=%v",
+				ErrShard, s, sh.N(), sh.Rank(), sh.Damping(), n, rank, c)
+		}
+		if sh.Lo() != bounds[s] {
+			return nil, fmt.Errorf("%w: shard %d starts at %d, want %d (gap or overlap)", ErrShard, s, sh.Lo(), bounds[s])
+		}
+		bounds = append(bounds, sh.Hi())
+	}
+	if bounds[len(bounds)-1] != n {
+		return nil, fmt.Errorf("%w: shards end at %d, want %d", ErrShard, bounds[len(bounds)-1], n)
+	}
+	plan, err := NewPlan(bounds)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{n: n, rank: rank, c: c, plan: plan, engines: make([]*Engine, len(shards))}
+	for s, sh := range shards {
+		r.engines[s] = newEngine(sh)
+	}
+	return r, nil
+}
+
+// Split cuts ix into k near-equal shards (SplitEven boundaries). The
+// shards share ix's backing arrays.
+func Split(ix *core.Index, k int) ([]*core.IndexShard, error) {
+	plan, err := SplitEven(ix.N(), k)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*core.IndexShard, plan.K())
+	for s := range shards {
+		lo, hi := plan.Range(s)
+		if shards[s], err = ix.Shard(lo, hi); err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}
+
+// NewRouterFromIndex is NewRouter over an even k-way split of ix.
+func NewRouterFromIndex(ix *core.Index, k int) (*Router, error) {
+	shards, err := Split(ix, k)
+	if err != nil {
+		return nil, err
+	}
+	return NewRouter(shards)
+}
+
+// N returns the global node count.
+func (r *Router) N() int { return r.n }
+
+// Rank returns the SVD rank of the sharded index.
+func (r *Router) Rank() int { return r.rank }
+
+// Damping returns the damping factor.
+func (r *Router) Damping() float64 { return r.c }
+
+// K returns the shard count.
+func (r *Router) K() int { return r.plan.K() }
+
+// Plan returns the router's partition plan.
+func (r *Router) Plan() Plan { return r.plan }
+
+// ShardStatus describes one shard slot for /stats and /admin/index.
+type ShardStatus struct {
+	Shard      int    `json:"shard"`
+	Lo         int    `json:"lo"`
+	Hi         int    `json:"hi"`
+	Generation uint64 `json:"generation"`
+	Bytes      int64  `json:"bytes"`
+}
+
+// Status reports every shard slot's range, generation and resident bytes.
+func (r *Router) Status() []ShardStatus {
+	out := make([]ShardStatus, r.K())
+	for s, e := range r.engines {
+		sh, gen := e.current()
+		out[s] = ShardStatus{Shard: s, Lo: sh.Lo(), Hi: sh.Hi(), Generation: gen, Bytes: sh.Bytes()}
+	}
+	return out
+}
+
+// Generations returns the per-shard generation vector.
+func (r *Router) Generations() []uint64 {
+	gens := make([]uint64, r.K())
+	for s, e := range r.engines {
+		_, gens[s] = e.current()
+	}
+	return gens
+}
+
+// SwapShard atomically installs sh into slot s and returns the slot's new
+// generation. The replacement must cover exactly the slot's node range
+// and match the router's global shape — a rolling reload may change a
+// shard's factors, never the partition. Queries in flight on the old
+// generation finish on it; queries arriving after SwapShard returns see
+// the new one.
+func (r *Router) SwapShard(s int, sh *core.IndexShard) (uint64, error) {
+	if s < 0 || s >= r.K() {
+		return 0, fmt.Errorf("%w: slot %d of %d", ErrShard, s, r.K())
+	}
+	lo, hi := r.plan.Range(s)
+	if sh.Lo() != lo || sh.Hi() != hi {
+		return 0, fmt.Errorf("%w: slot %d covers [%d, %d), shard covers [%d, %d)", ErrShard, s, lo, hi, sh.Lo(), sh.Hi())
+	}
+	if sh.N() != r.n || sh.Rank() != r.rank || sh.Damping() != r.c {
+		return 0, fmt.Errorf("%w: slot %d wants n=%d r=%d c=%v, shard has n=%d r=%d c=%v",
+			ErrShard, s, r.n, r.rank, r.c, sh.N(), sh.Rank(), sh.Damping())
+	}
+	return r.engines[s].swap(sh), nil
+}
+
+// snapshot resolves every shard's current generation once. A query
+// computes entirely on the returned slice, so a concurrent rolling swap
+// never mixes generations within one shard's rows (per-shard answers
+// always come from exactly one generation; different shards may serve
+// different generations mid-roll, each exact for its own index).
+func (r *Router) snapshot() []*core.IndexShard {
+	shards := make([]*core.IndexShard, r.K())
+	for s, e := range r.engines {
+		shards[s], _ = e.current()
+	}
+	return shards
+}
+
+func (r *Router) validate(queries []int) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("shard: empty query set: %w", core.ErrParams)
+	}
+	for _, q := range queries {
+		if q < 0 || q >= r.n {
+			return fmt.Errorf("shard: node %d not in [0, %d): %w", q, r.n, core.ErrQuery)
+		}
+	}
+	return nil
+}
+
+// gatherU assembles the |Q| x r broadcast matrix of the query nodes' U
+// rows from their owner shards — the only cross-shard data a query needs.
+// The copied values are the exact float64s of the monolithic U, so the
+// downstream dot products are bitwise those of the single-engine path.
+func (r *Router) gatherU(shards []*core.IndexShard, queries []int) *dense.Mat {
+	uq := dense.NewMat(len(queries), r.rank)
+	for j, q := range queries {
+		copy(uq.Row(j), shards[r.plan.Owner(q)].URow(q))
+	}
+	return uq
+}
+
+// queryFlops estimates one fan-out's multiply-adds for par's threshold
+// gate — the same n·r·|Q| the monolithic GEMM costs.
+func (r *Router) queryFlops(cols int) int64 {
+	return int64(r.n) * int64(r.rank) * int64(cols)
+}
+
+// QueryRankInto answers phase II at a chosen rank by scattering row bands
+// across shards: each shard writes its rows of the n x |Q| result
+// directly into the shared scratch matrix, in parallel via internal/par.
+// The assembled matrix is bitwise-identical to
+// core.Index.QueryRankInto's at any shard count (see the package doc for
+// why). rank <= 0 or >= the index rank answers at full rank; honours ctx
+// between row bands. It satisfies serve.RankQueryFunc, so a Router slots
+// into serve.Server exactly where a monolithic engine does.
+func (r *Router) QueryRankInto(ctx context.Context, queries []int, rank int, scratch *dense.Mat) (*dense.Mat, error) {
+	if err := r.validate(queries); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	shards := r.snapshot()
+	uq := r.gatherU(shards, queries)
+	cols := len(queries)
+	s := scratch.Reuse(r.n, cols)
+	errs := make([]error, r.K())
+	par.Do(r.K(), r.queryFlops(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sh := shards[i]
+			band := &dense.Mat{Rows: sh.Rows(), Cols: cols, Data: s.Data[sh.Lo()*cols : sh.Hi()*cols]}
+			errs[i] = sh.PartialInto(ctx, queries, uq, rank, band)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// QueryInto is QueryRankInto at full rank without a context — it
+// satisfies serve.MatQueryFunc.
+func (r *Router) QueryInto(queries []int, scratch *dense.Mat) (*dense.Mat, error) {
+	return r.QueryRankInto(context.Background(), queries, 0, scratch)
+}
+
+// TopK returns the exact global top-k for a query set via scatter–gather:
+// every shard selects the top-k of the nodes it owns from its own partial
+// scores, and the k best of the union is the answer. Semantics mirror
+// csrplus.Engine.TopK / TopKMulti bitwise: a single query ranks its own
+// column excluding itself; a multi-source set ranks by summed similarity
+// (duplicate queries weigh double) excluding every query node. Unlike
+// QueryRankInto this path never materialises the n x |Q| score matrix on
+// any one allocation larger than a shard — the shape a future wire split
+// would ship between processes.
+func (r *Router) TopK(ctx context.Context, queries []int, k int) ([]topk.Item, error) {
+	return r.TopKRank(ctx, queries, k, 0)
+}
+
+// TopKRank is TopK answered from a rank-r' truncation of the index (rank
+// <= 0 or >= the index rank is full). The merge stays exact for whatever
+// scores the truncation produces.
+func (r *Router) TopKRank(ctx context.Context, queries []int, k, rank int) ([]topk.Item, error) {
+	if err := r.validate(queries); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	shards := r.snapshot()
+	uq := r.gatherU(shards, queries)
+	cols := len(queries)
+	exclude := make(map[int]bool, cols)
+	for _, q := range queries {
+		exclude[q] = true
+	}
+	lists := make([][]topk.Item, r.K())
+	errs := make([]error, r.K())
+	par.Do(r.K(), r.queryFlops(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sh := shards[i]
+			partial := dense.NewMat(sh.Rows(), cols)
+			if err := sh.PartialInto(ctx, queries, uq, rank, partial); err != nil {
+				errs[i] = err
+				continue
+			}
+			// Aggregate per node in query order (j outer), matching
+			// Engine.TopKMulti's summation order element for element; for a
+			// single query this adds one column onto zeros, which is exact.
+			agg := make([]float64, sh.Rows())
+			for j := 0; j < cols; j++ {
+				for row := 0; row < sh.Rows(); row++ {
+					agg[row] += partial.At(row, j)
+				}
+			}
+			lists[i] = topk.SelectRange(agg, k, sh.Lo(), exclude)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return topk.Merge(k, lists...), nil
+}
+
+// TruncationBound bounds the entrywise error of a rank-truncated answer,
+// bitwise-equal to core.Index.TruncationBound on the unsharded index: a
+// column maximum over all rows is the maximum of the per-shard column
+// maxima, and the tail recurrence (core.TailBound) is shared code. The
+// result is cached against the shard generation vector, so it is
+// recomputed only after a swap.
+func (r *Router) TruncationBound(rank int) float64 {
+	if rank <= 0 || rank >= r.rank {
+		return 0
+	}
+	gens := r.Generations()
+	if e := r.bound.Load(); e != nil && gensEqual(e.gens, gens) {
+		return e.tail[rank]
+	}
+	zmax := make([]float64, r.rank)
+	umax := make([]float64, r.rank)
+	for _, sh := range r.snapshot() {
+		zm, um := sh.ColMaxes()
+		for j := 0; j < r.rank; j++ {
+			if zm[j] > zmax[j] {
+				zmax[j] = zm[j]
+			}
+			if um[j] > umax[j] {
+				umax[j] = um[j]
+			}
+		}
+	}
+	tail := core.TailBound(r.c, zmax, umax)
+	r.bound.Store(&boundEntry{gens: gens, tail: tail})
+	return tail[rank]
+}
+
+func gensEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,402 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"csrplus"
+
+	"csrplus/internal/core"
+	"csrplus/internal/par"
+	"csrplus/internal/shard"
+	"csrplus/internal/topk"
+)
+
+const testN, testRank = 151, 5
+
+// randomGraph builds a connected pseudo-random digraph: a ring for
+// reachability plus seeded random edges. Different seeds give graphs of
+// identical shape parameters (n, default damping) but different factors —
+// what a rolling reload swaps between.
+func randomGraph(t testing.TB, n int, seed int64) *csrplus.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]int, 0, 5*n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+		for e := 0; e < 4; e++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+	}
+	g, err := csrplus.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testEngineIndex builds a CSR+ engine and returns it with its underlying
+// index, so router answers are compared against the exact factors they
+// were sliced from.
+func testEngineIndex(t testing.TB, seed int64) (*csrplus.Engine, *core.Index) {
+	t.Helper()
+	eng, err := csrplus.NewEngine(randomGraph(t, testN, seed), csrplus.Options{Rank: testRank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, ok := eng.CoreIndex()
+	if !ok {
+		t.Fatal("CSR+ engine without a core index")
+	}
+	return eng, ix
+}
+
+// shardCounts returns the shard counts the equivalence suite runs at.
+// SHARD_K pins a single count — the hook CI's shard matrix uses.
+func shardCounts(t testing.TB) []int {
+	if s := os.Getenv("SHARD_K"); s != "" {
+		k, err := strconv.Atoi(s)
+		if err != nil || k < 1 {
+			t.Fatalf("bad SHARD_K %q", s)
+		}
+		return []int{k}
+	}
+	return []int{1, 2, 3, 7}
+}
+
+// querySets covers the shapes that exercise distinct code paths: single
+// query, boundary nodes, multi-source, and a set with duplicates (which
+// must weigh double in aggregation, exactly as Engine.TopKMulti).
+func querySets() [][]int {
+	return [][]int{
+		{7},
+		{0},
+		{testN - 1},
+		{0, testN - 1},
+		{13, 42, 99},
+		{3, 50, 50, 120},
+	}
+}
+
+// TestRouterMatchesMonolithic is the central equivalence property: at
+// every shard count, every worker count, every retained rank and every
+// query shape, the router's scatter-gather answers are bitwise-identical
+// to the single-engine path — scores, top-k lists, and truncation bounds.
+func TestRouterMatchesMonolithic(t *testing.T) {
+	eng, ix := testEngineIndex(t, 1)
+	for _, workers := range []int{1, 0} { // serial and GOMAXPROCS fan-out
+		prev := par.SetMaxWorkers(workers)
+		t.Cleanup(func() { par.SetMaxWorkers(prev) })
+		for _, k := range shardCounts(t) {
+			rt, err := shard.NewRouterFromIndex(ix, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRouterMatches(t, rt, eng, ix)
+		}
+		par.SetMaxWorkers(prev)
+	}
+}
+
+// TestRouterUnevenBoundaries re-runs the equivalence property over
+// pathological partitions: single-node shards, a giant middle shard, and
+// boundaries that cut right through popular query nodes.
+func TestRouterUnevenBoundaries(t *testing.T) {
+	eng, ix := testEngineIndex(t, 1)
+	for _, bounds := range [][]int{
+		{0, 1, 2, 75, 150, testN},
+		{0, 13, 14, 50, 51, testN},
+		{0, testN - 1, testN},
+	} {
+		shards := make([]*core.IndexShard, len(bounds)-1)
+		for s := range shards {
+			var err error
+			if shards[s], err = ix.Shard(bounds[s], bounds[s+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt, err := shard.NewRouter(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertRouterMatches(t, rt, eng, ix)
+	}
+}
+
+func assertRouterMatches(t *testing.T, rt *shard.Router, eng *csrplus.Engine, ix *core.Index) {
+	t.Helper()
+	ctx := context.Background()
+	for _, queries := range querySets() {
+		for _, rank := range []int{0, 1, 3, testRank} {
+			want, err := ix.QueryRankInto(ctx, queries, rank, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rt.QueryRankInto(ctx, queries, rank, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want, 0) {
+				t.Fatalf("K=%d queries=%v rank=%d: scores differ from monolithic", rt.K(), queries, rank)
+			}
+		}
+		for _, k := range []int{1, 10, testN} {
+			items, err := rt.TopK(ctx, queries, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []csrplus.Match
+			if len(queries) == 1 {
+				want, err = eng.TopK(queries[0], k)
+			} else {
+				want, err = eng.TopKMulti(queries, k)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameMatches(t, rt.K(), queries, items, want)
+		}
+	}
+	for rank := 0; rank <= testRank; rank++ {
+		if got, want := rt.TruncationBound(rank), eng.TruncationBound(rank); got != want {
+			t.Fatalf("K=%d TruncationBound(%d) = %v, want %v", rt.K(), rank, got, want)
+		}
+	}
+}
+
+func assertSameMatches(t *testing.T, k int, queries []int, items []topk.Item, want []csrplus.Match) {
+	t.Helper()
+	if len(items) != len(want) {
+		t.Fatalf("K=%d queries=%v: %d matches, want %d", k, queries, len(items), len(want))
+	}
+	for i := range items {
+		if items[i].Node != want[i].Node || items[i].Score != want[i].Score {
+			t.Fatalf("K=%d queries=%v match %d: got (%d, %v), want (%d, %v)",
+				k, queries, i, items[i].Node, items[i].Score, want[i].Node, want[i].Score)
+		}
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	_, ix := testEngineIndex(t, 1)
+	if _, err := shard.NewRouter(nil); !errors.Is(err, shard.ErrPlan) {
+		t.Fatalf("empty shard set: err = %v, want ErrPlan", err)
+	}
+	a, err := ix.Shard(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.Shard(60, testN) // gap [50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.NewRouter([]*core.IndexShard{a, b}); !errors.Is(err, shard.ErrShard) {
+		t.Fatalf("gapped shards: err = %v, want ErrShard", err)
+	}
+	c, err := ix.Shard(0, 50) // does not reach n
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.NewRouter([]*core.IndexShard{c}); !errors.Is(err, shard.ErrShard) {
+		t.Fatalf("short coverage: err = %v, want ErrShard", err)
+	}
+
+	rt, err := shard.NewRouterFromIndex(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.QueryRankInto(context.Background(), nil, 0, nil); !errors.Is(err, core.ErrParams) {
+		t.Fatalf("empty queries: err = %v, want ErrParams", err)
+	}
+	if _, err := rt.QueryRankInto(context.Background(), []int{testN}, 0, nil); !errors.Is(err, core.ErrQuery) {
+		t.Fatalf("out-of-range query: err = %v, want ErrQuery", err)
+	}
+	if items, err := rt.TopK(context.Background(), []int{1}, 0); err != nil || items != nil {
+		t.Fatalf("k=0: items=%v err=%v, want nil, nil", items, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rt.TopK(ctx, []int{1}, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v", err)
+	}
+}
+
+func TestSwapShardValidation(t *testing.T) {
+	_, ix := testEngineIndex(t, 1)
+	rt, err := shard.NewRouterFromIndex(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := rt.Plan().Range(1)
+	good, err := ix.Shard(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SwapShard(-1, good); !errors.Is(err, shard.ErrShard) {
+		t.Fatalf("bad slot: err = %v", err)
+	}
+	if _, err := rt.SwapShard(3, good); !errors.Is(err, shard.ErrShard) {
+		t.Fatalf("slot past K: err = %v", err)
+	}
+	if _, err := rt.SwapShard(0, good); !errors.Is(err, shard.ErrShard) {
+		t.Fatalf("wrong range for slot: err = %v", err)
+	}
+	// A shard of the right range but wrong shape (different rank).
+	otherEng, err := csrplus.NewEngine(randomGraph(t, testN, 1), csrplus.Options{Rank: testRank - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherIx, _ := otherEng.CoreIndex()
+	wrongShape, err := otherIx.Shard(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SwapShard(1, wrongShape); !errors.Is(err, shard.ErrShard) {
+		t.Fatalf("wrong shape: err = %v", err)
+	}
+	gen, err := rt.SwapShard(1, good)
+	if err != nil || gen != 2 {
+		t.Fatalf("valid swap: gen=%d err=%v, want 2, nil", gen, err)
+	}
+	gens := rt.Generations()
+	if gens[0] != 1 || gens[1] != 2 || gens[2] != 1 {
+		t.Fatalf("generations = %v, want [1 2 1]", gens)
+	}
+	st := rt.Status()
+	if st[1].Generation != 2 || st[1].Lo != lo || st[1].Hi != hi || st[1].Bytes <= 0 {
+		t.Fatalf("status[1] = %+v", st[1])
+	}
+}
+
+// TestMixedGenerationsStayExact pins the mid-roll contract: after
+// swapping only some slots from index A's factors to index B's, the
+// router's answers are bitwise those of a fresh router assembled over the
+// same piecewise factor set — a consistent index, never torn state — and
+// a completed roll converges to index B's monolithic answers.
+func TestMixedGenerationsStayExact(t *testing.T) {
+	_, ixA := testEngineIndex(t, 1)
+	engB, ixB := testEngineIndex(t, 2)
+	rt, err := shard.NewRouterFromIndex(ixA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := rt.Plan()
+	sliceOf := func(ix *core.Index, s int) *core.IndexShard {
+		lo, hi := plan.Range(s)
+		sh, err := ix.Shard(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	if _, err := rt.SwapShard(0, sliceOf(ixB, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := shard.NewRouter([]*core.IndexShard{sliceOf(ixB, 0), sliceOf(ixA, 1), sliceOf(ixA, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, queries := range querySets() {
+		want, err := ref.QueryRankInto(ctx, queries, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rt.QueryRankInto(ctx, queries, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 0) {
+			t.Fatalf("queries=%v: mid-roll answer differs from the piecewise reference", queries)
+		}
+	}
+	for s := 1; s < 3; s++ {
+		if _, err := rt.SwapShard(s, sliceOf(ixB, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertRouterMatches(t, rt, engB, ixB)
+}
+
+// TestConcurrentQueriesDuringSwaps hammers the router from many
+// goroutines while another goroutine continuously swaps identical
+// factors in (an identity roll): under -race this pins the lock-free
+// snapshot discipline, and because the factors never change, every
+// response must stay bitwise-equal to the monolithic answer throughout.
+func TestConcurrentQueriesDuringSwaps(t *testing.T) {
+	eng, ix := testEngineIndex(t, 1)
+	rt, err := shard.NewRouterFromIndex(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{3, 50, 120}
+	wantTopK, err := eng.TopKMulti(queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMat, err := ix.QueryRankInto(context.Background(), queries, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var roller sync.WaitGroup
+	roller.Add(1)
+	go func() {
+		defer roller.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := i % rt.K()
+			lo, hi := rt.Plan().Range(s)
+			sh, err := ix.Shard(lo, hi)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := rt.SwapShard(s, sh); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var queriers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			for i := 0; i < 200; i++ {
+				items, err := rt.TopK(context.Background(), queries, 10)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range items {
+					if items[j].Node != wantTopK[j].Node || items[j].Score != wantTopK[j].Score {
+						t.Errorf("top-k diverged during identity roll at %d", j)
+						return
+					}
+				}
+				got, err := rt.QueryRankInto(context.Background(), queries, 0, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !got.Equal(wantMat, 0) {
+					t.Error("scores diverged during identity roll")
+					return
+				}
+			}
+		}()
+	}
+	queriers.Wait()
+	close(stop)
+	roller.Wait()
+}

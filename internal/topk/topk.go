@@ -2,6 +2,13 @@
 // column using a bounded min-heap — O(n log k) instead of a full sort,
 // which matters when similarity searches over million-node graphs only
 // need a short result list.
+//
+// Ordering contract: every selection and merge in this package orders
+// items by descending score with ties broken by ascending node id, and
+// the tie-break is part of the API — it is what makes a scatter–gather
+// top-k over row-partitioned shards (internal/shard) return exactly the
+// same items in exactly the same order as a single engine over the whole
+// graph, at any shard count.
 package topk
 
 import (
@@ -16,8 +23,20 @@ type Item struct {
 	Score float64
 }
 
+// itemLess is the package's one ordering: higher scores first, ties
+// broken by smaller node id. Select's result order, Merge's result
+// order, and the heap's eviction rule are all derived from it, so the
+// selection is a deterministic function of the (score, node) multiset —
+// never of input order, partitioning, or sort stability.
+func itemLess(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Node < b.Node
+}
+
 // itemHeap is a min-heap on Score (ties broken by larger Node so that the
-// final output, after reversal, lists smaller ids first among equals).
+// worst-ranked item under itemLess is always at the root).
 type itemHeap []Item
 
 func (h itemHeap) Len() int { return len(h) }
@@ -42,17 +61,42 @@ func (h *itemHeap) Pop() interface{} {
 // drops that node (callers typically exclude the query node itself).
 // k <= 0 returns nil; k beyond the candidate count returns all candidates.
 //
+// Multi-source callers that must drop every query node should use
+// SelectSet; Select keeps the historical single-node signature as a thin
+// wrapper over it.
+func Select(scores []float64, k, exclude int) []Item {
+	if exclude < 0 {
+		return SelectRange(scores, k, 0, nil)
+	}
+	return SelectRange(scores, k, 0, map[int]bool{exclude: true})
+}
+
+// SelectSet is Select with an exclusion set: every node with
+// exclude[node] == true is dropped from the candidates — the multi-source
+// case, where all source nodes must be excluded from their own top-k,
+// not just one. A nil map excludes nothing.
+func SelectSet(scores []float64, k int, exclude map[int]bool) []Item {
+	return SelectRange(scores, k, 0, exclude)
+}
+
+// SelectRange is the core selection: scores[i] belongs to node base+i,
+// and the exclusion set holds those global node ids. It exists for
+// row-partitioned shards, where a shard scores only its contiguous node
+// range [base, base+len(scores)) but results and exclusions are in
+// global ids; base 0 recovers SelectSet.
+//
 // NaN scores are skipped: NaN compares false with everything, so letting
 // one into the min-heap would corrupt the heap invariant (and a NaN can
 // reach here from a diverged or denormal similarity column). ±Inf orders
 // normally and is kept.
-func Select(scores []float64, k, exclude int) []Item {
+func SelectRange(scores []float64, k, base int, exclude map[int]bool) []Item {
 	if k <= 0 {
 		return nil
 	}
 	h := make(itemHeap, 0, k)
-	for node, score := range scores {
-		if node == exclude || math.IsNaN(score) {
+	for i, score := range scores {
+		node := base + i
+		if exclude[node] || math.IsNaN(score) {
 			continue
 		}
 		if len(h) < k {
@@ -65,11 +109,36 @@ func Select(scores []float64, k, exclude int) []Item {
 		}
 	}
 	out := []Item(h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Node < out[j].Node
-	})
+	sort.Slice(out, func(i, j int) bool { return itemLess(out[i], out[j]) })
 	return out
+}
+
+// Merge combines per-shard partial top-k lists into the exact global
+// top-k: the k best items of the union under the package ordering
+// (descending score, ascending node id among ties). Each input list must
+// itself be a top-k of its shard's candidates — then, because every
+// candidate node lives in exactly one list, the merge of the partials is
+// provably the top-k of the union of all candidates (any global top-k
+// item is a top-k item of its own shard). The result is a deterministic
+// function of the items alone: list order, list count, and score ties
+// cannot change it, which is what makes scatter–gather results invariant
+// to the shard count. Items are not deduplicated — callers guarantee
+// node-disjoint inputs.
+func Merge(k int, lists ...[]Item) []Item {
+	if k <= 0 {
+		return nil
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	all := make([]Item, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return itemLess(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
 }

@@ -131,6 +131,149 @@ func TestSelectAgainstSortProperty(t *testing.T) {
 	}
 }
 
+// TestSelectDuplicateScoresDeterministic is the regression test for the
+// tie-break contract the scatter–gather merge depends on: under heavy
+// score duplication the selection must order ties by ascending node id,
+// and selecting per contiguous range then merging must reproduce the
+// whole-array selection exactly — at every split point. A tie-break that
+// depended on heap eviction order or sort stability would fail the
+// split-invariance half of this test.
+func TestSelectDuplicateScoresDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, k := 200, 12
+	scores := make([]float64, n)
+	levels := []float64{0.1, 0.5, 0.5, 0.9} // few distinct values => many ties
+	for i := range scores {
+		scores[i] = levels[rng.Intn(len(levels))]
+	}
+	want := Select(scores, k, -1)
+	for i := 1; i < len(want); i++ {
+		a, b := want[i-1], want[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.Node >= b.Node) {
+			t.Fatalf("tie ordering violated at %d: %v then %v", i, a, b)
+		}
+	}
+	// Split the array into every 2-way contiguous partition and re-derive
+	// the answer via per-range selection + merge.
+	for cut := 0; cut <= n; cut += 17 {
+		left := SelectRange(scores[:cut], k, 0, nil)
+		right := SelectRange(scores[cut:], k, cut, nil)
+		got := Merge(k, left, right)
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: got %d items, want %d", cut, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cut %d: item %d = %v, want %v", cut, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSelectSetExcludesAll(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	got := SelectSet(scores, 3, map[int]bool{0: true, 2: true})
+	want := []Item{{1, 0.8}, {3, 0.6}, {4, 0.5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// nil set excludes nothing; Select's single-node form is the wrapper.
+	if got := SelectSet(scores, 2, nil); got[0].Node != 0 || got[1].Node != 1 {
+		t.Fatalf("nil exclusion set: %v", got)
+	}
+	a, b := Select(scores, 2, 1), SelectSet(scores, 2, map[int]bool{1: true})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Select and SelectSet disagree: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSelectRangeOffsetsNodeIDs(t *testing.T) {
+	scores := []float64{0.3, 0.9, 0.1}
+	got := SelectRange(scores, 2, 100, map[int]bool{101: true})
+	want := []Item{{100, 0.3}, {102, 0.1}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Property: selecting per contiguous chunk and merging equals selecting
+// over the whole array, for random chunkings and exclusion sets.
+func TestMergeAgainstSelectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		k := 1 + rng.Intn(25)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(8)) / 8 // duplicate-heavy
+		}
+		exclude := map[int]bool{}
+		for e := 0; e < rng.Intn(4); e++ {
+			exclude[rng.Intn(n)] = true
+		}
+		want := SelectSet(scores, k, exclude)
+		// Random contiguous partition into 1..6 chunks.
+		chunks := 1 + rng.Intn(6)
+		bounds := []int{0}
+		for c := 1; c < chunks; c++ {
+			bounds = append(bounds, rng.Intn(n+1))
+		}
+		bounds = append(bounds, n)
+		sort.Ints(bounds)
+		lists := make([][]Item, 0, chunks)
+		for c := 0; c+1 < len(bounds); c++ {
+			lo, hi := bounds[c], bounds[c+1]
+			lists = append(lists, SelectRange(scores[lo:hi], k, lo, exclude))
+		}
+		got := Merge(k, lists...)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if Merge(0, []Item{{1, 0.5}}) != nil {
+		t.Fatal("k <= 0 should return nil")
+	}
+	if got := Merge(3); len(got) != 0 {
+		t.Fatalf("no lists: %v", got)
+	}
+	// Fewer total items than k returns them all, ordered.
+	got := Merge(10, []Item{{5, 0.2}}, nil, []Item{{1, 0.9}})
+	if len(got) != 2 || got[0] != (Item{1, 0.9}) || got[1] != (Item{5, 0.2}) {
+		t.Fatalf("got %v", got)
+	}
+	// List order must not matter, including under ties.
+	a := []Item{{2, 0.5}, {7, 0.3}}
+	b := []Item{{4, 0.5}, {1, 0.3}}
+	x, y := Merge(3, a, b), Merge(3, b, a)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("merge depends on list order: %v vs %v", x, y)
+		}
+	}
+	if x[0] != (Item{2, 0.5}) || x[1] != (Item{4, 0.5}) || x[2] != (Item{1, 0.3}) {
+		t.Fatalf("tie ordering wrong: %v", x)
+	}
+}
+
 func TestHeapInterfaceDirect(t *testing.T) {
 	// Exercise the container/heap contract (Push/Pop) directly.
 	h := &itemHeap{}
