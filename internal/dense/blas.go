@@ -9,44 +9,28 @@ import (
 
 // Mul returns a*b. It panics if the inner dimensions differ.
 //
-// The kernel is an ikj-ordered blocked product: the inner loop runs along
-// contiguous rows of b and the output, which keeps it vectorisable and
-// cache-friendly without assembly. Rows of the output are partitioned
-// across par.Workers goroutines for large products; each output element is
-// still accumulated by exactly one goroutine in a fixed order, so results
-// are bitwise-deterministic at every worker count.
+// The kernel packs b once through a blocked transpose (so the reduction
+// dimension is contiguous in both operands — the pack step of a classic
+// GEMM) and then runs the register-tiled dot micro-kernels in tile.go
+// under MC×NC×KC cache blocking. Rows of the output are partitioned
+// across par.Workers goroutines on register-tile boundaries; each output
+// element is accumulated by exactly one goroutine in ascending-k order —
+// the reference order — so results are bitwise-deterministic at every
+// worker count and bitwise-equal to reftest.Mul.
 func Mul(a, b *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("dense: Mul %dx%d * %dx%d: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
 	}
 	out := NewMat(a.Rows, b.Cols)
-	mulInto(out, a, b)
-	return out
-}
-
-func mulInto(out, a, b *Mat) {
-	flops := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
-	par.Do(a.Rows, flops, func(lo, hi int) {
-		mulRange(out, a, b, lo, hi)
-	})
-}
-
-// mulRange computes rows [lo, hi) of out = a*b.
-func mulRange(out, a, b *Mat, lo, hi int) {
-	n, p := a.Cols, b.Cols
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*n : (i+1)*n]
-		orow := out.Data[i*p : (i+1)*p]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	if a.Rows == 0 || b.Cols == 0 || a.Cols == 0 {
+		return out
 	}
+	bt := b.T()
+	flops := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+	par.DoAligned(a.Rows, mr, flops, func(lo, hi int) {
+		mulTDot(out, a, bt, a.Cols, lo, hi)
+	})
+	return out
 }
 
 // MulT returns a * bᵀ without materialising bᵀ. This is the query-phase
@@ -60,37 +44,15 @@ func MulT(a, b *Mat) *Mat {
 // are overwritten. It returns the result matrix, which is out itself
 // whenever out had capacity.
 //
-// Output rows are partitioned across par.Workers goroutines; every output
-// element is a single dot product accumulated in index order by exactly
-// one goroutine, so results are bitwise-deterministic at every worker
-// count.
+// The serving shapes (inner dimension = factor rank ≤ 64, |Q| output
+// columns) take the register-tiled fast path in tile.go directly; larger
+// shapes run the same micro-kernels under cache panelling. Output rows
+// are partitioned across par.Workers goroutines on tile boundaries;
+// every output element keeps one accumulator advancing in ascending-k
+// order inside exactly one goroutine, so results are bitwise-
+// deterministic at every worker count and bitwise-equal to reftest.MulT.
 func MulTInto(out, a, b *Mat) *Mat {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("dense: MulT %dx%d * (%dx%d)ᵀ: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
-	}
-	out = out.Reuse(a.Rows, b.Rows)
-	flops := int64(a.Rows) * int64(b.Rows) * int64(a.Cols)
-	par.Do(a.Rows, flops, func(lo, hi int) {
-		mulTRange(out, a, b, lo, hi)
-	})
-	return out
-}
-
-// mulTRange computes rows [lo, hi) of out = a*bᵀ.
-func mulTRange(out, a, b *Mat, lo, hi int) {
-	n := a.Cols
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*n : (i+1)*n]
-		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*n : (j+1)*n]
-			s := 0.0
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
-	}
+	return MulTRankInto(out, a, b, a.Cols)
 }
 
 // MulTRankInto computes a[:, :rank] * (b[:, :rank])ᵀ into out — the
@@ -98,42 +60,32 @@ func mulTRange(out, a, b *Mat, lo, hi int) {
 // columns of both operands (which must share a column count ≥ rank). With
 // factor columns ordered by singular value this is how a degraded query
 // answers from a cheaper low-rank slice of the same index without
-// rebuilding anything. rank ≥ a.Cols delegates to the full kernel.
-// Parallelism and determinism match MulTInto: each output element is one
-// dot product accumulated in index order by exactly one goroutine.
+// rebuilding anything. rank ≥ a.Cols delegates to the full kernel;
+// rank 0 yields the zero matrix; negative rank panics. Parallelism and
+// determinism match MulTInto: each output element is one dot product
+// accumulated in index order by exactly one goroutine.
 func MulTRankInto(out, a, b *Mat, rank int) *Mat {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: MulTRank %dx%d * (%dx%d)ᵀ: %v", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape))
 	}
-	if rank >= a.Cols {
-		return MulTInto(out, a, b)
-	}
-	if rank < 1 {
+	if rank < 0 {
 		panic(fmt.Sprintf("dense: MulTRank rank %d: %v", rank, ErrShape))
 	}
+	if rank > a.Cols {
+		rank = a.Cols
+	}
 	out = out.Reuse(a.Rows, b.Rows)
+	if rank == 0 {
+		for i := range out.Data {
+			out.Data[i] = 0
+		}
+		return out
+	}
 	flops := int64(a.Rows) * int64(b.Rows) * int64(rank)
-	par.Do(a.Rows, flops, func(lo, hi int) {
-		mulTRankRange(out, a, b, rank, lo, hi)
+	par.DoAligned(a.Rows, mr, flops, func(lo, hi int) {
+		mulTDot(out, a, b, rank, lo, hi)
 	})
 	return out
-}
-
-// mulTRankRange computes rows [lo, hi) of out = a[:,:rank] * (b[:,:rank])ᵀ.
-func mulTRankRange(out, a, b *Mat, rank, lo, hi int) {
-	n := a.Cols
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*n : i*n+rank]
-		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*n : j*n+rank]
-			s := 0.0
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
-	}
 }
 
 // tmulMaxChunks bounds TMul's reduction grid: at most this many partial
@@ -152,8 +104,16 @@ const (
 // count), each chunk accumulates into a private partial buffer, and the
 // partials are summed in chunk order. Results are therefore identical at
 // every GOMAXPROCS, though — unlike the row-parallel kernels — the
-// chunked summation order differs from the pre-chunking serial kernel by
-// floating-point rounding.
+// chunked summation order differs from the serial reference kernel
+// (reftest.TMul) by floating-point rounding; it is bitwise-equal to the
+// fixed reordering reftest.TMulChunked at the same chunk length. Below
+// the parallel threshold the single-chunk path is bitwise-equal to
+// reftest.TMul itself.
+//
+// Within a chunk, tile.go's register-tiled sweep (tmulRangeTiled) holds
+// 4×4 blocks of the output in registers across L1-sized k panels,
+// spilling accumulators exactly between panels — per-element
+// accumulation order is unchanged from the naive scatter loop.
 //
 // The kernel is tuned for tall-skinny operands (aᵀb with few columns on
 // both sides — H₀ = VᵀUΣ and the SVD's Gram matrix): the partial buffers
@@ -170,7 +130,7 @@ func TMul(a, b *Mat) *Mat {
 		maxChunks = tmulMaxPartial / outLen
 	}
 	if flops < par.DefaultThreshold || maxChunks < 2 || outLen == 0 {
-		tmulRange(out.Data, a, b, 0, a.Rows)
+		tmulRangeTiled(out.Data, a, b, 0, a.Rows)
 		return out
 	}
 	// Per-row flops is outLen; size chunks to ≥ ~128k flops each so the
@@ -178,7 +138,7 @@ func TMul(a, b *Mat) *Mat {
 	minChunk := 1 + (1<<17)/outLen
 	chunk, count := par.Grid(a.Rows, minChunk, maxChunks)
 	if count < 2 {
-		tmulRange(out.Data, a, b, 0, a.Rows)
+		tmulRangeTiled(out.Data, a, b, 0, a.Rows)
 		return out
 	}
 	partials := make([]float64, count*outLen)
@@ -186,7 +146,7 @@ func TMul(a, b *Mat) *Mat {
 		for c := lo; c < hi; c++ {
 			klo := c * chunk
 			khi := min(klo+chunk, a.Rows)
-			tmulRange(partials[c*outLen:(c+1)*outLen], a, b, klo, khi)
+			tmulRangeTiled(partials[c*outLen:(c+1)*outLen], a, b, klo, khi)
 		}
 	})
 	for c := 0; c < count; c++ {
@@ -195,25 +155,6 @@ func TMul(a, b *Mat) *Mat {
 		}
 	}
 	return out
-}
-
-// tmulRange accumulates rows [klo, khi) of the shared dimension of aᵀ*b
-// into dst (length a.Cols*b.Cols, not cleared first).
-func tmulRange(dst []float64, a, b *Mat, klo, khi int) {
-	p := b.Cols
-	for k := klo; k < khi; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*p : (k+1)*p]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := dst[i*p : (i+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }
 
 // MulVec returns a * x as a fresh vector. It panics on dimension mismatch.

@@ -1,0 +1,191 @@
+package dense_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/dense/reftest"
+	"csrplus/internal/par"
+)
+
+// kernelPaths enumerates the kernel implementations compiled into this
+// build: the default path and, when the assembly micro-kernels exist,
+// the forced pure-Go path. Each differential test runs under every
+// path, so both implementations are held to the references bit for bit.
+func kernelPaths() []bool {
+	if dense.DotAsmAvailable {
+		return []bool{false, true}
+	}
+	return []bool{false}
+}
+
+// specials cycled into test matrices so every kernel path crosses NaN,
+// infinities, signed zero and subnormals, not just round numbers.
+var specials = []float64{
+	math.NaN(), math.Inf(1), math.Inf(-1),
+	math.Copysign(0, -1), 0,
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.MaxFloat64,
+}
+
+// ieeeMat is randMat with specials splattered over every seventh slot.
+func ieeeMat(rng *rand.Rand, r, c int) *dense.Mat {
+	m := randMat(rng, r, c)
+	for i := 0; i < len(m.Data); i += 7 {
+		m.Data[i] = specials[(i/7)%len(specials)]
+	}
+	return m
+}
+
+// tileSizes is the satellite's shape grid: both sides of every tile
+// boundary for the mr=4 register tile, plus empty, single and a
+// two-tiles-and-edge size (2·tile+3).
+var tileSizes = []int{0, 1, 3, 4, 5, 11}
+
+// TestTiledKernelsMatchReferenceAllShapes sweeps the full m×n×k grid of
+// tile-boundary shapes with IEEE-special-laden inputs and holds Mul,
+// MulT and TMul bitwise to their frozen references, on every compiled
+// kernel path. Shapes are far below the parallel threshold, so this
+// pins the serial micro-kernels and their edge cases.
+func TestTiledKernelsMatchReferenceAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, generic := range kernelPaths() {
+		prev := dense.SetGenericKernels(generic)
+		for _, m := range tileSizes {
+			for _, n := range tileSizes {
+				for _, k := range tileSizes {
+					a := ieeeMat(rng, m, k)
+					b := ieeeMat(rng, n, k)
+					tag := fmt.Sprintf("generic=%v m=%d n=%d k=%d", generic, m, n, k)
+					bitEq(t, "MulT "+tag, dense.MulT(a, b), reftest.MulT(a, b))
+					c := ieeeMat(rng, k, n)
+					bitEq(t, "Mul "+tag, dense.Mul(a, c), reftest.Mul(a, c))
+					at := ieeeMat(rng, k, m)
+					bitEq(t, "TMul "+tag, dense.TMul(at, c), reftest.TMul(at, c))
+				}
+			}
+		}
+		dense.SetGenericKernels(prev)
+	}
+}
+
+// TestMulTRankIntoRankPoints drives the rank-truncated kernel through
+// every interesting truncation point — 0, 1, cols−1, cols — plus the
+// beyond-cols clamp, into NaN-poisoned scratch that must be fully
+// overwritten, comparing bitwise against reftest.MulTRank.
+func TestMulTRankIntoRankPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for _, generic := range kernelPaths() {
+		prev := dense.SetGenericKernels(generic)
+		for _, cols := range []int{1, 4, 5, 11} {
+			a, b := ieeeMat(rng, 11, cols), ieeeMat(rng, 7, cols)
+			ranks := []int{0, 1, cols - 1, cols, cols + 3}
+			for _, rank := range ranks {
+				scratch := dense.NewMat(11, 7)
+				for i := range scratch.Data {
+					scratch.Data[i] = math.NaN()
+				}
+				got := dense.MulTRankInto(scratch, a, b, rank)
+				if got != scratch {
+					t.Fatalf("rank=%d: scratch not reused", rank)
+				}
+				want := reftest.MulTRank(a, b, min(rank, cols))
+				bitEq(t, fmt.Sprintf("MulTRankInto generic=%v cols=%d rank=%d", generic, cols, rank), got, want)
+			}
+		}
+		dense.SetGenericKernels(prev)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulTRankInto(rank<0) must panic")
+		}
+	}()
+	a := dense.NewMat(2, 2)
+	dense.MulTRankInto(nil, a, a, -1)
+}
+
+// TestZeroTimesNaNPropagatesInProductionKernels is the regression test
+// for the zero-skip bug: the historical mulRange skipped av == 0 and
+// silently dropped the IEEE-required NaN from 0·NaN and 0·±Inf terms.
+// Every production kernel must now propagate it, on every kernel path.
+func TestZeroTimesNaNPropagatesInProductionKernels(t *testing.T) {
+	zrow := dense.NewMatFrom(1, 2, []float64{0, 0})
+	poison := dense.NewMatFrom(1, 2, []float64{math.NaN(), 1})
+	infRow := dense.NewMatFrom(1, 2, []float64{math.Inf(1), 1})
+	for _, generic := range kernelPaths() {
+		prev := dense.SetGenericKernels(generic)
+		if got := dense.MulT(zrow, poison).At(0, 0); !math.IsNaN(got) {
+			t.Errorf("generic=%v: MulT dropped 0·NaN, got %v", generic, got)
+		}
+		if got := dense.MulT(zrow, infRow).At(0, 0); !math.IsNaN(got) {
+			t.Errorf("generic=%v: MulT dropped 0·Inf, got %v", generic, got)
+		}
+		if got := dense.Mul(zrow, poison.T()).At(0, 0); !math.IsNaN(got) {
+			t.Errorf("generic=%v: Mul dropped 0·NaN, got %v", generic, got)
+		}
+		if got := dense.TMul(zrow.T(), poison.T()).At(0, 0); !math.IsNaN(got) {
+			t.Errorf("generic=%v: TMul dropped 0·NaN, got %v", generic, got)
+		}
+		dense.SetGenericKernels(prev)
+	}
+}
+
+// TestKernelsWorkerSweepBitwiseVsReference runs shapes that clear the
+// parallel threshold under worker counts {1, 2, 3, 7} and holds every
+// kernel bitwise to its reference at each count — the end-to-end
+// determinism contract, not just worker-vs-worker agreement. Shapes
+// exercise the general panelled path too: rank > kcPanel, output
+// columns > ncPanel, rows crossing mcPanel and the worker split.
+func TestKernelsWorkerSweepBitwiseVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	// 170 output cols > ncPanel(128); 300 inner > kcPanel(256);
+	// 402 rows cross mcPanel(64) and leave tile edges at every split.
+	a, b := randMat(rng, 402, 300), randMat(rng, 170, 300)
+	wantMulT := reftest.MulT(a, b)
+	x, y := randMat(rng, 402, 300), randMat(rng, 300, 170)
+	wantMul := reftest.Mul(x, y)
+	g, h := randMat(rng, 70001, 15), randMat(rng, 70001, 13)
+	wantTMul := reftest.TMulChunked(g, h, dense.TMulChunkFor(g, h))
+	for _, generic := range kernelPaths() {
+		prevG := dense.SetGenericKernels(generic)
+		for _, w := range []int{1, 2, 3, 7} {
+			prev := par.SetMaxWorkers(w)
+			tag := fmt.Sprintf("generic=%v workers=%d", generic, w)
+			bitEq(t, "MulT "+tag, dense.MulT(a, b), wantMulT)
+			bitEq(t, "Mul "+tag, dense.Mul(x, y), wantMul)
+			bitEq(t, "TMul "+tag, dense.TMul(g, h), wantTMul)
+			par.SetMaxWorkers(prev)
+		}
+		dense.SetGenericKernels(prevG)
+	}
+}
+
+// TestAsmAndGenericKernelsAgree pins the two compiled implementations
+// against each other directly on panel-crossing shapes (a stronger
+// statement than each-vs-reference when the reference shapes are
+// smaller). Skipped on builds with a single implementation.
+func TestAsmAndGenericKernelsAgree(t *testing.T) {
+	if !dense.DotAsmAvailable {
+		t.Skip("single kernel implementation in this build")
+	}
+	rng := rand.New(rand.NewSource(73))
+	a, b := ieeeMat(rng, 137, 261), ieeeMat(rng, 131, 261)
+	prev := dense.SetGenericKernels(false)
+	asm := dense.MulT(a, b)
+	dense.SetGenericKernels(true)
+	gen := dense.MulT(a, b)
+	dense.SetGenericKernels(prev)
+	bitEq(t, "asm MulT vs generic MulT", asm, gen)
+
+	g, h := ieeeMat(rng, 4099, 9), ieeeMat(rng, 4099, 6)
+	dense.SetGenericKernels(false)
+	asmT := dense.TMul(g, h)
+	dense.SetGenericKernels(true)
+	genT := dense.TMul(g, h)
+	dense.SetGenericKernels(prev)
+	bitEq(t, "asm TMul vs generic TMul", asmT, genT)
+}

@@ -1,0 +1,179 @@
+// SSE2 packed micro-kernels for the register-tiled GEMMs in tile.go.
+//
+// Both kernels map the two output *columns* of a 4×2 register tile onto
+// the two lanes of an XMM register. Lanes never map onto the reduction
+// dimension k: each lane carries exactly one output element's
+// accumulator through the same ascending-k multiply-add sequence as the
+// scalar Go kernels, and per-lane MULPD/ADDPD rounding is identical to
+// scalar MULSD/ADDSD rounding (Go leaves MXCSR at round-to-nearest with
+// FTZ/DAZ off), so results are bitwise-identical to the pure-Go tiles
+// and to the reftest references — NaN, ±Inf, signed zeros and
+// subnormals included.
+//
+// SSE2 only: MOVSD/MOVUPD/UNPCKLPD/MULPD/ADDPD are all in the amd64
+// baseline (GOAMD64=v1), so there is no CPU feature gate. R14 (the
+// ABIInternal g register) and X15 (the ABIInternal zero register) are
+// deliberately untouched.
+
+#include "textflag.h"
+
+// func dotKernel4x2(o0, o1, o2, o3, a0, a1, a2, a3, bp *float64, k, acc int64)
+//
+// X0..X3 hold the tile accumulators [s_i0, s_i1] for rows i = 0..3.
+// bp walks k interleaved [b0[t], b1[t]] couples (packBPairs layout), so
+// the two column operands arrive as one 16-byte load; the four a
+// operands are scalar loads broadcast with UNPCKLPD. The k loop is
+// unrolled by two — the unrolled adds stay sequentially dependent per
+// accumulator, preserving per-element order.
+TEXT ·dotKernel4x2(SB), NOSPLIT, $0-88
+	MOVQ o0+0(FP), DI
+	MOVQ o1+8(FP), SI
+	MOVQ o2+16(FP), R8
+	MOVQ o3+24(FP), R9
+	MOVQ a0+32(FP), R10
+	MOVQ a1+40(FP), R11
+	MOVQ a2+48(FP), R12
+	MOVQ a3+56(FP), R13
+	MOVQ bp+64(FP), R15
+	MOVQ k+72(FP), CX
+	MOVQ acc+80(FP), AX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	TESTQ AX, AX
+	JE   prep
+	MOVUPD (DI), X0
+	MOVUPD (SI), X1
+	MOVUPD (R8), X2
+	MOVUPD (R9), X3
+
+prep:
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-2, DX
+
+pair:
+	CMPQ BX, DX
+	JGE  tail
+	MOVUPD (R15), X4
+	MOVSD  (R10)(BX*8), X5
+	UNPCKLPD X5, X5
+	MULPD  X4, X5
+	ADDPD  X5, X0
+	MOVSD  (R11)(BX*8), X6
+	UNPCKLPD X6, X6
+	MULPD  X4, X6
+	ADDPD  X6, X1
+	MOVSD  (R12)(BX*8), X7
+	UNPCKLPD X7, X7
+	MULPD  X4, X7
+	ADDPD  X7, X2
+	MOVSD  (R13)(BX*8), X8
+	UNPCKLPD X8, X8
+	MULPD  X4, X8
+	ADDPD  X8, X3
+	MOVUPD 16(R15), X9
+	MOVSD  8(R10)(BX*8), X10
+	UNPCKLPD X10, X10
+	MULPD  X9, X10
+	ADDPD  X10, X0
+	MOVSD  8(R11)(BX*8), X11
+	UNPCKLPD X11, X11
+	MULPD  X9, X11
+	ADDPD  X11, X1
+	MOVSD  8(R12)(BX*8), X12
+	UNPCKLPD X12, X12
+	MULPD  X9, X12
+	ADDPD  X12, X2
+	MOVSD  8(R13)(BX*8), X13
+	UNPCKLPD X13, X13
+	MULPD  X9, X13
+	ADDPD  X13, X3
+	ADDQ $32, R15
+	ADDQ $2, BX
+	JMP  pair
+
+tail:
+	CMPQ BX, CX
+	JGE  store
+	MOVUPD (R15), X4
+	MOVSD  (R10)(BX*8), X5
+	UNPCKLPD X5, X5
+	MULPD  X4, X5
+	ADDPD  X5, X0
+	MOVSD  (R11)(BX*8), X6
+	UNPCKLPD X6, X6
+	MULPD  X4, X6
+	ADDPD  X6, X1
+	MOVSD  (R12)(BX*8), X7
+	UNPCKLPD X7, X7
+	MULPD  X4, X7
+	ADDPD  X7, X2
+	MOVSD  (R13)(BX*8), X8
+	UNPCKLPD X8, X8
+	MULPD  X4, X8
+	ADDPD  X8, X3
+
+store:
+	MOVUPD X0, (DI)
+	MOVUPD X1, (SI)
+	MOVUPD X2, (R8)
+	MOVUPD X3, (R9)
+	RET
+
+// func tmulKernel4x2(d0, d1, d2, d3, a0, b0 *float64, astride, bstride, k int64)
+//
+// TMul variant: b's [j, j+1] pair is contiguous in the natural row-major
+// layout (no packing needed), a is read as astride-spaced scalars down
+// column i. Strides are element counts; converted to bytes on entry.
+// Always accumulates into the existing tile values (TMul callers pass
+// zeroed or partially-accumulated buffers).
+TEXT ·tmulKernel4x2(SB), NOSPLIT, $0-72
+	MOVQ d0+0(FP), DI
+	MOVQ d1+8(FP), SI
+	MOVQ d2+16(FP), R8
+	MOVQ d3+24(FP), R9
+	MOVQ a0+32(FP), R10
+	MOVQ b0+40(FP), R11
+	MOVQ astride+48(FP), R12
+	MOVQ bstride+56(FP), R13
+	MOVQ k+64(FP), CX
+	SHLQ $3, R12
+	SHLQ $3, R13
+	MOVUPD (DI), X0
+	MOVUPD (SI), X1
+	MOVUPD (R8), X2
+	MOVUPD (R9), X3
+	TESTQ CX, CX
+	JE   tdone
+
+tloop:
+	MOVUPD (R11), X4
+	MOVSD  (R10), X5
+	UNPCKLPD X5, X5
+	MULPD  X4, X5
+	ADDPD  X5, X0
+	MOVSD  8(R10), X6
+	UNPCKLPD X6, X6
+	MULPD  X4, X6
+	ADDPD  X6, X1
+	MOVSD  16(R10), X7
+	UNPCKLPD X7, X7
+	MULPD  X4, X7
+	ADDPD  X7, X2
+	MOVSD  24(R10), X8
+	UNPCKLPD X8, X8
+	MULPD  X4, X8
+	ADDPD  X8, X3
+	ADDQ R12, R10
+	ADDQ R13, R11
+	DECQ CX
+	JNE  tloop
+
+tdone:
+	MOVUPD X0, (DI)
+	MOVUPD X1, (SI)
+	MOVUPD X2, (R8)
+	MOVUPD X3, (R9)
+	RET

@@ -1,4 +1,4 @@
-package dense
+package dense_test
 
 import (
 	"fmt"
@@ -7,47 +7,52 @@ import (
 	"runtime"
 	"testing"
 
+	"csrplus/internal/dense"
+	"csrplus/internal/dense/reftest"
 	"csrplus/internal/par"
 )
 
-// refMulT is the naive a*bᵀ reference: one dot product per output
-// element, accumulated in index order — the same per-element order as
-// the kernel, so agreement must be bitwise.
-func refMulT(a, b *Mat) *Mat {
-	out := NewMat(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < b.Rows; j++ {
-			s := 0.0
-			for k := 0; k < a.Cols; k++ {
-				s += a.At(i, k) * b.At(j, k)
-			}
-			out.Set(i, j, s)
-		}
+// randMat fills a fresh matrix with unit normals. (The internal test
+// package has its own copy; external test files cannot share it.)
+func randMat(rng *rand.Rand, r, c int) *dense.Mat {
+	m := dense.NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
 	}
-	return out
+	return m
 }
 
-// refTMul is the naive aᵀ*b reference with per-element accumulation over
-// the shared dimension in index order. The chunked kernel reorders this
-// reduction (chunk partials summed in chunk order), so agreement is
-// checked to a rounding tolerance, not bitwise.
-func refTMul(a, b *Mat) *Mat {
-	out := NewMat(a.Cols, b.Cols)
-	for i := 0; i < a.Cols; i++ {
-		for j := 0; j < b.Cols; j++ {
-			s := 0.0
-			for k := 0; k < a.Rows; k++ {
-				s += a.At(k, i) * b.At(k, j)
-			}
-			out.Set(i, j, s)
+// bitEq fails the test with the first differing element if got is not
+// bitwise-equivalent to want (NaN ≡ NaN, ±0 distinct).
+func bitEq(t *testing.T, what string, got, want *dense.Mat) {
+	t.Helper()
+	if i, j, ok := reftest.Diff(got, want); !ok {
+		if i < 0 {
+			t.Fatalf("%s: shape %dx%d, want %dx%d", what, got.Rows, got.Cols, want.Rows, want.Cols)
 		}
+		t.Fatalf("%s: first difference at (%d, %d): got %v (% x), want %v (% x)",
+			what, i, j, got.At(i, j), math.Float64bits(got.At(i, j)),
+			want.At(i, j), math.Float64bits(want.At(i, j)))
 	}
-	return out
+}
+
+// Shapes chosen to clear par.DefaultThreshold (2^20 flops) so the
+// parallel paths actually run: 3000*64*16 ≈ 3.1M, 60000*16*16 ≈ 15M.
+func parallelFixtures(seed int64) (aWide, bWide, aTall, bTall *dense.Mat) {
+	rng := rand.New(rand.NewSource(seed))
+	aWide, bWide = randMat(rng, 3000, 16), randMat(rng, 64, 16)
+	aTall, bTall = randMat(rng, 60000, 16), randMat(rng, 60000, 16)
+	return
+}
+
+func TestMulTParallelMatchesReferenceBitwise(t *testing.T) {
+	a, b, _, _ := parallelFixtures(11)
+	bitEq(t, "parallel MulT vs reftest.MulT", dense.MulT(a, b), reftest.MulT(a, b))
 }
 
 // relEqual reports element-wise agreement within a relative-ish epsilon
 // scaled by the larger magnitude (an ulp-style bound for reordered sums).
-func relEqual(x, y *Mat, eps float64) bool {
+func relEqual(x, y *dense.Mat, eps float64) bool {
 	if x.Rows != y.Rows || x.Cols != y.Cols {
 		return false
 	}
@@ -61,43 +66,19 @@ func relEqual(x, y *Mat, eps float64) bool {
 	return true
 }
 
-// Shapes chosen to clear par.DefaultThreshold (2^20 flops) so the
-// parallel paths actually run: 3000*64*16 ≈ 3.1M, 60000*16*16 ≈ 15M.
-func parallelFixtures(seed int64) (aWide, bWide, aTall, bTall *Mat) {
-	rng := rand.New(rand.NewSource(seed))
-	aWide, bWide = randMat(rng, 3000, 16), randMat(rng, 64, 16)
-	aTall, bTall = randMat(rng, 60000, 16), randMat(rng, 60000, 16)
-	return
-}
-
-func TestMulTParallelMatchesReferenceBitwise(t *testing.T) {
-	a, b, _, _ := parallelFixtures(11)
-	got := MulT(a, b)
-	if !got.Equal(refMulT(a, b), 0) {
-		t.Fatal("parallel MulT differs from serial reference")
-	}
-}
-
-func TestTMulParallelMatchesReferenceWithinRounding(t *testing.T) {
+func TestTMulParallelMatchesChunkedReferenceBitwise(t *testing.T) {
 	_, _, a, b := parallelFixtures(13)
-	got := TMul(a, b)
-	if !relEqual(got, refTMul(a, b), 1e-12) {
-		t.Fatal("chunked TMul differs from reference beyond rounding")
+	want := reftest.TMulChunked(a, b, dense.TMulChunkFor(a, b))
+	bitEq(t, "chunked TMul vs reftest.TMulChunked", dense.TMul(a, b), want)
+	if !relEqual(dense.TMul(a, b), reftest.TMul(a, b), 1e-12) {
+		t.Fatal("chunked TMul differs from serial reference beyond rounding")
 	}
 }
 
-func TestMulParallelMatchesSmallBlocked(t *testing.T) {
+func TestMulParallelMatchesReferenceBitwise(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	a, b := randMat(rng, 400, 300), randMat(rng, 300, 200) // 24M flops → parallel
-	got := Mul(a, b)
-	// Row partitioning keeps each output row's accumulation order equal to
-	// the serial kernel's, so a single-worker run must agree bitwise.
-	prev := par.SetMaxWorkers(1)
-	want := Mul(a, b)
-	par.SetMaxWorkers(prev)
-	if !got.Equal(want, 0) {
-		t.Fatal("parallel Mul differs from single-worker Mul")
-	}
+	bitEq(t, "parallel Mul vs reftest.Mul", dense.Mul(a, b), reftest.Mul(a, b))
 }
 
 // TestDenseKernelsWorkerCountInvariant pins the package guarantee: every
@@ -108,10 +89,10 @@ func TestDenseKernelsWorkerCountInvariant(t *testing.T) {
 	aWide, bWide, aTall, bTall := parallelFixtures(19)
 	rng := rand.New(rand.NewSource(23))
 	aSq, bSq := randMat(rng, 300, 300), randMat(rng, 300, 300)
-	kernels := map[string]func() *Mat{
-		"Mul":  func() *Mat { return Mul(aSq, bSq) },
-		"MulT": func() *Mat { return MulT(aWide, bWide) },
-		"TMul": func() *Mat { return TMul(aTall, bTall) },
+	kernels := map[string]func() *dense.Mat{
+		"Mul":  func() *dense.Mat { return dense.Mul(aSq, bSq) },
+		"MulT": func() *dense.Mat { return dense.MulT(aWide, bWide) },
+		"TMul": func() *dense.Mat { return dense.TMul(aTall, bTall) },
 	}
 	for name, kern := range kernels {
 		prev := par.SetMaxWorkers(1)
@@ -132,9 +113,9 @@ func TestDenseKernelsWorkerCountInvariant(t *testing.T) {
 // every parallelised kernel.
 func TestDenseKernelsGOMAXPROCSDeterminism(t *testing.T) {
 	aWide, bWide, aTall, bTall := parallelFixtures(29)
-	kernels := map[string]func() *Mat{
-		"MulT": func() *Mat { return MulT(aWide, bWide) },
-		"TMul": func() *Mat { return TMul(aTall, bTall) },
+	kernels := map[string]func() *dense.Mat{
+		"MulT": func() *dense.Mat { return dense.MulT(aWide, bWide) },
+		"TMul": func() *dense.Mat { return dense.TMul(aTall, bTall) },
 	}
 	for name, kern := range kernels {
 		old := runtime.GOMAXPROCS(1)
@@ -151,47 +132,45 @@ func TestDenseKernelsGOMAXPROCSDeterminism(t *testing.T) {
 func TestMulTIntoReusesScratch(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	a, b := randMat(rng, 500, 8), randMat(rng, 20, 8)
-	want := refMulT(a, b)
+	want := reftest.MulT(a, b)
 
-	scratch := NewMat(500, 20)
-	got := MulTInto(scratch, a, b)
+	scratch := dense.NewMat(500, 20)
+	got := dense.MulTInto(scratch, a, b)
 	if got != scratch {
 		t.Fatal("MulTInto did not reuse adequately-sized scratch")
 	}
-	if !got.Equal(want, 0) {
-		t.Fatal("MulTInto(scratch) wrong result")
-	}
+	bitEq(t, "MulTInto(scratch)", got, want)
 	// Dirty scratch of larger capacity must be fully overwritten.
-	big := NewMat(600, 20)
+	big := dense.NewMat(600, 20)
 	for i := range big.Data {
 		big.Data[i] = math.NaN()
 	}
-	got = MulTInto(big, a, b)
+	got = dense.MulTInto(big, a, b)
 	if got != big {
 		t.Fatal("MulTInto did not reuse larger-capacity scratch")
 	}
-	if got.Rows != 500 || got.Cols != 20 || got.HasNaN() || !got.Equal(want, 0) {
+	if got.Rows != 500 || got.Cols != 20 || got.HasNaN() {
 		t.Fatal("MulTInto left stale contents in reused scratch")
 	}
+	bitEq(t, "MulTInto(dirty scratch)", got, want)
 	// Undersized scratch allocates; nil scratch allocates.
-	small := NewMat(3, 3)
-	if got = MulTInto(small, a, b); got == small || !got.Equal(want, 0) {
-		t.Fatal("MulTInto mishandled undersized scratch")
+	small := dense.NewMat(3, 3)
+	if got = dense.MulTInto(small, a, b); got == small {
+		t.Fatal("MulTInto reused undersized scratch")
 	}
-	if got = MulTInto(nil, a, b); !got.Equal(want, 0) {
-		t.Fatal("MulTInto(nil) wrong result")
-	}
+	bitEq(t, "MulTInto(undersized)", got, want)
+	bitEq(t, "MulTInto(nil)", dense.MulTInto(nil, a, b), want)
 }
 
 func TestReuse(t *testing.T) {
-	m := NewMat(4, 6)
+	m := dense.NewMat(4, 6)
 	if got := m.Reuse(3, 8); got != m || got.Rows != 3 || got.Cols != 8 {
 		t.Fatalf("Reuse within capacity: got %dx%d, same=%v", got.Rows, got.Cols, got == m)
 	}
 	if got := m.Reuse(10, 10); got == m || got.Rows != 10 || got.Cols != 10 {
 		t.Fatal("Reuse beyond capacity must allocate")
 	}
-	var nilMat *Mat
+	var nilMat *dense.Mat
 	if got := nilMat.Reuse(2, 2); got == nil || got.Rows != 2 {
 		t.Fatal("nil Reuse must allocate")
 	}
@@ -205,10 +184,10 @@ func TestReuse(t *testing.T) {
 func BenchmarkKernelMulTQueryShape(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	z, uq := randMat(rng, 100000, 32), randMat(rng, 32, 32)
-	var scratch *Mat
+	var scratch *dense.Mat
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		scratch = MulTInto(scratch, z, uq)
+		scratch = dense.MulTInto(scratch, z, uq)
 	}
 }
 
@@ -217,7 +196,7 @@ func BenchmarkKernelMul(b *testing.B) {
 	x, y := randMat(rng, 512, 512), randMat(rng, 512, 512)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Mul(x, y)
+		dense.Mul(x, y)
 	}
 }
 
@@ -228,7 +207,7 @@ func BenchmarkKernelTMul(b *testing.B) {
 	x, y := randMat(rng, 200000, 16), randMat(rng, 200000, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		TMul(x, y)
+		dense.TMul(x, y)
 	}
 }
 
@@ -242,11 +221,29 @@ func BenchmarkKernelMulTQueryShapeWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			prev := par.SetMaxWorkers(w)
 			defer par.SetMaxWorkers(prev)
-			var scratch *Mat
+			var scratch *dense.Mat
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				scratch = MulTInto(scratch, z, uq)
+				scratch = dense.MulTInto(scratch, z, uq)
 			}
 		})
+	}
+}
+
+// BenchmarkKernelMulTQueryShapeGeneric pins the pure-Go tiled kernels'
+// cost on the same shape, so the assembly micro-kernel's margin is
+// visible in the same benchstat table.
+func BenchmarkKernelMulTQueryShapeGeneric(b *testing.B) {
+	if !dense.DotAsmAvailable {
+		b.Skip("generic kernels are already the default path")
+	}
+	prev := dense.SetGenericKernels(true)
+	defer dense.SetGenericKernels(prev)
+	rng := rand.New(rand.NewSource(1))
+	z, uq := randMat(rng, 100000, 32), randMat(rng, 32, 32)
+	var scratch *dense.Mat
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = dense.MulTInto(scratch, z, uq)
 	}
 }

@@ -96,6 +96,43 @@ func Do(n int, flops int64, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// DoAligned is Do with every chunk boundary rounded up to a multiple of
+// align — the tile-aware variant the register-blocked kernels use so a
+// worker boundary never splits an MR-row register tile (the split would
+// only cost speed, never bits: each output element is still accumulated
+// by exactly one goroutine in a fixed order, whatever the partition).
+// align < 2 degenerates to Do. The last chunk absorbs the remainder, so
+// every index is still covered exactly once.
+func DoAligned(n, align int, flops int64, body func(lo, hi int)) {
+	if align < 2 {
+		Do(n, flops, body)
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	workers := Workers()
+	if flops < DefaultThreshold || workers == 1 || n < 2*align {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	chunk = (chunk + align - 1) / align * align
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // Grid picks a chunk decomposition of [0, n) for kernels that need
 // per-chunk accumulators with a deterministic reduction: it returns the
 // chunk length and chunk count such that chunks := ⌈n/chunk⌉ ≤ maxChunks

@@ -82,6 +82,59 @@ func TestDoWorkerCountIndependence(t *testing.T) {
 	}
 }
 
+// alignedCoverage verifies DoAligned visits every index exactly once and
+// that every chunk boundary except the final hi lands on a multiple of
+// align.
+func alignedCoverage(t *testing.T, n, align int, flops int64) {
+	t.Helper()
+	var mu sync.Mutex
+	seen := make([]int, n)
+	DoAligned(n, align, flops, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("DoAligned(%d, %d): bad range [%d, %d)", n, align, lo, hi)
+		}
+		if align >= 2 && (lo%align != 0 || (hi%align != 0 && hi != n)) {
+			t.Errorf("DoAligned(%d, %d): unaligned range [%d, %d)", n, align, lo, hi)
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+		mu.Unlock()
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("DoAligned(%d, %d): index %d visited %d times", n, align, i, c)
+		}
+	}
+}
+
+func TestDoAlignedCoversRangeWithAlignedBoundaries(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 7, 8, 63, 64, 65, 1000, 1001} {
+		for _, align := range []int{0, 1, 2, 4, 8} {
+			alignedCoverage(t, n, align, DefaultThreshold)   // parallel path
+			alignedCoverage(t, n, align, DefaultThreshold-1) // serial path
+		}
+	}
+}
+
+func TestDoAlignedWorkerCountIndependence(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5, 16} {
+		prev := SetMaxWorkers(w)
+		alignedCoverage(t, 997, 4, DefaultThreshold)
+		SetMaxWorkers(prev)
+	}
+}
+
+func TestDoAlignedZeroAndNegative(t *testing.T) {
+	called := false
+	DoAligned(0, 4, DefaultThreshold, func(lo, hi int) { called = true })
+	DoAligned(-3, 4, DefaultThreshold, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("DoAligned must not invoke body for n <= 0")
+	}
+}
+
 func TestGridDeterministicAndCovering(t *testing.T) {
 	for _, n := range []int{1, 10, 511, 512, 513, 100000} {
 		chunk, count := Grid(n, 512, 64)

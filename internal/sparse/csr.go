@@ -139,6 +139,15 @@ func (m *CSR) MulVecT(x, y []float64) []float64 {
 // rows are partitioned across par.Workers goroutines for large products;
 // each row is written by exactly one goroutine in a fixed order, so the
 // result is bitwise-deterministic at every worker count.
+//
+// Within a row the output is computed four columns at a time with the
+// four accumulators held in registers across the row's stored entries
+// (the row's index/value slices are L1-resident on the repeat sweeps),
+// instead of streaming read-modify-write traffic through the output
+// row once per entry. Each output element still sums its products in
+// storage (ascending-p) order with no value-dependent skips, so the
+// result is bitwise-equal to reftest.CSRMulDense — 0·NaN and 0·Inf
+// corners included.
 func (m *CSR) MulDense(b *dense.Mat) *dense.Mat {
 	if m.cols != b.Rows {
 		panic(fmt.Sprintf("sparse: MulDense %dx%d * %dx%d", m.rows, m.cols, b.Rows, b.Cols))
@@ -147,13 +156,29 @@ func (m *CSR) MulDense(b *dense.Mat) *dense.Mat {
 	par.Do(m.rows, m.NNZ()*int64(b.Cols), func(lo, hi int) {
 		k := b.Cols
 		for i := lo; i < hi; i++ {
+			plo, phi := m.RowPtr[i], m.RowPtr[i+1]
+			idx := m.ColIdx[plo:phi]
+			val := m.Val[plo:phi]
 			orow := out.Data[i*k : (i+1)*k]
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				v := m.Val[p]
-				brow := b.Data[int(m.ColIdx[p])*k : (int(m.ColIdx[p])+1)*k]
-				for c, bv := range brow {
-					orow[c] += v * bv
+			c := 0
+			for ; c+4 <= k; c += 4 {
+				var s0, s1, s2, s3 float64
+				for p, v := range val {
+					t := int(idx[p])*k + c
+					brow := b.Data[t : t+4]
+					s0 += v * brow[0]
+					s1 += v * brow[1]
+					s2 += v * brow[2]
+					s3 += v * brow[3]
 				}
+				orow[c], orow[c+1], orow[c+2], orow[c+3] = s0, s1, s2, s3
+			}
+			for ; c < k; c++ {
+				var s float64
+				for p, v := range val {
+					s += v * b.Data[int(idx[p])*k+c]
+				}
+				orow[c] = s
 			}
 		}
 	})
@@ -197,21 +222,54 @@ func (m *CSR) MulDenseT(b *dense.Mat) *dense.Mat {
 // goroutines; each output row is accumulated by one goroutine in the
 // serial order, so results are bitwise-deterministic at every worker
 // count.
+//
+// Rows are processed four at a time (par.DoAligned keeps worker splits
+// on tile boundaries) so each sweep of m's index/value arrays feeds
+// four output rows — a 4× cut in the kernel's dominant memory stream.
+// Grouping never touches any single element's accumulation order
+// (k ascending, entries in storage order), and there is no skip on
+// zero b values — an earlier version had one, which silently dropped
+// the IEEE-required NaN from 0·NaN and 0·±Inf terms — so results are
+// bitwise-equal to reftest.DenseMulCSR.
 func DenseMulCSR(b *dense.Mat, m *CSR) *dense.Mat {
 	if b.Cols != m.rows {
 		panic(fmt.Sprintf("sparse: DenseMulCSR %dx%d * %dx%d", b.Rows, b.Cols, m.rows, m.cols))
 	}
 	out := dense.NewMat(b.Rows, m.cols)
-	par.Do(b.Rows, m.NNZ()*int64(b.Rows), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	par.DoAligned(b.Rows, 4, m.NNZ()*int64(b.Rows), func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			b0 := b.Data[(i+0)*b.Cols : (i+1)*b.Cols]
+			b1 := b.Data[(i+1)*b.Cols : (i+2)*b.Cols]
+			b2 := b.Data[(i+2)*b.Cols : (i+3)*b.Cols]
+			b3 := b.Data[(i+3)*b.Cols : (i+4)*b.Cols]
+			o0 := out.Data[(i+0)*m.cols : (i+1)*m.cols]
+			o1 := out.Data[(i+1)*m.cols : (i+2)*m.cols]
+			o2 := out.Data[(i+2)*m.cols : (i+3)*m.cols]
+			o3 := out.Data[(i+3)*m.cols : (i+4)*m.cols]
+			for k, bv0 := range b0 {
+				bv1, bv2, bv3 := b1[k], b2[k], b3[k]
+				plo, phi := m.RowPtr[k], m.RowPtr[k+1]
+				idx := m.ColIdx[plo:phi]
+				val := m.Val[plo:phi]
+				for p, v := range val {
+					j := idx[p]
+					o0[j] += bv0 * v
+					o1[j] += bv1 * v
+					o2[j] += bv2 * v
+					o3[j] += bv3 * v
+				}
+			}
+		}
+		for ; i < hi; i++ {
 			brow := b.Data[i*b.Cols : (i+1)*b.Cols]
 			orow := out.Data[i*m.cols : (i+1)*m.cols]
 			for k, bv := range brow {
-				if bv == 0 {
-					continue
-				}
-				for p := m.RowPtr[k]; p < m.RowPtr[k+1]; p++ {
-					orow[m.ColIdx[p]] += bv * m.Val[p]
+				plo, phi := m.RowPtr[k], m.RowPtr[k+1]
+				idx := m.ColIdx[plo:phi]
+				val := m.Val[plo:phi]
+				for p, v := range val {
+					orow[idx[p]] += bv * v
 				}
 			}
 		}
