@@ -90,6 +90,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	indexPath := flag.String("index", "", "load a persisted CSR+ index instead of precomputing")
 	saveIndex := flag.String("saveindex", "", "persist the precomputed CSR+ index to this path")
+	quantize := flag.String("quantize", "", "factor tier for -saveindex and snapshot publishes: f32 or int8 (default exact f64); the serving engine stays exact")
 	snapDir := flag.String("snapshots", "", "versioned snapshot directory (index-<gen>.csrx + CURRENT); boot from CURRENT when present, publish the boot index otherwise")
 	shards := flag.Int("shards", 1, "partition the index into this many node-range shards behind a scatter-gather router (CSR+ only; 1 = monolithic)")
 	adminToken := flag.String("admintoken", "", "bearer token authorising POST /admin/reload (empty disables it)")
@@ -144,10 +145,10 @@ func main() {
 		if eng == nil {
 			log.Fatalln("csrserver: -saveindex needs a full index, but the boot came from per-shard snapshots")
 		}
-		if err := eng.SaveIndex(*saveIndex); err != nil {
+		if err := eng.SaveIndexTier(*saveIndex, *quantize); err != nil {
 			log.Fatalln("csrserver:", err)
 		}
-		log.Printf("index persisted to %s", *saveIndex)
+		log.Printf("index persisted to %s (tier %s)", *saveIndex, tierName(*quantize))
 	}
 	// Prime an empty snapshot directory with the boot index so the first
 	// SIGHUP has a CURRENT to resolve and operators can roll back to the
@@ -164,12 +165,12 @@ func main() {
 		}
 		log.Printf("boot index published as %d per-shard snapshots under %s", src.router.K(), *snapDir)
 	case *snapDir != "" && src.router == nil && cand.Meta.Source != "snapshot":
-		gen, path, err := eng.SaveSnapshot(*snapDir)
+		gen, path, err := eng.SaveSnapshotTier(*snapDir, *quantize)
 		if err != nil {
 			log.Fatalln("csrserver:", err)
 		}
 		cand.Meta.Path, cand.Meta.SnapshotGen = path, gen
-		log.Printf("boot index published as snapshot generation %d (%s)", gen, path)
+		log.Printf("boot index published as snapshot generation %d (%s, tier %s)", gen, path, tierName(*quantize))
 	}
 	log.Printf("ready in %v (source=%s peak %d bytes)", cand.Meta.BuildTime, cand.Meta.Source, cand.Meta.PeakBytes)
 
@@ -204,6 +205,9 @@ func main() {
 		BreakerThreshold: *breakerFails,
 		BreakerCooldown:  *breakerCooldown,
 	})
+	// The boot generation may pin a snapshot mapping too; the Manager
+	// frees it after the first successful reload swaps it out.
+	man.SetBootRelease(cand.Release)
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go reloadOnHUP(hup, man)
@@ -314,6 +318,10 @@ func (s *source) buildMono(ctx context.Context) (*reload.Candidate, *csrplus.Eng
 		Rank:      st.Rank,
 		Bound:     eng.TruncationBound,
 		Meta:      meta,
+		// Engines loaded from a v2 snapshot pin a memory mapping; the
+		// Manager releases it only after a later generation has swapped
+		// in and the old batches drained.
+		Release: func() { _ = eng.Close() },
 	}, eng, nil
 }
 
@@ -358,7 +366,14 @@ func (s *source) buildSharded(ctx context.Context) (*reload.Candidate, *csrplus.
 	meta := cand.Meta
 	meta.Shards = s.router.K()
 	meta.BuildTime = time.Since(start)
-	return s.shardCandidate(meta), eng, nil
+	sc := s.shardCandidate(meta)
+	// The router's shards COPY the mono index's factors (core.Shard
+	// detaches from mappings), so the mono engine — possibly backed by a
+	// mapped snapshot — can be released once this generation retires;
+	// boot-time uses of eng (-saveindex, snapshot priming) all happen
+	// before the first reload could trigger that.
+	sc.Release = func() { _ = eng.Close() }
+	return sc, eng, nil
 }
 
 // buildFromShardSnapshots loads every slot from its own snapshot
@@ -491,6 +506,15 @@ func (s *source) loader() reload.LoadFunc {
 		cand, _, err := s.build(ctx)
 		return cand, err
 	}
+}
+
+// tierName renders the -quantize flag value for logs ("" is the exact
+// f64 tier).
+func tierName(q string) string {
+	if q == "" {
+		return "f64"
+	}
+	return q
 }
 
 // reloadOnHUP runs one reload per SIGHUP — the operator's signal that a

@@ -1,11 +1,15 @@
 // Command csrstat prints structural statistics of a graph — the numbers
 // needed to sanity-check a dataset before indexing it (and the evidence
-// behind DESIGN.md §5's stand-in matching).
+// behind DESIGN.md §5's stand-in matching) — and, in index mode,
+// inspects and converts persisted CSR+ index files.
 //
 // Usage:
 //
 //	csrstat -dataset TW
 //	csrstat -graph edges.txt -n 100000 -hubs 10
+//	csrstat -index snap.csrx
+//	csrstat -index old-v1.csrx -convert new.csrx              # v1 -> v2 migration
+//	csrstat -index exact.csrx -convert small.csrx -quantize int8
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"io"
 	"os"
 
+	"csrplus/internal/core"
 	"csrplus/internal/graph"
 )
 
@@ -23,12 +28,74 @@ func main() {
 	graphPath := flag.String("graph", "", "edge-list file")
 	n := flag.Int("n", 0, "node count for -graph")
 	hubs := flag.Int("hubs", 5, "number of top in-degree hubs to list")
+	indexPath := flag.String("index", "", "inspect a persisted CSR+ index instead of a graph")
+	convert := flag.String("convert", "", "with -index: rewrite the index to this path in the current (v2, mmap-able) layout")
+	quantize := flag.String("quantize", "", "with -convert: factor tier of the written index, f32 or int8 (default: keep the source tier)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *dataset, *scale, *graphPath, *n, *hubs); err != nil {
+	var err error
+	if *indexPath != "" {
+		err = runIndex(os.Stdout, *indexPath, *convert, *quantize)
+	} else {
+		if *convert != "" || *quantize != "" {
+			err = fmt.Errorf("-convert and -quantize require -index")
+		} else {
+			err = run(os.Stdout, *dataset, *scale, *graphPath, *n, *hubs)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "csrstat:", err)
 		os.Exit(1)
 	}
+}
+
+// runIndex is index mode: print the metadata a persisted index carries,
+// and optionally rewrite it (v1 -> v2 migration, tier conversion).
+// LoadIndex reads both layouts, so converting is load + save.
+func runIndex(out io.Writer, path, convert, quantize string) error {
+	ix, err := core.LoadIndex(path)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "file:          %s (%d bytes)\n", path, fi.Size())
+	fmt.Fprintf(out, "nodes:         %d\n", ix.N())
+	fmt.Fprintf(out, "rank:          %d\n", ix.Rank())
+	fmt.Fprintf(out, "damping:       %g\n", ix.Damping())
+	fmt.Fprintf(out, "iterations:    %d\n", ix.Iterations())
+	fmt.Fprintf(out, "tier:          %s\n", ix.Tier())
+	fmt.Fprintf(out, "mapped:        %t\n", ix.Mapped())
+	fmt.Fprintf(out, "factor bytes:  %d\n", ix.Bytes())
+	if b := ix.QuantizationBound(); b > 0 {
+		fmt.Fprintf(out, "quant bound:   %g (entrywise, vs the exact index)\n", b)
+	}
+
+	if convert == "" {
+		if quantize != "" {
+			return fmt.Errorf("-quantize requires -convert (quantization happens at write time)")
+		}
+		return nil
+	}
+	outIx := ix
+	if quantize != "" {
+		tier, err := core.ParseTier(quantize)
+		if err != nil {
+			return err
+		}
+		if outIx, err = ix.Quantize(tier); err != nil {
+			return err
+		}
+	}
+	if err := core.SaveIndex(outIx, convert); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "written:       %s (tier %s)\n", convert, outIx.Tier())
+	return nil
 }
 
 func run(out io.Writer, dataset string, scale int64, graphPath string, n, hubs int) error {

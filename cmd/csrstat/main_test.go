@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"csrplus/internal/core"
+	"csrplus/internal/graph"
 )
 
 func TestRunOnFile(t *testing.T) {
@@ -52,5 +55,76 @@ func TestLoadValidation(t *testing.T) {
 	}
 	if _, err := load("NOPE", 0, "", 0); err == nil {
 		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// buildTestIndex precomputes a small CSR+ index to drive index mode.
+func buildTestIndex(t *testing.T) *core.Index {
+	t.Helper()
+	g, err := graph.ErdosRenyi(40, 160, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Precompute(g, core.Options{Rank: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestRunIndexInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.csrx")
+	if err := core.SaveIndex(buildTestIndex(t), path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runIndex(&buf, path, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nodes:         40", "rank:          4", "tier:          f64"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("index output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runIndex(&buf, path, "", "int8"); err == nil {
+		t.Fatal("-quantize without -convert accepted")
+	}
+}
+
+func TestRunIndexConvertQuantized(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "exact.csrx")
+	ix := buildTestIndex(t)
+	if err := core.SaveIndex(ix, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "small.csrx")
+	var buf bytes.Buffer
+	if err := runIndex(&buf, src, dst, "int8"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "written:") {
+		t.Fatalf("no conversion reported:\n%s", buf.String())
+	}
+	back, err := core.LoadIndex(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Tier() != core.TierI8 {
+		t.Fatalf("converted tier = %v, want int8", back.Tier())
+	}
+	if back.QuantizationBound() <= 0 {
+		t.Fatal("converted index carries no quantization bound")
+	}
+	// Inspecting the quantized file surfaces tier and bound.
+	buf.Reset()
+	if err := runIndex(&buf, dst, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tier:          int8") || !strings.Contains(buf.String(), "quant bound:") {
+		t.Fatalf("quantized inspect output wrong:\n%s", buf.String())
 	}
 }

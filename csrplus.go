@@ -431,15 +431,38 @@ func (e *Engine) CoreIndex() (*core.Index, bool) {
 // ErrNotCSRPlus is returned by index persistence on non-CSR+ engines.
 var ErrNotCSRPlus = errors.New("csrplus: index persistence requires the CSR+ algorithm")
 
-// SaveIndex persists a CSR+ engine's precomputed index to path (binary,
-// checksummed; see internal/core's format doc). Only AlgoCSRPlus engines
-// carry a persistable index.
-func (e *Engine) SaveIndex(path string) error {
-	cp, ok := e.runner.(*baseline.CSRPlus)
-	if !ok {
-		return fmt.Errorf("%w (engine runs %s)", ErrNotCSRPlus, e.algo)
+// Close releases resources the engine's index pins for its lifetime —
+// the memory mapping of a v2 snapshot loaded zero-copy by LoadEngine or
+// RecoverEngine. Call it only after every query that might touch the
+// engine has finished (a server's swap-and-drain provides exactly that
+// point; see reload.Candidate.Release). Safe to call more than once and
+// on engines with nothing to release (precomputed, non-CSR+).
+func (e *Engine) Close() error {
+	if cp, ok := e.runner.(*baseline.CSRPlus); ok && cp.Index() != nil {
+		return cp.Index().Close()
 	}
-	return core.SaveIndex(cp.Index(), path)
+	return nil
+}
+
+// SaveIndex persists a CSR+ engine's precomputed index to path (binary,
+// checksummed, mmap-able v2 layout; see internal/core's format doc).
+// Only AlgoCSRPlus engines carry a persistable index.
+func (e *Engine) SaveIndex(path string) error {
+	return e.SaveIndexTier(path, "")
+}
+
+// SaveIndexTier is SaveIndex with a quantized factor tier selected at
+// save time: "" or "f64" writes the exact index, "f32" and "int8" write
+// narrowed factors (2x and 8x smaller) whose measured per-column
+// quantization errors ship in the file, so a loaded index reports the
+// entrywise error of its answers through TruncationBound. The engine's
+// own in-memory index stays exact.
+func (e *Engine) SaveIndexTier(path, tier string) error {
+	ix, err := e.tieredIndex(tier)
+	if err != nil {
+		return err
+	}
+	return core.SaveIndex(ix, path)
 }
 
 // SaveSnapshot persists a CSR+ engine's index as the next generation of
@@ -447,11 +470,31 @@ func (e *Engine) SaveIndex(path string) error {
 // repoints the CURRENT file at it — the publish half of the zero-downtime
 // reload cycle. It returns the generation number and the snapshot path.
 func (e *Engine) SaveSnapshot(dir string) (gen uint64, path string, err error) {
+	return e.SaveSnapshotTier(dir, "")
+}
+
+// SaveSnapshotTier is SaveSnapshot with a quantized factor tier (see
+// SaveIndexTier).
+func (e *Engine) SaveSnapshotTier(dir, tier string) (gen uint64, path string, err error) {
+	ix, err := e.tieredIndex(tier)
+	if err != nil {
+		return 0, "", err
+	}
+	return core.WriteSnapshot(dir, ix)
+}
+
+// tieredIndex resolves the engine's index at the requested tier,
+// quantizing a copy when the tier is lossy.
+func (e *Engine) tieredIndex(tier string) (*core.Index, error) {
 	cp, ok := e.runner.(*baseline.CSRPlus)
 	if !ok {
-		return 0, "", fmt.Errorf("%w (engine runs %s)", ErrNotCSRPlus, e.algo)
+		return nil, fmt.Errorf("%w (engine runs %s)", ErrNotCSRPlus, e.algo)
 	}
-	return core.WriteSnapshot(dir, cp.Index())
+	t, err := core.ParseTier(tier)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Index().Quantize(t)
 }
 
 // LoadEngine builds a query-ready CSR+ engine from an index previously

@@ -505,3 +505,88 @@ func TestLoadWeightedGraph(t *testing.T) {
 		t.Fatal("missing file loaded")
 	}
 }
+
+func TestSaveIndexTierQuantizedRoundTrip(t *testing.T) {
+	g := paperGraph(t)
+	eng, err := NewEngine(g, Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := eng.QueryOne(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tier := range []string{"f32", "int8"} {
+		path := filepath.Join(t.TempDir(), tier+".csrx")
+		if err := eng.SaveIndexTier(path, tier); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadEngine(g, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The quantized engine reports a positive error bound even at
+		// full rank, and its answers honour it against the exact engine.
+		bound := back.TruncationBound(back.Stats().Rank)
+		if bound <= 0 {
+			t.Fatalf("%s: full-rank bound %g, want > 0", tier, bound)
+		}
+		got, err := back.QueryOne(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range exact {
+			if d := math.Abs(got[i] - exact[i]); d > bound {
+				t.Fatalf("%s: node %d deviates %g > bound %g", tier, i, d, bound)
+			}
+		}
+		if err := back.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Close(); err != nil {
+			t.Fatal("double Close must be safe:", err)
+		}
+	}
+	// Unknown tiers are rejected before touching the disk.
+	if err := eng.SaveIndexTier(filepath.Join(t.TempDir(), "x.csrx"), "fp7"); err == nil {
+		t.Fatal("bogus tier accepted")
+	}
+	// Close on a precomputed (unmapped) engine and on baselines is a no-op.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rls, err := NewEngine(g, Options{Algorithm: AlgoRLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rls.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveSnapshotTierPublishesQuantized(t *testing.T) {
+	g := paperGraph(t)
+	eng, err := NewEngine(g, Options{Rank: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gen, _, err := eng.SaveSnapshotTier(dir, "int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("first snapshot generation = %d, want 1", gen)
+	}
+	back, snap, err := RecoverEngine(g, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if snap.Recovered {
+		t.Fatal("clean publish reported as recovered")
+	}
+	if bound := back.TruncationBound(back.Stats().Rank); bound <= 0 {
+		t.Fatal("recovered engine lost its quantization bound")
+	}
+}

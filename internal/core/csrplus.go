@@ -89,15 +89,33 @@ type Index struct {
 	c       float64
 	rank    int
 	iters   int        // repeated-squaring iterations performed
-	z       *dense.Mat // U (Σ P Σ), n x r
-	u       *dense.Mat // left singular vectors, n x r
+	z       *dense.Mat // U (Σ P Σ), n x r — exact tier only; nil when quantized
+	u       *dense.Mat // left singular vectors, n x r — exact tier only
 	sigma   []float64  // singular values (diagnostics)
 	precomp time.Duration
+
+	// Quantized tiers (tier.go) store the factors as dense.Typed with
+	// per-column scales instead of z/u, plus the measured per-column
+	// dequantisation errors that feed QuantizationBound. Exactly one of
+	// (z, u) and (zt, ut) is populated.
+	zt, ut       *dense.Typed
+	zqerr, uqerr []float64
+
+	// mapped is non-nil when the factor slices are zero-copy views over
+	// an mmap'd snapshot (core.MapIndex); Close releases it. The serving
+	// lifecycle must keep the Index alive until every in-flight query has
+	// drained — see DESIGN.md's mapping-lifetime rules.
+	mapped *mapping
 
 	// boundOnce lazily computes boundTail, the truncation error bounds of
 	// TruncationBound: boundTail[r'] = c · Σ_{j ≥ r'} max|Z_{*,j}|·max|U_{*,j}|.
 	boundOnce sync.Once
 	boundTail []float64
+
+	// quantOnce lazily computes quantBound, the entrywise quantisation
+	// error bound a quantized tier adds to every truncation bound.
+	quantOnce  sync.Once
+	quantBound float64
 }
 
 // N returns the node count the index was built for.
@@ -121,8 +139,11 @@ func (ix *Index) SingularValues() []float64 {
 func (ix *Index) PrecomputeTime() time.Duration { return ix.precomp }
 
 // Bytes reports the resident memory of the index: the Z and U factors —
-// the O(rn) of Theorem 3.7.
+// the O(rn) of Theorem 3.7 — at the tier's element width.
 func (ix *Index) Bytes() int64 {
+	if ix.zt != nil {
+		return ix.zt.Bytes() + ix.ut.Bytes() + int64(len(ix.sigma)+len(ix.zqerr)+len(ix.uqerr))*8
+	}
 	return ix.z.Bytes() + ix.u.Bytes() + int64(len(ix.sigma))*8
 }
 
@@ -279,9 +300,14 @@ func (ix *Index) QueryInto(queries []int, scratch *dense.Mat, track *memtrack.Tr
 		}
 	}
 	// [U]_{Q,*} is |Q| x r; Z [U]_{Q,*}ᵀ is n x |Q|.
-	uq := ix.u.PickRows(queries)
+	uq := ix.pickURows(queries)
 	track.Alloc("query/UQ", uq.Bytes())
-	s := dense.MulTInto(scratch, ix.z, uq)
+	var s *dense.Mat
+	if ix.zt != nil {
+		s = dense.MulTRankTypedInto(scratch, ix.zt, uq, ix.rank)
+	} else {
+		s = dense.MulTInto(scratch, ix.z, uq)
+	}
 	track.Alloc("query/S", s.Bytes())
 	s.Scale(ix.c)
 	for j, q := range queries {
@@ -324,7 +350,7 @@ func (ix *Index) QueryRankInto(ctx context.Context, queries []int, rank int, scr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	uq := ix.u.PickRows(queries)
+	uq := ix.pickURows(queries)
 	track.Alloc("query/UQ", uq.Bytes())
 	s := scratch.Reuse(ix.n, len(queries))
 	track.Alloc("query/S", s.Bytes())
@@ -337,9 +363,13 @@ func (ix *Index) QueryRankInto(ctx context.Context, queries []int, rank int, scr
 		if hi > ix.n {
 			hi = ix.n
 		}
-		zBand := &dense.Mat{Rows: hi - lo, Cols: ix.rank, Data: ix.z.Data[lo*ix.rank : hi*ix.rank]}
 		sBand := &dense.Mat{Rows: hi - lo, Cols: cols, Data: s.Data[lo*cols : hi*cols]}
-		dense.MulTRankInto(sBand, zBand, uq, rank)
+		if ix.zt != nil {
+			dense.MulTRankTypedInto(sBand, ix.zt.SliceRowsView(lo, hi), uq, rank)
+		} else {
+			zBand := &dense.Mat{Rows: hi - lo, Cols: ix.rank, Data: ix.z.Data[lo*ix.rank : hi*ix.rank]}
+			dense.MulTRankInto(sBand, zBand, uq, rank)
+		}
 	}
 	s.Scale(ix.c)
 	for j, q := range queries {
@@ -357,27 +387,18 @@ func (ix *Index) QueryRankInto(ctx context.Context, queries []int, rank int, scr
 // are ordered by singular value the tail sum shrinks monotonically as the
 // retained rank grows, mirroring the singular-value tail that governs the
 // approximation error of the low-rank literature. rank ≥ the index rank
-// (or ≤ 0, meaning "full") returns 0.
+// (or ≤ 0, meaning "full") returns 0 for the exact tier; a quantized
+// tier additionally carries QuantizationBound at every rank, so the
+// reported bound stays rigorous against the exact full-rank answer.
 func (ix *Index) TruncationBound(rank int) float64 {
 	if rank <= 0 || rank >= ix.rank {
-		return 0
+		return ix.QuantizationBound()
 	}
 	ix.boundOnce.Do(func() {
-		colMax := func(m *dense.Mat, j int) float64 {
-			mx := 0.0
-			for i := 0; i < m.Rows; i++ {
-				if v := math.Abs(m.At(i, j)); v > mx {
-					mx = v
-				}
-			}
-			return mx
-		}
-		ix.boundTail = make([]float64, ix.rank+1)
-		for j := ix.rank - 1; j >= 0; j-- {
-			ix.boundTail[j] = ix.boundTail[j+1] + ix.c*colMax(ix.z, j)*colMax(ix.u, j)
-		}
+		zmax, umax := ix.colAbsMaxes()
+		ix.boundTail = TailBound(ix.c, zmax, umax)
 	})
-	return ix.boundTail[rank]
+	return ix.boundTail[rank] + ix.QuantizationBound()
 }
 
 // QueryPair returns the single similarity value [S]_{a,b} in O(r) time:
@@ -387,7 +408,14 @@ func (ix *Index) QueryPair(a, b int) (float64, error) {
 	if a < 0 || a >= ix.n || b < 0 || b >= ix.n {
 		return 0, fmt.Errorf("core: pair (%d, %d) not in [0, %d): %w", a, b, ix.n, ErrQuery)
 	}
-	s := ix.c * dense.Dot(ix.z.Row(a), ix.u.Row(b))
+	var s float64
+	if ix.zt != nil {
+		zr := make([]float64, ix.rank)
+		ur := make([]float64, ix.rank)
+		s = ix.c * dense.Dot(ix.zt.RowInto(a, zr), ix.ut.RowInto(b, ur))
+	} else {
+		s = ix.c * dense.Dot(ix.z.Row(a), ix.u.Row(b))
+	}
 	if a == b {
 		s++
 	}

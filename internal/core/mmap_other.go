@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package core
+
+// Platforms without a wired-up mmap fall back to the buffered decode
+// path: LoadIndex sees errMapUnsupported and reads the file instead.
+
+import "os"
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errMapUnsupported
+}
+
+func munmapFile(b []byte) error { return nil }

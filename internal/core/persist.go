@@ -45,11 +45,57 @@ const indexVersion = 1
 // the reader attempt a multi-terabyte allocation.
 const maxIndexElems = 1 << 34
 
+// maxPlatformElems is the largest element count that survives conversion
+// to int on this platform. maxIndexElems alone exceeds MaxInt32, so on a
+// 32-bit build a valid-looking header could wrap int(nNodes*rank) to a
+// negative or small count and mis-read the payload; headers are bounded
+// by both. A variable so the 64-bit test suite can shrink it to the
+// 32-bit value and exercise the rejection path.
+var maxPlatformElems = uint64(math.MaxInt)
+
+// maxIndexIters caps the recorded squaring-iteration count. Algorithm 1
+// doubles the horizon per iteration, so real values are tiny (< 64);
+// the cap only needs to reject forged values (e.g. 2^63, which would
+// silently convert to a negative int) while accepting anything a real
+// precompute could produce.
+const maxIndexIters = 1 << 16
+
+// checkElemCount validates a header's n/rank pair against both the
+// format bound and the platform int width, so int(nNodes*rank) below is
+// safe. Shared by the v1 and v2 readers for indexes and shards (rows is
+// n for an index, hi-lo for a shard).
+func checkElemCount(what string, rows, rank uint64) error {
+	if rank == 0 || rows > 0 && rank > maxIndexElems/rows {
+		return fmt.Errorf("core: implausible %s shape rows=%d r=%d: %w", what, rows, rank, ErrCorrupt)
+	}
+	if rank > maxPlatformElems || rows*rank > maxPlatformElems {
+		return fmt.Errorf("core: %s shape rows=%d r=%d exceeds platform int: %w", what, rows, rank, ErrCorrupt)
+	}
+	return nil
+}
+
+// checkSigma rejects non-finite or negative singular values: NaN/±Inf
+// entries pass the CRC (they are honest bytes) but poison every query
+// and every truncation bound computed from them.
+func checkSigma(sigma []float64) error {
+	for i, s := range sigma {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return fmt.Errorf("core: non-finite or negative sigma[%d]=%v: %w", i, s, ErrCorrupt)
+		}
+	}
+	return nil
+}
+
 // ErrCorrupt is returned (wrapped) when an index file fails validation.
 var ErrCorrupt = errors.New("core: corrupt index file")
 
-// WriteTo serialises the index. It implements io.WriterTo.
+// WriteTo serialises the index in the v1 format. It implements
+// io.WriterTo. v1 has no tier field, so quantized indexes must be
+// written as v2 (WriteToV2); SaveIndex picks the right writer.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	if ix.zt != nil {
+		return 0, fmt.Errorf("core: v1 format cannot hold a %v-tier index: %w", ix.Tier(), ErrParams)
+	}
 	bw := bufio.NewWriter(w)
 	n := &countingWriter{w: bw}
 	if _, err := n.Write(indexMagic[:]); err != nil {
@@ -92,12 +138,21 @@ func corruptEOF(err error) error {
 	return err
 }
 
-// ReadIndex deserialises an index written by WriteTo, validating magic,
-// version, shape bounds and checksum. Every validation failure — bad
-// magic, unknown version, implausible header, truncation in any section,
-// checksum mismatch — is reported as a wrapped ErrCorrupt.
+// ReadIndex deserialises an index written by WriteTo (v1) or WriteToV2,
+// validating magic, version, shape bounds and checksums. Every
+// validation failure — bad magic, unknown version, implausible header,
+// truncation in any section, checksum mismatch — is reported as a
+// wrapped ErrCorrupt. v2 streams are decoded into fresh allocations;
+// use MapIndex for the zero-copy path.
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
+	if v, err := sniffVersion(br); err == nil && v == indexVersion2 {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading v2 index: %w", corruptEOF(err))
+		}
+		return decodeIndexV2(data)
+	}
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: reading index magic: %w", corruptEOF(err))
@@ -129,12 +184,21 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if nNodes == 0 || rank == 0 || rank > nNodes || nNodes > maxIndexElems/rank {
 		return nil, fmt.Errorf("core: implausible index shape n=%d r=%d: %w", nNodes, rank, ErrCorrupt)
 	}
+	if err := checkElemCount("index", nNodes, rank); err != nil {
+		return nil, err
+	}
 	if c <= 0 || c >= 1 || math.IsNaN(c) {
 		return nil, fmt.Errorf("core: implausible damping %v: %w", c, ErrCorrupt)
+	}
+	if iters > maxIndexIters {
+		return nil, fmt.Errorf("core: implausible iteration count %d: %w", iters, ErrCorrupt)
 	}
 	sigma, err := readFloats(body, int(rank))
 	if err != nil {
 		return nil, fmt.Errorf("core: reading sigma: %w", corruptEOF(err))
+	}
+	if err := checkSigma(sigma); err != nil {
+		return nil, err
 	}
 	zdata, err := readFloats(body, int(nNodes*rank))
 	if err != nil {
@@ -169,15 +233,17 @@ func ReadIndex(r io.Reader) (*Index, error) {
 // path; the parent directory is fsynced afterwards so the rename itself
 // survives a crash. A kill at any point leaves either the old file, the
 // new file, or a stray temp file — never a truncated index at path.
+// Indexes are written in the mmap-able v2 layout (persist2.go); v1 files
+// remain readable via LoadIndex/ReadIndex forever.
 func SaveIndex(ix *Index, path string) error {
-	return saveAtomic("SaveIndex", path, ix.WriteTo)
+	return saveAtomic("SaveIndex", path, ix.WriteToV2)
 }
 
 // saveAtomic is the write-temp/fsync/rename/fsync-dir discipline shared
 // by SaveIndex and SaveShard; op names the caller in error messages.
 func saveAtomic(op, path string, writeTo func(io.Writer) (int64, error)) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".csrx-*")
+	tmp, err := os.CreateTemp(dir, tempSavePrefix+"*")
 	if err != nil {
 		return fmt.Errorf("core: %s: %w", op, err)
 	}
@@ -227,8 +293,21 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-// LoadIndex reads an index from path.
+// LoadIndex reads an index from path. v2 snapshots are memory-mapped
+// (verified, zero-copy — O(1) in index size) where the platform allows;
+// v1 files, non-mmap platforms, big-endian hosts and injected map
+// faults fall back to the buffered decode path. Corruption never falls
+// back: a bad v2 file fails here so the recovery ladder can move to an
+// older generation. Callers own Close on the returned index (a no-op
+// for decoded indexes).
 func LoadIndex(path string) (*Index, error) {
+	ix, err := mapIndexAt(path, true)
+	if err == nil {
+		return ix, nil
+	}
+	if !errors.Is(err, errMapUnsupported) {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: LoadIndex: %w", err)
@@ -236,7 +315,7 @@ func LoadIndex(path string) (*Index, error) {
 	defer f.Close()
 	// The fault wrapper (chaos builds only) injects read errors and
 	// latency — a degraded disk during a reload.
-	ix, err := ReadIndex(fault.Reader(fault.SiteIndexRead, f))
+	ix, err = ReadIndex(fault.Reader(fault.SiteIndexRead, f))
 	if err != nil {
 		return nil, fmt.Errorf("core: LoadIndex %s: %w", path, err)
 	}

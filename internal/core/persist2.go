@@ -1,0 +1,746 @@
+package core
+
+// persist2.go implements CSRX/CSRS v2: a page-aligned snapshot layout a
+// server can memory-map and serve from without decoding — reload latency
+// becomes O(1) in index size, pages fault in lazily, and two generations
+// mapped during a swap share the page cache instead of doubling RSS.
+//
+// Layout (little endian; one 4 KiB header page, then page-aligned
+// sections in a fixed order):
+//
+//	[0:4]      magic    "CSRX" (index) / "CSRS" (shard)
+//	[4:8]      version  uint32, 2
+//	[8:12]     tier     uint32 (0 = f64, 1 = f32, 2 = int8)
+//	[12:16]    sections uint32 (7 for an index, 6 for a shard)
+//	[16:24]    n        uint64  node count (global, for shards too)
+//	[24:32]    rank     uint64
+//	[32:40]    c        float64 bits
+//	[40:48]    iters    uint64 (index) / lo (shard)
+//	[48:56]    0        uint64 (index) / hi (shard)
+//	[56:64]    fileSize uint64  — O(1) truncation detection
+//	[64:...]   section table, 24 bytes each: off u64, len u64, crc u32, 0 u32
+//	[4092:4096] header CRC32-IEEE of bytes [0:4092]
+//
+// Index sections, in order: sigma, zscale, uscale, zqerr, uqerr, z, u.
+// Shard sections drop sigma. Quantisation metadata sections are empty
+// (len 0) for tiers that lack them: scales exist only for int8, the
+// measured per-column dequantisation errors for both quantized tiers.
+// Every non-empty section starts exactly at the next page boundary and
+// its CRC covers the section plus its zero padding up to the following
+// boundary, so every byte of the file outside the two CRC words is
+// checksummed and per-section validation can be lazy: MapIndex verifies
+// the header and small sections eagerly and the factor blocks either up
+// front (MapIndex, LoadIndex) or on demand (MapIndexLazy + VerifyPayload,
+// which is what makes map-time O(1)).
+//
+// Zero-copy rules: the float64/float32 factor views reinterpret mapped
+// bytes, which requires native little-endian byte order and the 8-byte
+// alignment the page-aligned offsets guarantee; anywhere that doesn't
+// hold (or mmap itself is unavailable), loading transparently falls back
+// to a copying decode of the same bytes. v1 files remain readable
+// forever through the original decode path.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/fault"
+)
+
+const (
+	indexVersion2 = 2
+	v2Page        = 4096
+	v2TableOff    = 64
+	v2DescSize    = 24
+	v2HeaderCRC   = v2Page - 4
+
+	v2IndexSections = 7
+	v2ShardSections = 6
+)
+
+// errMapUnsupported reports that a file could not be memory-mapped for
+// an environmental (not data-corruption) reason: unsupported platform,
+// big-endian host, a v1 file, mmap syscall failure, or an injected map
+// fault. LoadIndex/LoadShard fall back to the decode path on it; real
+// corruption never wears it.
+var errMapUnsupported = errors.New("core: memory mapping unavailable")
+
+// nativeLE reports whether this host stores multi-byte words little-
+// endian — the precondition for reinterpreting mapped bytes as floats.
+var nativeLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func alignPage(x uint64) uint64 { return (x + v2Page - 1) &^ (v2Page - 1) }
+
+// v2section pairs a section's payload length with an encoder that can
+// replay the exact bytes — once into the CRC, once into the file.
+type v2section struct {
+	length uint64
+	encode func(io.Writer) error
+}
+
+func f64Section(data []float64) v2section {
+	return v2section{uint64(len(data)) * 8, func(w io.Writer) error { return writeFloats(w, data) }}
+}
+
+func f32Section(data []float32) v2section {
+	return v2section{uint64(len(data)) * 4, func(w io.Writer) error { return writeFloats32(w, data) }}
+}
+
+func i8Section(data []int8) v2section {
+	return v2section{uint64(len(data)), func(w io.Writer) error { return writeInt8(w, data) }}
+}
+
+var emptySection = v2section{0, func(io.Writer) error { return nil }}
+
+// factorSections renders one factor matrix (and its quantisation
+// metadata) as the scale/qerr/payload section triple, from either the
+// exact or the typed representation.
+func factorSections(m *dense.Mat, t *dense.Typed, qerr []float64) (scale, qe, payload v2section) {
+	if t == nil {
+		return emptySection, emptySection, f64Section(m.Data)
+	}
+	qe = f64Section(qerr)
+	switch t.Kind {
+	case dense.F32:
+		return emptySection, qe, f32Section(t.F32)
+	default:
+		return f64Section(t.Scale), qe, i8Section(t.I8)
+	}
+}
+
+// WriteToV2 serialises the index in the v2 layout.
+func (ix *Index) WriteToV2(w io.Writer) (int64, error) {
+	zscale, zqe, z := factorSections(ix.z, ix.zt, ix.zqerr)
+	uscale, uqe, u := factorSections(ix.u, ix.ut, ix.uqerr)
+	secs := []v2section{f64Section(ix.sigma), zscale, uscale, zqe, uqe, z, u}
+	hdr := [5]uint64{uint64(ix.n), uint64(ix.rank), math.Float64bits(ix.c), uint64(ix.iters), 0}
+	return writeV2(w, indexMagic, ix.Tier(), hdr, secs)
+}
+
+// WriteToV2 serialises the shard in the v2 layout (magic "CSRS").
+func (sh *IndexShard) WriteToV2(w io.Writer) (int64, error) {
+	zscale, zqe, z := factorSections(sh.z, sh.zt, sh.zqerr)
+	uscale, uqe, u := factorSections(sh.u, sh.ut, sh.uqerr)
+	secs := []v2section{zscale, uscale, zqe, uqe, z, u}
+	hdr := [5]uint64{uint64(sh.n), uint64(sh.rank), math.Float64bits(sh.c), uint64(sh.lo), uint64(sh.hi)}
+	return writeV2(w, shardMagic, sh.Tier(), hdr, secs)
+}
+
+// writeV2 lays out and writes a v2 file: header page, then each section
+// at the next page boundary followed by zero padding. Section CRCs are
+// computed in a first encode pass (over payload plus padding), so the
+// writer streams — it never materialises a quantized payload in memory.
+func writeV2(w io.Writer, magic [4]byte, tier Tier, hdr [5]uint64, secs []v2section) (int64, error) {
+	le := binary.LittleEndian
+
+	// Pass 1: place sections and checksum their padded extents.
+	type placed struct {
+		off, padded uint64
+		crc         uint32
+	}
+	pl := make([]placed, len(secs))
+	cur := uint64(v2Page)
+	for i, s := range secs {
+		pl[i].off = cur
+		pl[i].padded = alignPage(s.length)
+		if s.length > 0 {
+			h := crc32.NewIEEE()
+			if err := s.encode(h); err != nil {
+				return 0, fmt.Errorf("core: v2 checksum pass: %w", err)
+			}
+			if pad := pl[i].padded - s.length; pad > 0 {
+				h.Write(make([]byte, pad))
+			}
+			pl[i].crc = h.Sum32()
+		}
+		cur += pl[i].padded
+	}
+	fileSize := cur
+
+	head := make([]byte, v2Page)
+	copy(head, magic[:])
+	le.PutUint32(head[4:], indexVersion2)
+	le.PutUint32(head[8:], uint32(tier))
+	le.PutUint32(head[12:], uint32(len(secs)))
+	le.PutUint64(head[16:], hdr[0])
+	le.PutUint64(head[24:], hdr[1])
+	le.PutUint64(head[32:], hdr[2])
+	le.PutUint64(head[40:], hdr[3])
+	le.PutUint64(head[48:], hdr[4])
+	le.PutUint64(head[56:], fileSize)
+	for i, s := range secs {
+		d := head[v2TableOff+i*v2DescSize:]
+		le.PutUint64(d, pl[i].off)
+		le.PutUint64(d[8:], s.length)
+		le.PutUint32(d[16:], pl[i].crc)
+	}
+	le.PutUint32(head[v2HeaderCRC:], crc32.ChecksumIEEE(head[:v2HeaderCRC]))
+
+	// Pass 2: write. No bufio — sections already stream in large chunks,
+	// and the padding writes batch through one zero page.
+	cw := &countingWriter{w: w}
+	if _, err := cw.Write(head); err != nil {
+		return cw.n, fmt.Errorf("core: writing v2 header: %w", err)
+	}
+	zeros := make([]byte, v2Page)
+	for i, s := range secs {
+		if s.length == 0 {
+			continue
+		}
+		if err := s.encode(cw); err != nil {
+			return cw.n, fmt.Errorf("core: writing v2 section %d: %w", i, err)
+		}
+		for pad := pl[i].padded - s.length; pad > 0; {
+			chunk := pad
+			if chunk > v2Page {
+				chunk = v2Page
+			}
+			if _, err := cw.Write(zeros[:chunk]); err != nil {
+				return cw.n, fmt.Errorf("core: padding v2 section %d: %w", i, err)
+			}
+			pad -= chunk
+		}
+	}
+	if uint64(cw.n) != fileSize {
+		return cw.n, fmt.Errorf("core: v2 writer emitted %d bytes, laid out %d", cw.n, fileSize)
+	}
+	return cw.n, nil
+}
+
+// v2sec is one parsed section-table entry.
+type v2sec struct {
+	off, length uint64
+	crc         uint32
+}
+
+func (s v2sec) end() uint64 { return alignPage(s.off + s.length) }
+
+// v2file is a validated v2 header over its raw bytes.
+type v2file struct {
+	tier    Tier
+	n, rank uint64
+	c       float64
+	w4, w5  uint64 // iters/0 for an index, lo/hi for a shard
+	secs    []v2sec
+	data    []byte
+}
+
+// parseV2Header validates everything cheap about a v2 byte image —
+// magic, version, header CRC, fileSize against the actual length, field
+// plausibility, and the full section-table geometry (alignment, no
+// overlap with the header or each other, exact expected lengths) — and
+// eagerly CRC-checks every section except the two factor blocks, whose
+// verification cost is O(index size) and is the caller's choice.
+// rowsFor maps the header to the factor-block row count (n for an
+// index, hi-lo for a shard) after format-specific field checks.
+func parseV2Header(data []byte, magic [4]byte, wantSecs int, rowsFor func(*v2file) (uint64, error)) (*v2file, error) {
+	le := binary.LittleEndian
+	if len(data) < v2Page {
+		return nil, fmt.Errorf("core: v2 header truncated at %d bytes: %w", len(data), ErrCorrupt)
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("core: bad magic %q: %w", data[:4], ErrCorrupt)
+	}
+	if v := le.Uint32(data[4:]); v != indexVersion2 {
+		return nil, fmt.Errorf("core: index version %d, want %d: %w", v, indexVersion2, ErrCorrupt)
+	}
+	if got, want := crc32.ChecksumIEEE(data[:v2HeaderCRC]), le.Uint32(data[v2HeaderCRC:]); got != want {
+		return nil, fmt.Errorf("core: v2 header checksum %08x, want %08x: %w", got, want, ErrCorrupt)
+	}
+	f := &v2file{
+		n:    le.Uint64(data[16:]),
+		rank: le.Uint64(data[24:]),
+		c:    math.Float64frombits(le.Uint64(data[32:])),
+		w4:   le.Uint64(data[40:]),
+		w5:   le.Uint64(data[48:]),
+		data: data,
+	}
+	tier := le.Uint32(data[8:])
+	if tier > uint32(TierI8) {
+		return nil, fmt.Errorf("core: unknown tier %d: %w", tier, ErrCorrupt)
+	}
+	f.tier = Tier(tier)
+	if got := le.Uint32(data[12:]); got != uint32(wantSecs) {
+		return nil, fmt.Errorf("core: v2 section count %d, want %d: %w", got, wantSecs, ErrCorrupt)
+	}
+	if size := le.Uint64(data[56:]); size != uint64(len(data)) {
+		return nil, fmt.Errorf("core: v2 file is %d bytes, header says %d: %w", len(data), size, ErrCorrupt)
+	}
+	if f.n == 0 || f.rank == 0 || f.rank > f.n || f.n > maxIndexElems/f.rank {
+		return nil, fmt.Errorf("core: implausible index shape n=%d r=%d: %w", f.n, f.rank, ErrCorrupt)
+	}
+	if f.c <= 0 || f.c >= 1 || math.IsNaN(f.c) {
+		return nil, fmt.Errorf("core: implausible damping %v: %w", f.c, ErrCorrupt)
+	}
+	rows, err := rowsFor(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkElemCount("index", rows, f.rank); err != nil {
+		return nil, err
+	}
+
+	// Expected section lengths from the validated header. Order matches
+	// the writer: [sigma,] zscale, uscale, zqerr, uqerr, z, u.
+	elem := uint64(f.tier.kind().ElemSize())
+	metaLen := uint64(0) // scale/qerr vectors are rank float64s when present
+	if f.tier != TierF64 {
+		metaLen = f.rank * 8
+	}
+	scaleLen := uint64(0)
+	if f.tier == TierI8 {
+		scaleLen = f.rank * 8
+	}
+	want := make([]uint64, 0, wantSecs)
+	if wantSecs == v2IndexSections {
+		want = append(want, f.rank*8) // sigma
+	}
+	want = append(want, scaleLen, scaleLen, metaLen, metaLen, rows*f.rank*elem, rows*f.rank*elem)
+
+	f.secs = make([]v2sec, wantSecs)
+	cur := uint64(v2Page)
+	for i := range f.secs {
+		d := data[v2TableOff+i*v2DescSize:]
+		s := v2sec{off: le.Uint64(d), length: le.Uint64(d[8:]), crc: le.Uint32(d[16:])}
+		if s.length != want[i] {
+			return nil, fmt.Errorf("core: v2 section %d is %d bytes, want %d: %w", i, s.length, want[i], ErrCorrupt)
+		}
+		// Sections sit exactly where the writer puts them: next page
+		// boundary, after the header, in order. Anything else — a
+		// misaligned offset, an offset pointing back into the header or
+		// a neighbour — is a forgery.
+		if s.off != cur || s.off%v2Page != 0 || s.off < v2Page || s.end() > uint64(len(data)) {
+			return nil, fmt.Errorf("core: v2 section %d at offset %d, want %d: %w", i, s.off, cur, ErrCorrupt)
+		}
+		cur = s.end()
+		f.secs[i] = s
+	}
+	if cur != uint64(len(data)) {
+		return nil, fmt.Errorf("core: v2 sections end at %d of %d bytes: %w", cur, len(data), ErrCorrupt)
+	}
+
+	// Eagerly verify everything except the two trailing factor blocks.
+	for i := 0; i < len(f.secs)-2; i++ {
+		if err := f.verifySection(i); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (f *v2file) verifySection(i int) error {
+	s := f.secs[i]
+	if s.length == 0 {
+		if s.crc != 0 {
+			return fmt.Errorf("core: v2 empty section %d has checksum %08x: %w", i, s.crc, ErrCorrupt)
+		}
+		return nil
+	}
+	if got := crc32.ChecksumIEEE(f.data[s.off:s.end()]); got != s.crc {
+		return fmt.Errorf("core: v2 section %d checksum %08x, want %08x: %w", i, got, s.crc, ErrCorrupt)
+	}
+	return nil
+}
+
+// verifyFactors checks the two factor-block CRCs — the O(size) half of
+// validation that MapIndexLazy defers.
+func (f *v2file) verifyFactors() error {
+	if err := fault.Hit(fault.SiteIndexVerify); err != nil {
+		return fmt.Errorf("core: verifying factor blocks: %w", err)
+	}
+	for i := len(f.secs) - 2; i < len(f.secs); i++ {
+		if err := f.verifySection(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bytesOf returns section i's payload bytes.
+func (f *v2file) bytesOf(i int) []byte {
+	s := f.secs[i]
+	return f.data[s.off : s.off+s.length]
+}
+
+// f64Of materialises section i as []float64 — a zero-copy reinterpret
+// of the mapping when zeroCopy (page alignment gives the required
+// 8-byte alignment; parseV2Header's callers only pass zeroCopy on
+// little-endian hosts), a decoded copy otherwise. nil for empty.
+func (f *v2file) f64Of(i int, zeroCopy bool) []float64 {
+	b := f.bytesOf(i)
+	if len(b) == 0 {
+		return nil
+	}
+	if zeroCopy {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	le := binary.LittleEndian
+	out := make([]float64, len(b)/8)
+	for j := range out {
+		out[j] = math.Float64frombits(le.Uint64(b[j*8:]))
+	}
+	return out
+}
+
+func (f *v2file) f32Of(i int, zeroCopy bool) []float32 {
+	b := f.bytesOf(i)
+	if len(b) == 0 {
+		return nil
+	}
+	if zeroCopy {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	le := binary.LittleEndian
+	out := make([]float32, len(b)/4)
+	for j := range out {
+		out[j] = math.Float32frombits(le.Uint32(b[j*4:]))
+	}
+	return out
+}
+
+// i8Of is always zero-copy capable: bytes have no endianness.
+func (f *v2file) i8Of(i int, zeroCopy bool) []int8 {
+	b := f.bytesOf(i)
+	if len(b) == 0 {
+		return nil
+	}
+	if zeroCopy {
+		return unsafe.Slice((*int8)(unsafe.Pointer(&b[0])), len(b))
+	}
+	out := make([]int8, len(b))
+	for j, v := range b {
+		out[j] = int8(v)
+	}
+	return out
+}
+
+// checkQuantVec validates a persisted scale or qerr vector: the bound
+// arithmetic assumes finite, non-negative entries, and NaN here would
+// poison every reported error_bound while passing the CRC.
+func checkQuantVec(name string, v []float64) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return fmt.Errorf("core: non-finite or negative %s[%d]=%v: %w", name, i, x, ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+// factorsFromV2 materialises one factor matrix from its scale/qerr/
+// payload sections (already shape-validated). Returns exactly one of
+// mat (f64 tier) or typed+qerr.
+func (f *v2file) factorsFromV2(rows int, scaleIdx, qerrIdx, payloadIdx int, zeroCopy bool) (mat *dense.Mat, typed *dense.Typed, qerr []float64, err error) {
+	r := int(f.rank)
+	switch f.tier {
+	case TierF64:
+		// Wrap, don't NewMatFrom: f64Of already returns either the mmap
+		// view (zeroCopy) or a fresh decode, and copying here would put
+		// every factor entry back on the heap — the exact cost mapping
+		// exists to avoid. The view is PROT_READ; queries only read.
+		return &dense.Mat{Rows: rows, Cols: r, Data: f.f64Of(payloadIdx, zeroCopy)}, nil, nil, nil
+	case TierF32:
+		qerr = f.f64Of(qerrIdx, zeroCopy)
+		if err := checkQuantVec("qerr", qerr); err != nil {
+			return nil, nil, nil, err
+		}
+		return nil, &dense.Typed{Kind: dense.F32, Rows: rows, Cols: r, F32: f.f32Of(payloadIdx, zeroCopy)}, qerr, nil
+	default:
+		scale := f.f64Of(scaleIdx, zeroCopy)
+		if err := checkQuantVec("scale", scale); err != nil {
+			return nil, nil, nil, err
+		}
+		qerr = f.f64Of(qerrIdx, zeroCopy)
+		if err := checkQuantVec("qerr", qerr); err != nil {
+			return nil, nil, nil, err
+		}
+		return nil, &dense.Typed{Kind: dense.I8, Rows: rows, Cols: r, I8: f.i8Of(payloadIdx, zeroCopy), Scale: scale}, qerr, nil
+	}
+}
+
+// indexRows validates the index-specific header words (iters, reserved).
+func indexRows(f *v2file) (uint64, error) {
+	if f.w4 > maxIndexIters {
+		return 0, fmt.Errorf("core: implausible iteration count %d: %w", f.w4, ErrCorrupt)
+	}
+	if f.w5 != 0 {
+		return 0, fmt.Errorf("core: v2 index reserved word %d: %w", f.w5, ErrCorrupt)
+	}
+	return f.n, nil
+}
+
+// shardRows validates the shard range words and returns the owned rows.
+func shardRows(f *v2file) (uint64, error) {
+	if f.w4 >= f.w5 || f.w5 > f.n {
+		return 0, fmt.Errorf("core: implausible shard range [%d, %d) of n=%d: %w", f.w4, f.w5, f.n, ErrCorrupt)
+	}
+	if f.n > maxPlatformElems {
+		return 0, fmt.Errorf("core: shard global n=%d exceeds platform int: %w", f.n, ErrCorrupt)
+	}
+	return f.w5 - f.w4, nil
+}
+
+// indexFromV2 builds an Index over a parsed v2 image.
+func indexFromV2(f *v2file, zeroCopy bool) (*Index, error) {
+	sigma := f.f64Of(0, zeroCopy)
+	if err := checkSigma(sigma); err != nil {
+		return nil, err
+	}
+	n := int(f.n)
+	z, zt, zqerr, err := f.factorsFromV2(n, 1, 3, 5, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	u, ut, uqerr, err := f.factorsFromV2(n, 2, 4, 6, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		n:     n,
+		c:     f.c,
+		rank:  int(f.rank),
+		iters: int(f.w4),
+		z:     z,
+		u:     u,
+		zt:    zt,
+		ut:    ut,
+		zqerr: zqerr,
+		uqerr: uqerr,
+		sigma: sigma,
+	}, nil
+}
+
+// shardFromV2 builds an IndexShard over a parsed v2 image.
+func shardFromV2(f *v2file, zeroCopy bool) (*IndexShard, error) {
+	rows := int(f.w5 - f.w4)
+	z, zt, zqerr, err := f.factorsFromV2(rows, 0, 2, 4, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	u, ut, uqerr, err := f.factorsFromV2(rows, 1, 3, 5, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexShard{
+		n:     int(f.n),
+		lo:    int(f.w4),
+		hi:    int(f.w5),
+		c:     f.c,
+		rank:  int(f.rank),
+		z:     z,
+		u:     u,
+		zt:    zt,
+		ut:    ut,
+		zqerr: zqerr,
+		uqerr: uqerr,
+	}, nil
+}
+
+// decodeIndexV2 is the copying read of a v2 byte image: full validation
+// including the factor CRCs, fresh allocations, no mapping to manage.
+func decodeIndexV2(data []byte) (*Index, error) {
+	f, err := parseV2Header(data, indexMagic, v2IndexSections, indexRows)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.verifyFactors(); err != nil {
+		return nil, err
+	}
+	return indexFromV2(f, false)
+}
+
+func decodeShardV2(data []byte) (*IndexShard, error) {
+	f, err := parseV2Header(data, shardMagic, v2ShardSections, shardRows)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.verifyFactors(); err != nil {
+		return nil, err
+	}
+	return shardFromV2(f, false)
+}
+
+// sniffVersion peeks the magic and version of a snapshot file without
+// consuming the reader.
+func sniffVersion(br interface{ Peek(int) ([]byte, error) }) (uint32, error) {
+	head, err := br.Peek(8)
+	if err != nil {
+		return 0, corruptEOF(err)
+	}
+	return binary.LittleEndian.Uint32(head[4:]), nil
+}
+
+// mapFile opens, sizes and maps path read-only, peeking the version
+// first so a v1 file reports errMapUnsupported (fall back to decode)
+// rather than a v2 parse failure. The returned mapping owns the pages;
+// the file descriptor does not outlive the call.
+func mapFile(path string) ([]byte, *mapping, error) {
+	if !mmapSupported || !nativeLE {
+		return nil, nil, fmt.Errorf("%w (platform)", errMapUnsupported)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	// The version peek goes through the injected read site like every
+	// other load-time disk read: a degraded disk (or an armed
+	// SiteIndexRead plan) fails the mapped load the same way it fails
+	// the buffered one — the decode fallback shares the disk, so
+	// degrading to it could not help.
+	var head [8]byte
+	if _, err := io.ReadFull(fault.Reader(fault.SiteIndexRead, f), head[:]); err != nil {
+		return nil, nil, fmt.Errorf("core: reading header: %w", corruptEOF(err))
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != indexVersion2 {
+		return nil, nil, fmt.Errorf("%w (version %d file)", errMapUnsupported, v)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi.Size() <= 0 || uint64(fi.Size()) > maxPlatformElems {
+		return nil, nil, fmt.Errorf("%w (size %d)", errMapUnsupported, fi.Size())
+	}
+	// An injected map fault models mmap refusal (ulimit, fragmentation):
+	// an environmental failure, so it degrades to the decode path rather
+	// than failing the load.
+	if err := fault.Hit(fault.SiteIndexMap); err != nil {
+		return nil, nil, fmt.Errorf("%w (injected: %v)", errMapUnsupported, err)
+	}
+	data, err := mmapFile(f, fi.Size())
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w (mmap: %v)", errMapUnsupported, err)
+	}
+	return data, &mapping{data: data}, nil
+}
+
+// MapIndex memory-maps a v2 snapshot and returns an Index whose factor
+// matrices are zero-copy views over the mapping: load time is O(1) in
+// index size (header and metadata validation plus one CRC pass over the
+// factor blocks; use MapIndexLazy to defer even that), pages fault in
+// on first access, and RSS is shared with any other mapping of the same
+// generation. The caller owns the mapping lifetime: Close the index
+// only after every query that might touch it has drained (the serve
+// layer's swap guarantees exactly this — see DESIGN.md). Returns
+// errMapUnsupported-wrapped errors for v1 files and unmappable
+// environments, ErrCorrupt-wrapped for bad bytes.
+func MapIndex(path string) (*Index, error) {
+	return mapIndexAt(path, true)
+}
+
+// MapIndexLazy is MapIndex without the eager factor-block CRC pass —
+// true O(1) mapping. The header, section geometry, sigma and
+// quantisation metadata are still verified; call VerifyPayload to check
+// the factor blocks (e.g. concurrently with warming traffic). Intended
+// for callers that can tolerate detecting factor corruption after
+// serving starts; LoadIndex and the recovery ladder use the verified
+// MapIndex.
+func MapIndexLazy(path string) (*Index, error) {
+	return mapIndexAt(path, false)
+}
+
+func mapIndexAt(path string, verify bool) (*Index, error) {
+	data, m, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: MapIndex %s: %w", path, err)
+	}
+	f, err := parseV2Header(data, indexMagic, v2IndexSections, indexRows)
+	if err == nil && verify {
+		err = f.verifyFactors()
+	}
+	var ix *Index
+	if err == nil {
+		ix, err = indexFromV2(f, true)
+	}
+	if err != nil {
+		m.close()
+		return nil, fmt.Errorf("core: MapIndex %s: %w", path, err)
+	}
+	ix.mapped = m
+	ix.mapped.verify = f.verifyFactors
+	return ix, nil
+}
+
+// VerifyPayload runs the factor-block CRC pass a MapIndexLazy call
+// deferred. It is a no-op (nil) for decoded and eagerly-verified
+// indexes, idempotent, and safe to call while the index serves.
+func (ix *Index) VerifyPayload() error {
+	if ix.mapped == nil || ix.mapped.verify == nil {
+		return nil
+	}
+	return ix.mapped.verify()
+}
+
+// MapShard is MapIndex for CSRS v2 shard snapshots. The same lifetime
+// rules apply; note the in-process shard router swaps slots without a
+// drain barrier, so the default shard loading path decodes instead of
+// mapping — MapShard is for embedders that manage generation lifetime
+// themselves (see DESIGN.md).
+func MapShard(path string) (*IndexShard, error) {
+	data, m, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: MapShard %s: %w", path, err)
+	}
+	f, err := parseV2Header(data, shardMagic, v2ShardSections, shardRows)
+	if err == nil {
+		err = f.verifyFactors()
+	}
+	var sh *IndexShard
+	if err == nil {
+		sh, err = shardFromV2(f, true)
+	}
+	if err != nil {
+		m.close()
+		return nil, fmt.Errorf("core: MapShard %s: %w", path, err)
+	}
+	sh.mapped = m
+	return sh, nil
+}
+
+func writeFloats32(w io.Writer, data []float32) error {
+	buf := make([]byte, 4*4096)
+	le := binary.LittleEndian
+	for len(data) > 0 {
+		chunk := len(data)
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		for i := 0; i < chunk; i++ {
+			le.PutUint32(buf[i*4:], math.Float32bits(data[i]))
+		}
+		if _, err := w.Write(buf[:chunk*4]); err != nil {
+			return err
+		}
+		data = data[chunk:]
+	}
+	return nil
+}
+
+func writeInt8(w io.Writer, data []int8) error {
+	buf := make([]byte, 32768)
+	for len(data) > 0 {
+		chunk := len(data)
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		for i := 0; i < chunk; i++ {
+			buf[i] = byte(data[i])
+		}
+		if _, err := w.Write(buf[:chunk]); err != nil {
+			return err
+		}
+		data = data[chunk:]
+	}
+	return nil
+}

@@ -1,0 +1,449 @@
+package core
+
+// persist2_test.go pins the CSRX v2 contract: mapped, decoded and v1
+// engines answer bitwise-identically; every forgery the layout can
+// express is rejected as ErrCorrupt; quantized tiers round-trip with
+// their measured error vectors intact.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repatchV2HeaderCRC makes a forged v2 header self-consistent so the
+// validation under test — not the header checksum — rejects it.
+func repatchV2HeaderCRC(data []byte) {
+	binary.LittleEndian.PutUint32(data[v2HeaderCRC:], crc32.ChecksumIEEE(data[:v2HeaderCRC]))
+}
+
+func writeV2File(t *testing.T, ix *Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ix.csrx")
+	if err := SaveIndex(ix, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func queryBits(t *testing.T, ix *Index, queries []int) []float64 {
+	t.Helper()
+	s, err := ix.Query(queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]float64(nil), s.Data...)
+}
+
+func wantBitwise(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: value %d = %x, want %x (must be bitwise-identical)", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestV2RoundTripBitwise is the core property: an index written as v2
+// then (a) decoded through ReadIndex and (b) memory-mapped through
+// MapIndex answers every query bitwise-identically to the original and
+// to the v1 decode path.
+func TestV2RoundTripBitwise(t *testing.T) {
+	ix := buildIndex(t)
+	queries := []int{0, 1, 3, ix.N() - 1}
+	want := queryBits(t, ix, queries)
+
+	// v1 path, for the cross-format leg of the property.
+	var v1 bytes.Buffer
+	if _, err := ix.WriteTo(&v1); err != nil {
+		t.Fatal(err)
+	}
+	fromV1, err := ReadIndex(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBitwise(t, "v1 decode", queryBits(t, fromV1, queries), want)
+
+	path := writeV2File(t, ix)
+	decoded, err := func() (*Index, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadIndex(f)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBitwise(t, "v2 decode", queryBits(t, decoded, queries), want)
+	if decoded.N() != ix.N() || decoded.Rank() != ix.Rank() ||
+		decoded.Damping() != ix.Damping() || decoded.Iterations() != ix.Iterations() {
+		t.Fatal("v2 decode metadata mismatch")
+	}
+	sig := decoded.SingularValues()
+	for i, s := range ix.SingularValues() {
+		if sig[i] != s {
+			t.Fatal("v2 decode singular values not preserved")
+		}
+	}
+
+	mapped, err := MapIndex(path)
+	if err != nil {
+		if errors.Is(err, errMapUnsupported) {
+			t.Skipf("mmap unavailable here: %v", err)
+		}
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if !mapped.Mapped() {
+		t.Fatal("MapIndex returned an unmapped index")
+	}
+	wantBitwise(t, "v2 mapped", queryBits(t, mapped, queries), want)
+	if b, err := mapped.QueryPair(1, 3); err != nil {
+		t.Fatal(err)
+	} else if d, _ := ix.QueryPair(1, 3); math.Float64bits(b) != math.Float64bits(d) {
+		t.Fatal("mapped QueryPair differs")
+	}
+	if mapped.TruncationBound(2) != ix.TruncationBound(2) {
+		t.Fatal("mapped truncation bound differs")
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal("double Close must be safe:", err)
+	}
+}
+
+// TestV2LoadIndexServesV2 pins that the default load path accepts what
+// the default save path writes, and that LoadIndex still reads v1.
+func TestV2LoadIndexServesV2(t *testing.T) {
+	ix := buildIndex(t)
+	queries := []int{2, 5}
+	want := queryBits(t, ix, queries)
+
+	back, err := LoadIndex(writeV2File(t, ix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	wantBitwise(t, "LoadIndex v2", queryBits(t, back, queries), want)
+
+	v1path := filepath.Join(t.TempDir(), "v1.csrx")
+	if err := saveAtomic("test", v1path, ix.WriteTo); err != nil {
+		t.Fatal(err)
+	}
+	old, err := LoadIndex(v1path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	wantBitwise(t, "LoadIndex v1", queryBits(t, old, queries), want)
+}
+
+// TestV2CorruptionMatrix drives the forgeries ISSUE 8 names: truncated
+// mapping, per-block CRC flip, misaligned section offset, and a forged
+// offset overlapping the header — plus byte flips in header, payload and
+// padding. Both readers (decode and map) must reject every one with a
+// wrapped ErrCorrupt.
+func TestV2CorruptionMatrix(t *testing.T) {
+	ix := buildIndex(t)
+	path := writeV2File(t, ix)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := binary.LittleEndian
+	// Section table offsets for the z section (index layout: sections
+	// 0..6, z is 5).
+	zDesc := v2TableOff + 5*v2DescSize
+	zOff := le.Uint64(pristine[zDesc:])
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated mid-payload": func(d []byte) []byte { return d[:zOff+17] },
+		"truncated header":      func(d []byte) []byte { return d[:100] },
+		"empty":                 func(d []byte) []byte { return d[:0] },
+		"payload CRC flip": func(d []byte) []byte {
+			d[zOff+3] ^= 0x40
+			return d
+		},
+		"padding flip": func(d []byte) []byte {
+			// Last byte of the z section's padded extent — covered by the
+			// section CRC precisely so tampering here cannot hide.
+			d[alignPage(zOff+1)-1] ^= 0x01
+			return d
+		},
+		"misaligned section offset": func(d []byte) []byte {
+			le.PutUint64(d[zDesc:], zOff+8)
+			repatchV2HeaderCRC(d)
+			return d
+		},
+		"offset overlapping header": func(d []byte) []byte {
+			le.PutUint64(d[zDesc:], 0)
+			repatchV2HeaderCRC(d)
+			return d
+		},
+		"header flip unpatched": func(d []byte) []byte {
+			d[16] ^= 0xFF
+			return d
+		},
+		"forged fileSize": func(d []byte) []byte {
+			le.PutUint64(d[56:], uint64(len(d))+v2Page)
+			repatchV2HeaderCRC(d)
+			return d
+		},
+		"forged section count": func(d []byte) []byte {
+			le.PutUint32(d[12:], v2ShardSections)
+			repatchV2HeaderCRC(d)
+			return d
+		},
+		"forged tier": func(d []byte) []byte {
+			le.PutUint32(d[8:], 99)
+			repatchV2HeaderCRC(d)
+			return d
+		},
+		"forged iters": func(d []byte) []byte {
+			le.PutUint64(d[40:], 1<<63)
+			repatchV2HeaderCRC(d)
+			return d
+		},
+		"NaN sigma": func(d []byte) []byte {
+			sOff := le.Uint64(d[v2TableOff:])
+			le.PutUint64(d[sOff:], math.Float64bits(math.NaN()))
+			// Re-checksum the sigma section's padded extent too: the NaN
+			// check, not the CRC, must fire.
+			sLen := le.Uint64(d[v2TableOff+8:])
+			le.PutUint32(d[v2TableOff+16:], crc32.ChecksumIEEE(d[sOff:alignPage(sOff+sLen)]))
+			repatchV2HeaderCRC(d)
+			return d
+		},
+	}
+	dir := t.TempDir()
+	for name, corrupt := range corruptions {
+		data := corrupt(append([]byte(nil), pristine...))
+		if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("decode %s: err = %v, want wrapped ErrCorrupt", name, err)
+		}
+		p := filepath.Join(dir, "bad.csrx")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if ix, err := MapIndex(p); err == nil {
+			ix.Close()
+			t.Errorf("map %s: mapped successfully, want rejection", name)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, errMapUnsupported) {
+			t.Errorf("map %s: err = %v, want wrapped ErrCorrupt", name, err)
+		}
+		// The crash-recovery ladder must also refuse it, not serve it.
+		if _, err := LoadIndex(p); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("load %s: err = %v, want wrapped ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestV2LazyVerifyCatchesPayloadCorruption pins the MapIndexLazy
+// contract: mapping succeeds in O(1) without touching the factor
+// blocks, and VerifyPayload finds the corruption the lazy map skipped.
+func TestV2LazyVerifyCatchesPayloadCorruption(t *testing.T) {
+	ix := buildIndex(t)
+	path := writeV2File(t, ix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zOff := binary.LittleEndian.Uint64(data[v2TableOff+5*v2DescSize:])
+	data[zOff] ^= 0x80
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := MapIndexLazy(path)
+	if err != nil {
+		if errors.Is(err, errMapUnsupported) {
+			t.Skipf("mmap unavailable here: %v", err)
+		}
+		t.Fatalf("lazy map must not read factor blocks, got %v", err)
+	}
+	defer lazy.Close()
+	if err := lazy.VerifyPayload(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("VerifyPayload = %v, want wrapped ErrCorrupt", err)
+	}
+	// The verified paths reject the same file outright.
+	if _, err := MapIndex(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("MapIndex = %v, want wrapped ErrCorrupt", err)
+	}
+}
+
+// TestV2QuantizedRoundTrip saves each quantized tier and checks the
+// loaded index preserves tier, answers, and the measured error vectors
+// that make QuantizationBound valid after a reload.
+func TestV2QuantizedRoundTrip(t *testing.T) {
+	exact := buildIndex(t)
+	queries := []int{0, 4}
+	for _, tier := range []Tier{TierF32, TierI8} {
+		q, err := exact.Quantize(tier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Tier() != tier {
+			t.Fatalf("Quantize tier = %v, want %v", q.Tier(), tier)
+		}
+		want := queryBits(t, q, queries)
+		wantBound := q.QuantizationBound()
+		if wantBound <= 0 {
+			t.Fatalf("%v: quantization bound %g, want > 0", tier, wantBound)
+		}
+
+		path := writeV2File(t, q)
+		back, err := LoadIndex(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Tier() != tier {
+			t.Fatalf("loaded tier = %v, want %v", back.Tier(), tier)
+		}
+		wantBitwise(t, tier.String(), queryBits(t, back, queries), want)
+		if got := back.QuantizationBound(); got != wantBound {
+			t.Fatalf("%v: loaded bound %g, want %g", tier, got, wantBound)
+		}
+		if got := back.TruncationBound(back.Rank()); got != wantBound {
+			t.Fatalf("%v: full-rank TruncationBound %g, want quant bound %g", tier, got, wantBound)
+		}
+		// The quantized answers stay within the reported bound of the
+		// exact answers — the acceptance criterion for the tiers.
+		exactBits := queryBits(t, exact, queries)
+		for i := range exactBits {
+			if d := math.Abs(want[i] - exactBits[i]); d > wantBound {
+				t.Fatalf("%v: entry %d deviates %g > bound %g", tier, i, d, wantBound)
+			}
+		}
+		back.Close()
+
+		// v1 cannot hold a quantized index — the writer must say so
+		// rather than drop the tier silently.
+		if _, err := q.WriteTo(&bytes.Buffer{}); !errors.Is(err, ErrParams) {
+			t.Fatalf("v1 WriteTo of %v index: err = %v, want ErrParams", tier, err)
+		}
+	}
+	// Re-quantization would compound errors invisibly.
+	q, _ := exact.Quantize(TierI8)
+	if _, err := q.Quantize(TierF32); !errors.Is(err, ErrParams) {
+		t.Fatalf("re-quantize: err = %v, want ErrParams", err)
+	}
+}
+
+// TestV2ShardRoundTrip exercises the CSRS v2 twin: save/load/map a
+// shard, bitwise-identical partials, and the same corruption discipline.
+func TestV2ShardRoundTrip(t *testing.T) {
+	ix := buildIndex(t)
+	mid := ix.N() / 2
+	sh, err := ix.Shard(mid, ix.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sh.csrs")
+	if err := SaveShard(sh, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != sh.N() || back.Lo() != sh.Lo() || back.Hi() != sh.Hi() || back.Rank() != sh.Rank() {
+		t.Fatal("shard metadata mismatch")
+	}
+	for i := sh.Lo(); i < sh.Hi(); i++ {
+		a, b := sh.URow(i), back.URow(i)
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("URow(%d)[%d] differs", i, j)
+			}
+		}
+	}
+
+	mapped, err := MapShard(path)
+	if err != nil {
+		if errors.Is(err, errMapUnsupported) {
+			t.Skipf("mmap unavailable here: %v", err)
+		}
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if !mapped.Mapped() {
+		t.Fatal("MapShard returned an unmapped shard")
+	}
+	for i := sh.Lo(); i < sh.Hi(); i++ {
+		a, b := sh.URow(i), mapped.URow(i)
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("mapped URow(%d)[%d] differs", i, j)
+			}
+		}
+	}
+
+	// Corrupt a factor byte: decode and map must both refuse.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zOff := binary.LittleEndian.Uint64(data[v2TableOff+4*v2DescSize:])
+	data[zOff+1] ^= 0x10
+	bad := filepath.Join(dir, "bad.csrs")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt shard load: err = %v, want wrapped ErrCorrupt", err)
+	}
+	if _, err := MapShard(bad); err == nil || (!errors.Is(err, ErrCorrupt) && !errors.Is(err, errMapUnsupported)) {
+		t.Fatalf("corrupt shard map: err = %v, want wrapped ErrCorrupt", err)
+	}
+}
+
+// TestV2QuantizedShardRoundTrip pins the quantized CSRS path, including
+// the error vectors a router needs to recompose the bound.
+func TestV2QuantizedShardRoundTrip(t *testing.T) {
+	exact := buildIndex(t)
+	q, err := exact.Quantize(TierI8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := q.Shard(0, q.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Tier() != TierI8 {
+		t.Fatalf("shard tier = %v, want int8", sh.Tier())
+	}
+	path := filepath.Join(t.TempDir(), "q.csrs")
+	if err := SaveShard(sh, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tier() != TierI8 {
+		t.Fatalf("loaded shard tier = %v, want int8", back.Tier())
+	}
+	zerr, uerr := back.QuantErrs()
+	wz, wu := sh.QuantErrs()
+	for j := range wz {
+		if zerr[j] != wz[j] || uerr[j] != wu[j] {
+			t.Fatal("quant error vectors not preserved")
+		}
+	}
+	zmax, umax := back.ColMaxes()
+	if got, want := QuantBound(back.Damping(), zmax, umax, zerr, uerr), q.QuantizationBound(); got != want {
+		t.Fatalf("router-side QuantBound %g, want %g", got, want)
+	}
+}

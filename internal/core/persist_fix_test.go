@@ -1,0 +1,138 @@
+package core
+
+// persist_fix_test.go pins the persist-layer bugfix sweep: the 32-bit
+// element-count wrap, the unvalidated iters header word, and non-finite
+// sigma entries. All three forge headers on otherwise-valid files, so
+// the trailing CRC is recomputed — the point is that validation must
+// reject them even when every byte is "honest".
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+)
+
+// repatchV1CRC recomputes the trailing CRC of a forged v1 buffer so the
+// corruption under test — not a checksum mismatch — is what the reader
+// sees.
+func repatchV1CRC(data []byte) {
+	sum := crc32.ChecksumIEEE(data[4 : len(data)-4])
+	binary.LittleEndian.PutUint32(data[len(data)-4:], sum)
+}
+
+func writeV1(t *testing.T) []byte {
+	t.Helper()
+	ix := buildIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadIndexPlatformElemBound simulates a 32-bit build by shrinking
+// maxPlatformElems to MaxInt32 and forging a header whose n*rank passes
+// the maxIndexElems (2^34) bound but would wrap int(nNodes*rank)
+// negative on a 32-bit platform. Before the fix this sailed through the
+// shape check and failed arbitrarily deep in the payload read.
+func TestReadIndexPlatformElemBound(t *testing.T) {
+	defer func(prev uint64) { maxPlatformElems = prev }(maxPlatformElems)
+	maxPlatformElems = math.MaxInt32
+
+	data := writeV1(t)
+	le := binary.LittleEndian
+	// n = 2^31, rank = 4: product 2^33 ≤ maxIndexElems but > MaxInt32.
+	le.PutUint64(data[8:], 1<<31)
+	le.PutUint64(data[16:], 4)
+	repatchV1CRC(data)
+	_, err := ReadIndex(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want wrapped ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "platform int") {
+		t.Fatalf("err = %v, want the platform-int bound (not a downstream read failure)", err)
+	}
+}
+
+// TestReadShardPlatformElemBound is the shard-format twin: both the
+// owned-row slice and the global node count must clear the platform int.
+func TestReadShardPlatformElemBound(t *testing.T) {
+	defer func(prev uint64) { maxPlatformElems = prev }(maxPlatformElems)
+	maxPlatformElems = math.MaxInt32
+
+	ix := buildIndex(t)
+	sh, err := ix.Shard(0, ix.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sh.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	le := binary.LittleEndian
+	// Shard header: magic 4, version 4, then n, lo, hi, rank, c.
+	forge := func(n, lo, hi, rank uint64) []byte {
+		data := append([]byte(nil), buf.Bytes()...)
+		le.PutUint64(data[8:], n)
+		le.PutUint64(data[16:], lo)
+		le.PutUint64(data[24:], hi)
+		le.PutUint64(data[32:], rank)
+		repatchV1CRC(data)
+		return data
+	}
+	cases := map[string][]byte{
+		"owned rows wrap": forge(1<<31, 0, 1<<31, 4),
+		"global n wraps":  forge(1<<32, 0, 2, 4),
+	}
+	for name, data := range cases {
+		_, err := ReadShard(bytes.NewReader(data))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want wrapped ErrCorrupt", name, err)
+		} else if !strings.Contains(err.Error(), "platform int") {
+			t.Errorf("%s: err = %v, want the platform-int bound", name, err)
+		}
+	}
+}
+
+// TestReadIndexForgedIters pins the iters validation: a 2^63 header word
+// used to convert silently to a negative int and flow into Iterations().
+func TestReadIndexForgedIters(t *testing.T) {
+	data := writeV1(t)
+	binary.LittleEndian.PutUint64(data[32:], 1<<63)
+	repatchV1CRC(data)
+	_, err := ReadIndex(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want wrapped ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "iteration") {
+		t.Fatalf("err = %v, want the iters validation", err)
+	}
+}
+
+// TestReadIndexNonFiniteSigma pins the sigma validation: NaN and ±Inf
+// entries are honest bytes (the CRC passes) but poison every truncation
+// bound computed from them, so they must be rejected as corruption. A
+// negative singular value is equally impossible and equally rejected.
+func TestReadIndexNonFiniteSigma(t *testing.T) {
+	for name, bits := range map[string]uint64{
+		"NaN":      math.Float64bits(math.NaN()),
+		"+Inf":     math.Float64bits(math.Inf(1)),
+		"-Inf":     math.Float64bits(math.Inf(-1)),
+		"negative": math.Float64bits(-1.0),
+	} {
+		data := writeV1(t)
+		// sigma[0] sits right after the header: magic 4 + version 4 + 4x8.
+		binary.LittleEndian.PutUint64(data[40:], bits)
+		repatchV1CRC(data)
+		_, err := ReadIndex(bytes.NewReader(data))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s sigma: err = %v, want wrapped ErrCorrupt", name, err)
+		} else if !strings.Contains(err.Error(), "sigma") {
+			t.Errorf("%s sigma: err = %v, want the sigma validation", name, err)
+		}
+	}
+}

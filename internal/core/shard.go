@@ -54,8 +54,17 @@ type IndexShard struct {
 	lo, hi int
 	c      float64
 	rank   int
-	z      *dense.Mat // rows [lo, hi) of Z, (hi-lo) x rank
-	u      *dense.Mat // rows [lo, hi) of U, (hi-lo) x rank
+	z      *dense.Mat // rows [lo, hi) of Z, (hi-lo) x rank — exact tier only
+	u      *dense.Mat // rows [lo, hi) of U, (hi-lo) x rank — exact tier only
+
+	// Quantized tiers mirror Index: typed factor slices plus the measured
+	// per-column dequantisation errors (global per-column, shared by all
+	// shards cut from one index, so routers can recompose the bound).
+	zt, ut       *dense.Typed
+	zqerr, uqerr []float64
+
+	// mapped is non-nil when the factors view an mmap (MapShard).
+	mapped *mapping
 }
 
 // Shard slices the index to the node range [lo, hi). The shard shares the
@@ -65,18 +74,41 @@ func (ix *Index) Shard(lo, hi int) (*IndexShard, error) {
 	if lo < 0 || hi > ix.n || lo >= hi {
 		return nil, fmt.Errorf("core: shard range [%d, %d) not within [0, %d): %w", lo, hi, ix.n, ErrParams)
 	}
-	viewRows := func(m *dense.Mat) *dense.Mat {
-		return &dense.Mat{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
-	}
-	return &IndexShard{
+	sh := &IndexShard{
 		n:    ix.n,
 		lo:   lo,
 		hi:   hi,
 		c:    ix.c,
 		rank: ix.rank,
-		z:    viewRows(ix.z),
-		u:    viewRows(ix.u),
-	}, nil
+	}
+	if ix.zt != nil {
+		sh.zt = ix.zt.SliceRowsView(lo, hi)
+		sh.ut = ix.ut.SliceRowsView(lo, hi)
+		if ix.mapped != nil {
+			// Detach from the mapping (see below).
+			sh.zt = sh.zt.Copy()
+			sh.ut = sh.ut.Copy()
+		}
+		sh.zqerr = ix.zqerr
+		sh.uqerr = ix.uqerr
+		return sh, nil
+	}
+	viewRows := func(m *dense.Mat) *dense.Mat {
+		return &dense.Mat{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+	}
+	sh.z = viewRows(ix.z)
+	sh.u = viewRows(ix.u)
+	if ix.mapped != nil {
+		// Shards cut from a memory-mapped index copy their factor rows
+		// instead of aliasing the mapping: the shard router swaps slots
+		// without a drain barrier, so a shard's factors must stay valid
+		// for as long as the GC can see the shard — a guarantee only
+		// heap memory gives. This keeps Close of the source index safe
+		// the moment Shard returns.
+		sh.z = sh.z.Clone()
+		sh.u = sh.u.Clone()
+	}
+	return sh, nil
 }
 
 // N returns the GLOBAL node count of the graph the shard was cut from.
@@ -98,20 +130,43 @@ func (sh *IndexShard) Rank() int { return sh.rank }
 func (sh *IndexShard) Damping() float64 { return sh.c }
 
 // Bytes reports the resident memory of the shard's factors — the 1/K
-// slice of the index's O(rn) that actually lives on this shard.
-func (sh *IndexShard) Bytes() int64 { return sh.z.Bytes() + sh.u.Bytes() }
+// slice of the index's O(rn) that actually lives on this shard, at the
+// tier's element width.
+func (sh *IndexShard) Bytes() int64 {
+	if sh.zt != nil {
+		return sh.zt.Bytes() + sh.ut.Bytes()
+	}
+	return sh.z.Bytes() + sh.u.Bytes()
+}
+
+// Tier returns the storage tier of the shard's factors.
+func (sh *IndexShard) Tier() Tier {
+	if sh.zt == nil {
+		return TierF64
+	}
+	if sh.zt.Kind == dense.F32 {
+		return TierF32
+	}
+	return TierI8
+}
 
 // Owns reports whether global node q falls in the shard's range.
 func (sh *IndexShard) Owns(q int) bool { return q >= sh.lo && q < sh.hi }
 
 // URow returns the shard's U row for global node q, which must be owned.
-// The slice aliases the shard's backing array and must not be modified —
-// it is the row a router gathers into its query broadcast, and sharing
-// the exact float64s is what keeps sharded scores bitwise-identical to
-// the monolithic path.
+// For the exact tier the slice aliases the shard's backing array and must
+// not be modified — it is the row a router gathers into its query
+// broadcast, and sharing the exact float64s is what keeps sharded scores
+// bitwise-identical to the monolithic path. Quantized tiers return a
+// fresh dequantised copy; because dequantisation is elementwise, the
+// copy's float64s still equal the ones a quantized monolith would gather,
+// preserving the bitwise contract tier-for-tier.
 func (sh *IndexShard) URow(q int) []float64 {
 	if !sh.Owns(q) {
 		panic(fmt.Sprintf("core: URow(%d) outside shard [%d, %d)", q, sh.lo, sh.hi))
+	}
+	if sh.ut != nil {
+		return sh.ut.RowInto(q-sh.lo, make([]float64, sh.rank))
 	}
 	return sh.u.Row(q - sh.lo)
 }
@@ -153,9 +208,13 @@ func (sh *IndexShard) PartialInto(ctx context.Context, queries []int, uq *dense.
 		if hi > rows {
 			hi = rows
 		}
-		zBand := &dense.Mat{Rows: hi - lo, Cols: sh.rank, Data: sh.z.Data[lo*sh.rank : hi*sh.rank]}
 		sBand := &dense.Mat{Rows: hi - lo, Cols: cols, Data: out.Data[lo*cols : hi*cols]}
-		dense.MulTRankInto(sBand, zBand, uq, rank)
+		if sh.zt != nil {
+			dense.MulTRankTypedInto(sBand, sh.zt.SliceRowsView(lo, hi), uq, rank)
+		} else {
+			zBand := &dense.Mat{Rows: hi - lo, Cols: sh.rank, Data: sh.z.Data[lo*sh.rank : hi*sh.rank]}
+			dense.MulTRankInto(sBand, zBand, uq, rank)
+		}
 	}
 	out.Scale(sh.c)
 	for j, q := range queries {
@@ -173,6 +232,9 @@ func (sh *IndexShard) PartialInto(ctx context.Context, queries []int, uq *dense.
 // runs Index.TruncationBound's recurrence to get a truncation bound
 // bitwise-equal to the monolithic one.
 func (sh *IndexShard) ColMaxes() (zmax, umax []float64) {
+	if sh.zt != nil {
+		return sh.zt.ColAbsMax(), sh.ut.ColAbsMax()
+	}
 	colMax := func(m *dense.Mat) []float64 {
 		mx := make([]float64, m.Cols)
 		for i := 0; i < m.Rows; i++ {
@@ -188,6 +250,21 @@ func (sh *IndexShard) ColMaxes() (zmax, umax []float64) {
 	return colMax(sh.z), colMax(sh.u)
 }
 
+// QuantErrs returns the measured per-column dequantisation error vectors
+// of a quantized shard (nil, nil for the exact tier). They are global
+// per-column quantities — identical across every shard cut from one
+// index — so a router can feed any shard's copy into QuantBound.
+func (sh *IndexShard) QuantErrs() (zerr, uerr []float64) {
+	return sh.zqerr, sh.uqerr
+}
+
+// QuantBound evaluates the entrywise quantisation error bound from
+// combined per-column maxima and the measured dequantisation errors —
+// the router-side twin of Index.QuantizationBound, sharing one formula.
+func QuantBound(c float64, zmax, umax, zerr, uerr []float64) float64 {
+	return quantTerm(c, zmax, umax, zerr, uerr)
+}
+
 // TailBound runs Index.TruncationBound's recurrence over combined
 // per-column maxima: boundTail[j] = boundTail[j+1] + c·zmax[j]·umax[j],
 // returning boundTail so callers can index it by retained rank. Exposed
@@ -201,8 +278,13 @@ func TailBound(c float64, zmax, umax []float64) []float64 {
 	return tail
 }
 
-// WriteTo serialises the shard. It implements io.WriterTo.
+// WriteTo serialises the shard in the v1 format. It implements
+// io.WriterTo. Quantized shards must be written as v2 (WriteToV2);
+// SaveShard picks the right writer.
 func (sh *IndexShard) WriteTo(w io.Writer) (int64, error) {
+	if sh.zt != nil {
+		return 0, fmt.Errorf("core: v1 shard format cannot hold a %v-tier shard: %w", sh.Tier(), ErrParams)
+	}
 	bw := bufio.NewWriter(w)
 	n := &countingWriter{w: bw}
 	if _, err := n.Write(shardMagic[:]); err != nil {
@@ -234,11 +316,19 @@ func (sh *IndexShard) WriteTo(w io.Writer) (int64, error) {
 	return n.n, nil
 }
 
-// ReadShard deserialises a shard written by WriteTo, validating magic,
-// version, shape bounds and checksum with the same discipline as
-// ReadIndex: every validation failure is a wrapped ErrCorrupt.
+// ReadShard deserialises a shard written by WriteTo (v1) or WriteToV2,
+// validating magic, version, shape bounds and checksums with the same
+// discipline as ReadIndex: every validation failure is a wrapped
+// ErrCorrupt.
 func ReadShard(r io.Reader) (*IndexShard, error) {
 	br := bufio.NewReader(r)
+	if v, err := sniffVersion(br); err == nil && v == indexVersion2 {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading v2 shard: %w", corruptEOF(err))
+		}
+		return decodeShardV2(data)
+	}
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: reading shard magic: %w", corruptEOF(err))
@@ -270,6 +360,14 @@ func ReadShard(r io.Reader) (*IndexShard, error) {
 	}
 	if lo >= hi || hi > nNodes {
 		return nil, fmt.Errorf("core: implausible shard range [%d, %d) of n=%d: %w", lo, hi, nNodes, ErrCorrupt)
+	}
+	if err := checkElemCount("shard", hi-lo, rank); err != nil {
+		return nil, err
+	}
+	// The global count is converted to int too; on a 32-bit build a
+	// 2^33-node header would wrap even when this shard's own slice fits.
+	if nNodes > maxPlatformElems {
+		return nil, fmt.Errorf("core: shard global n=%d exceeds platform int: %w", nNodes, ErrCorrupt)
 	}
 	if c <= 0 || c >= 1 || math.IsNaN(c) {
 		return nil, fmt.Errorf("core: implausible damping %v: %w", c, ErrCorrupt)
@@ -304,13 +402,17 @@ func ReadShard(r io.Reader) (*IndexShard, error) {
 
 // SaveShard writes the shard to path with the same atomic,
 // crash-consistent discipline as SaveIndex (temp file, fsync, rename,
-// directory fsync), through the same chaos fault sites.
+// directory fsync), through the same chaos fault sites. Shards are
+// written in the CSRS v2 layout; v1 shard files remain readable.
 func SaveShard(sh *IndexShard, path string) error {
-	return saveAtomic("SaveShard", path, sh.WriteTo)
+	return saveAtomic("SaveShard", path, sh.WriteToV2)
 }
 
 // LoadShard reads a shard from path, through the same injected-fault read
-// path as LoadIndex.
+// path as LoadIndex. Unlike LoadIndex it always decodes rather than
+// mapping: the in-process shard router swaps slots without a drain
+// barrier, so a mapped shard's munmap would race in-flight partials.
+// Embedders that manage generation lifetime themselves can use MapShard.
 func LoadShard(path string) (*IndexShard, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -353,6 +455,7 @@ func WriteShardSnapshot(dir string, sh *IndexShard) (gen uint64, path string, er
 // remaining generations newest-first; recovered reports the returned
 // snapshot is not the one CURRENT names.
 func RecoverShardSnapshot(dir string) (sh *IndexShard, snap Snapshot, recovered bool, err error) {
+	sweepStaleTemps(dir)
 	var loadErr error
 	skip := ""
 	if p, g, cerr := CurrentSnapshot(dir); cerr == nil {

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"csrplus/internal/fault"
 )
@@ -36,6 +37,54 @@ const (
 	snapshotPrefix = "index-"
 	snapshotSuffix = ".csrx"
 )
+
+// Temp-file prefixes used by the atomic writers. The sweeper keys on
+// them, so they are named constants rather than string literals at the
+// CreateTemp call sites.
+const (
+	tempSavePrefix    = ".csrx-"    // saveAtomic payload temps
+	tempCurrentPrefix = ".current-" // SetCurrent pointer temps
+)
+
+// staleTempAge is how old an orphaned temp file must be before
+// sweepStaleTemps deletes it. The atomic writers hold their temps for
+// milliseconds, so anything minutes old is a crash leftover, not an
+// in-flight write racing the sweep. Var, not const, so tests can sweep
+// without waiting.
+var staleTempAge = 10 * time.Minute
+
+// sweepStaleTemps deletes crash-orphaned temp files (saveAtomic's
+// .csrx-* payload temps, SetCurrent's .current-* pointer temps) older
+// than staleTempAge. A crash between CreateTemp and the deferred remove
+// strands the temp forever; on a snapshot directory rewritten every
+// publish the strays accumulate until the disk fills. The sweep runs
+// from the housekeeping path (PruneSnapshots) and the crash-recovery
+// paths (RecoverSnapshot, RecoverShardSnapshot) — the places that
+// execute exactly when leftovers can exist. Best-effort by design:
+// errors are swallowed so the sweep can never turn a successful
+// recovery into a failure over an unlinkable stray.
+func sweepStaleTemps(dir string) (removed int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-staleTempAge)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() ||
+			(!strings.HasPrefix(name, tempSavePrefix) && !strings.HasPrefix(name, tempCurrentPrefix)) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			removed++
+		}
+	}
+	return removed
+}
 
 // ErrNoSnapshot is returned (wrapped) when a snapshot directory contains
 // no resolvable snapshot.
@@ -136,7 +185,7 @@ func SetCurrent(dir string, gen uint64) error {
 	if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("core: SetCurrent(%d): %w", gen, err)
 	}
-	tmp, err := os.CreateTemp(dir, ".current-*")
+	tmp, err := os.CreateTemp(dir, tempCurrentPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("core: SetCurrent: %w", err)
 	}
@@ -210,6 +259,7 @@ func CurrentSnapshot(dir string) (path string, gen uint64, err error) {
 // failure so "empty directory" and "every generation corrupt" read
 // differently in logs.
 func RecoverSnapshot(dir string) (ix *Index, snap Snapshot, recovered bool, err error) {
+	sweepStaleTemps(dir)
 	var loadErr error // most recent load failure, for the final error
 	skip := ""
 	if p, g, cerr := CurrentSnapshot(dir); cerr == nil {
@@ -246,13 +296,15 @@ func RecoverSnapshot(dir string) (ix *Index, snap Snapshot, recovered bool, err 
 }
 
 // PruneSnapshots deletes all but the newest keep generations from dir,
-// never deleting the one CURRENT points at. It returns how many files
-// were removed. keep < 1 is treated as 1: a snapshot directory must not
-// be pruned to nothing.
+// never deleting the one CURRENT points at, and sweeps crash-orphaned
+// temp files as a side effect. It returns how many snapshot files were
+// removed (swept temps are not counted). keep < 1 is treated as 1: a
+// snapshot directory must not be pruned to nothing.
 func PruneSnapshots(dir string, keep int) (removed int, err error) {
 	if keep < 1 {
 		keep = 1
 	}
+	sweepStaleTemps(dir)
 	snaps, err := ListSnapshots(dir)
 	if err != nil {
 		return 0, err

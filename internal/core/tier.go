@@ -1,0 +1,236 @@
+package core
+
+// tier.go implements the quantized factor tiers: an Index (or shard)
+// whose Z and U are stored as float32 or int8 with per-column scales
+// instead of float64, cutting the O(rn) footprint 2x/8x at a bounded,
+// measured entrywise cost surfaced through TruncationBound. Tiers are
+// chosen at save time (csrstat -quantize, csrserver -quantize) and
+// travel in the CSRX v2 layout (persist2.go); serving code is oblivious —
+// the query paths branch to the dense typed-source kernels internally.
+//
+// It also owns the mmap lifetime handle: an Index returned by MapIndex
+// views factor blocks of a memory mapping, and Close releases it. The
+// rules for who calls Close when generations swap live in DESIGN.md
+// ("Mapping lifetime"); the short version is that the reload manager
+// releases a generation only after the serve layer's drain-on-swap
+// guarantee says no in-flight query can still touch it.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"csrplus/internal/dense"
+)
+
+// Tier identifies the element storage of an index's factor matrices.
+type Tier uint8
+
+const (
+	// TierF64 is the exact tier: float64 factors, zero added error.
+	TierF64 Tier = iota
+	// TierF32 stores factors as float32: 2x smaller, ~1e-8 relative error.
+	TierF32
+	// TierI8 stores factors as int8 codes with per-column scales: 8x
+	// smaller, error bounded by half the column scale per entry.
+	TierI8
+)
+
+// String names the tier the way the -quantize flags spell it.
+func (t Tier) String() string {
+	switch t {
+	case TierF64:
+		return "f64"
+	case TierF32:
+		return "f32"
+	case TierI8:
+		return "int8"
+	}
+	return fmt.Sprintf("Tier(%d)", uint8(t))
+}
+
+// ParseTier parses a -quantize flag value. "" and "none" mean the exact
+// tier, matching "no -quantize flag".
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "none", "f64", "float64":
+		return TierF64, nil
+	case "f32", "float32":
+		return TierF32, nil
+	case "int8", "i8":
+		return TierI8, nil
+	}
+	return TierF64, fmt.Errorf("core: unknown quantization tier %q (want f64, f32 or int8): %w", s, ErrParams)
+}
+
+// kind maps the tier to its dense storage kind.
+func (t Tier) kind() dense.Kind {
+	switch t {
+	case TierF32:
+		return dense.F32
+	case TierI8:
+		return dense.I8
+	default:
+		return dense.F64
+	}
+}
+
+// Tier returns the storage tier of the index's factors.
+func (ix *Index) Tier() Tier {
+	if ix.zt == nil {
+		return TierF64
+	}
+	switch ix.zt.Kind {
+	case dense.F32:
+		return TierF32
+	default:
+		return TierI8
+	}
+}
+
+// pickURows gathers [U]_{Q,*} as float64, dequantising when needed.
+func (ix *Index) pickURows(queries []int) *dense.Mat {
+	if ix.ut != nil {
+		return ix.ut.PickRows(queries)
+	}
+	return ix.u.PickRows(queries)
+}
+
+// colAbsMaxes returns the per-column maxima of |Z| and |U| as the
+// serving tier stores them (dequantised for quantized tiers) — the
+// inputs of the truncation-bound recurrence.
+func (ix *Index) colAbsMaxes() (zmax, umax []float64) {
+	if ix.zt != nil {
+		return ix.zt.ColAbsMax(), ix.ut.ColAbsMax()
+	}
+	colMax := func(m *dense.Mat) []float64 {
+		mx := make([]float64, m.Cols)
+		for i := 0; i < m.Rows; i++ {
+			row := m.Row(i)
+			for j, v := range row {
+				if a := math.Abs(v); a > mx[j] {
+					mx[j] = a
+				}
+			}
+		}
+		return mx
+	}
+	return colMax(ix.z), colMax(ix.u)
+}
+
+// quantTerm is the shared entrywise quantisation bound: with measured
+// per-column dequantisation errors zerr/uerr and served column maxima
+// zmax/umax (so Z' = Z + ΔZ with |ΔZ_{*,j}| ≤ zerr_j, |Z'_{*,j}| ≤ zmax_j),
+//
+//	|c·(Z'U'ᵀ − ZUᵀ)_ik| ≤ c·Σ_j (zmax_j·uerr_j + umax_j·zerr_j + zerr_j·uerr_j)
+//
+// (expand Z'U'ᵀ − ZUᵀ = Z'ΔUᵀ − ΔZ U'ᵀ + ΔZ ΔUᵀ and bound each term by
+// column). Exposed as a function so the sharded router can evaluate the
+// identical formula from combined per-shard maxima.
+func quantTerm(c float64, zmax, umax, zerr, uerr []float64) float64 {
+	if zerr == nil && uerr == nil {
+		return 0
+	}
+	b := 0.0
+	for j := range zmax {
+		var ze, ue float64
+		if zerr != nil {
+			ze = zerr[j]
+		}
+		if uerr != nil {
+			ue = uerr[j]
+		}
+		b += zmax[j]*ue + umax[j]*ze + ze*ue
+	}
+	return c * b
+}
+
+// QuantizationBound returns a rigorous bound on the entrywise error a
+// quantized tier adds to every query answer relative to the exact
+// float64 factors the index was quantized from: 0 for TierF64. The
+// per-column dequantisation errors are measured (not worst-case) at
+// quantisation time and persisted with the index, so the bound is valid
+// for exactly the factors being served. The +1 self-similarity and the
+// ×c scale are applied identically in both tiers and cancel.
+func (ix *Index) QuantizationBound() float64 {
+	if ix.zqerr == nil && ix.uqerr == nil {
+		return 0
+	}
+	ix.quantOnce.Do(func() {
+		zmax, umax := ix.colAbsMaxes()
+		ix.quantBound = quantTerm(ix.c, zmax, umax, ix.zqerr, ix.uqerr)
+	})
+	return ix.quantBound
+}
+
+// Quantize returns a new Index whose factors are stored at tier,
+// quantized from ix's factors. TierF64 returns ix unchanged. Quantizing
+// an already-quantized index is rejected: re-coding codes would compound
+// errors invisibly, and the measured error vectors would no longer be
+// against exact factors.
+func (ix *Index) Quantize(tier Tier) (*Index, error) {
+	if tier == TierF64 {
+		return ix, nil
+	}
+	if ix.zt != nil {
+		return nil, fmt.Errorf("core: cannot re-quantize a %v-tier index: %w", ix.Tier(), ErrParams)
+	}
+	quant := dense.QuantizeF32
+	if tier == TierI8 {
+		quant = dense.QuantizeI8
+	}
+	zt, zqerr := quant(ix.z)
+	ut, uqerr := quant(ix.u)
+	return &Index{
+		n:       ix.n,
+		c:       ix.c,
+		rank:    ix.rank,
+		iters:   ix.iters,
+		sigma:   append([]float64(nil), ix.sigma...),
+		precomp: ix.precomp,
+		zt:      zt,
+		ut:      ut,
+		zqerr:   zqerr,
+		uqerr:   uqerr,
+	}, nil
+}
+
+// mapping owns one memory-mapped snapshot file. munmapFile is idempotent
+// through the Once so double-Close is safe. verify, when set, replays
+// the deferred factor-block CRC pass of MapIndexLazy.
+type mapping struct {
+	data   []byte
+	verify func() error
+	once   sync.Once
+	err    error
+}
+
+func (m *mapping) close() error {
+	if m == nil {
+		return nil
+	}
+	m.once.Do(func() { m.err = munmapFile(m.data) })
+	return m.err
+}
+
+// Close releases the memory mapping backing a mapped index (MapIndex);
+// it is a no-op for decoded indexes and safe to call more than once.
+// After Close, the factor matrices of a mapped index must not be touched:
+// the serving lifecycle guarantees this by draining in-flight queries
+// before releasing a generation (see DESIGN.md).
+func (ix *Index) Close() error {
+	return ix.mapped.close()
+}
+
+// Mapped reports whether the index's factors are zero-copy views over a
+// memory-mapped file (and therefore whether Close is load-bearing).
+func (ix *Index) Mapped() bool { return ix.mapped != nil }
+
+// Close releases the memory mapping backing a mapped shard (MapShard);
+// a no-op for decoded shards, safe to call more than once.
+func (sh *IndexShard) Close() error {
+	return sh.mapped.close()
+}
+
+// Mapped reports whether the shard's factors view a memory mapping.
+func (sh *IndexShard) Mapped() bool { return sh.mapped != nil }

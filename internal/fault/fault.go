@@ -42,6 +42,17 @@ const (
 	// core.LoadIndex): probabilistic read errors and latency model a
 	// degraded disk or a network filesystem hiccup during reload.
 	SiteIndexRead = "core/index.read"
+	// SiteIndexMap fires immediately before the mmap syscall in
+	// core.MapIndex/MapShard. An injected fault models mmap refusal
+	// (ulimit, address-space fragmentation) — an environmental failure,
+	// so core.LoadIndex degrades to the buffered decode path instead of
+	// failing the load.
+	SiteIndexMap = "core/index.mmap"
+	// SiteIndexVerify fires before the factor-block CRC pass of a v2
+	// snapshot (eager in MapIndex, deferred in VerifyPayload). Unlike a
+	// map fault, a verify failure means the bytes cannot be trusted, so
+	// it fails the load and drives the recovery ladder.
+	SiteIndexVerify = "core/index.verify"
 	// SiteCurrentWrite guards the CURRENT pointer write in
 	// core.SetCurrent — the torn-CURRENT crash the recovery path must
 	// survive.

@@ -1,0 +1,162 @@
+package reload
+
+// mapped_swap_test.go pins the v2 acceptance property end to end: an
+// index served from a memory-mapped snapshot answers bitwise-identically
+// to the v1 decode of the same factors — including THROUGH reload swaps
+// under concurrent query load, where a lifetime bug (early munmap, torn
+// generation) would surface as a wrong score or a crash. Run with -race.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"csrplus/internal/core"
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+	"csrplus/internal/serve"
+)
+
+func TestMappedReloadSwapBitwiseIdenticalToV1(t *testing.T) {
+	g, err := graph.ErdosRenyi(80, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Precompute(g, core.Options{Rank: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ix.N()
+
+	// The reference: the same index through the v1 encode/decode path.
+	var v1 bytes.Buffer
+	if _, err := ix.WriteTo(&v1); err != nil {
+		t.Fatal(err)
+	}
+	refIx, err := core.ReadIndex(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([][]float64, n)
+	for q := range ref {
+		if ref[q], err = refIx.QueryOne(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	if _, _, err := core.WriteSnapshot(dir, ix); err != nil {
+		t.Fatal(err)
+	}
+
+	rankQuery := func(ix *core.Index) serve.RankQueryFunc {
+		return func(ctx context.Context, queries []int, rank int, scratch *dense.Mat) (*dense.Mat, error) {
+			return ix.QueryRankInto(ctx, queries, rank, scratch, nil)
+		}
+	}
+	var mu sync.Mutex
+	pinned := 0 // mapped generations not yet released
+	loader := func(ctx context.Context) (*Candidate, error) {
+		mapped, _, _, err := core.RecoverSnapshot(dir)
+		if err != nil {
+			return nil, err
+		}
+		if mapped.Mapped() {
+			mu.Lock()
+			pinned++
+			mu.Unlock()
+		}
+		return &Candidate{
+			N:         mapped.N(),
+			RankQuery: rankQuery(mapped),
+			Rank:      mapped.Rank(),
+			Bound:     mapped.TruncationBound,
+			Meta:      Meta{Source: "snapshot"},
+			Release: func() {
+				if mapped.Mapped() {
+					mu.Lock()
+					pinned--
+					mu.Unlock()
+				}
+				mapped.Close()
+			},
+		}, nil
+	}
+
+	sv := serve.NewRanked(serve.Ranked{
+		N: n, Rank: ix.Rank(), Bound: ix.TruncationBound, Query: rankQuery(ix),
+	}, serve.Config{MaxBatch: 8, Linger: 100 * time.Microsecond, Workers: 4, MaxPending: 256})
+	defer sv.Close()
+	man := New(sv, loader, Meta{Source: "boot"})
+
+	stop := make(chan struct{})
+	var hwg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		hwg.Add(1)
+		go func(w int) {
+			defer hwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := (w*41 + i*13) % n
+				tgt := (q + 7) % n
+				res, err := sv.Score(context.Background(), []int{q}, []int{tgt})
+				if err != nil {
+					t.Errorf("query during mapped swaps: %v", err)
+					return
+				}
+				if got, want := res.Pairs[0].Score, ref[q][tgt]; math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("mapped answer not bitwise-identical to v1 decode: (%d,%d) = %x, want %x",
+						q, tgt, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+
+	const swaps = 5
+	for i := 0; i < swaps; i++ {
+		if _, err := man.Reload(context.Background()); err != nil {
+			t.Fatalf("mapped reload %d: %v", i, err)
+		}
+	}
+	close(stop)
+	hwg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if pinned > 1 {
+		t.Fatalf("%d mapped generations still pinned after %d swaps, want at most the serving one", pinned, swaps)
+	}
+	if pinned == 0 {
+		// mmap unavailable on this platform: the swap/drain contract was
+		// still exercised through the decode path above.
+		t.Logf("mmap unavailable here; test ran against the decode fallback")
+	}
+
+	// Full-column sweep on a freshly mapped (or fallback-decoded) load:
+	// every entry of every column bitwise-equal to the v1 reference.
+	final, err := core.LoadIndex(fmt.Sprintf("%s/%s", dir, core.SnapshotName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	for q := 0; q < n; q++ {
+		col, err := final.QueryOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range col {
+			if math.Float64bits(col[i]) != math.Float64bits(ref[q][i]) {
+				t.Fatalf("column %d entry %d: mapped %x, v1 %x", q, i, col[i], ref[q][i])
+			}
+		}
+	}
+}

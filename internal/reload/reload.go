@@ -75,6 +75,18 @@ type Candidate struct {
 	Bound func(rank int) float64
 	// Meta describes the candidate for /admin/index and logs.
 	Meta Meta
+	// Release, when set, frees resources the generation pins for its
+	// whole serving lifetime — typically the munmap of a memory-mapped
+	// v2 snapshot (core.MapIndex), whose factor slices alias the mapping
+	// and must stay valid for every in-flight query. The Manager calls
+	// it exactly once: immediately if the candidate fails validation or
+	// the swap is refused, otherwise only after a LATER generation's
+	// swap has returned — serve's swap blocks on the old batcher
+	// draining, so by then no query can still touch the old factors.
+	// Release must be idempotent-safe in its own right only against the
+	// Manager calling it once; core.(*Index).Close already tolerates
+	// double closes for defence in depth.
+	Release func()
 }
 
 // Meta is the provenance of one engine generation.
@@ -209,6 +221,11 @@ type Manager struct {
 	mu      sync.Mutex // held for the whole load→validate→swap sequence
 	pending atomic.Bool
 	cur     atomic.Pointer[Status]
+	// release frees the resources pinned by the generation currently
+	// serving (Candidate.Release of the last swapped candidate, or the
+	// boot generation's via SetBootRelease). Guarded by mu: it is only
+	// read and replaced inside the serialised lifecycle.
+	release func()
 
 	bmu       sync.Mutex // guards the breaker state below
 	fails     int        // consecutive failed runs
@@ -235,6 +252,18 @@ func NewWithPolicy(server *serve.Server, load LoadFunc, boot Meta, policy Policy
 
 // Current returns the status of the generation serving new requests.
 func (m *Manager) Current() Status { return *m.cur.Load() }
+
+// SetBootRelease registers the release hook of the boot generation —
+// the engine the server was constructed with, which never went through
+// a Candidate. The Manager calls it after the first successful reload
+// has swapped the boot engine out and drained it, exactly like a
+// candidate's Release. Call it once, before the first Reload; later
+// calls would leak whatever the previous hook pinned.
+func (m *Manager) SetBootRelease(release func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.release = release
+}
 
 // Breaker returns the circuit breaker's current state.
 func (m *Manager) Breaker() Breaker {
@@ -352,6 +381,12 @@ func (m *Manager) runOnce(ctx context.Context) (Status, error) {
 		return m.Current(), fmt.Errorf("reload: loading candidate: %w", err)
 	}
 	if err := Validate(cand); err != nil {
+		// The candidate never took traffic, so its resources (a v2
+		// mapping it pinned) can be freed right now. Validate rejects a
+		// nil candidate, hence the extra nil check.
+		if cand != nil && cand.Release != nil {
+			cand.Release()
+		}
 		return m.Current(), err
 	}
 	var gen uint64
@@ -361,8 +396,20 @@ func (m *Manager) runOnce(ctx context.Context) (Status, error) {
 		gen = m.server.SwapMat(cand.N, cand.Query)
 	}
 	if gen == 0 {
+		if cand.Release != nil {
+			cand.Release()
+		}
 		return m.Current(), fmt.Errorf("reload: %w", serve.ErrClosed)
 	}
+	// The swap has returned, which means the previous generation's
+	// batcher is drained: no in-flight query references its factors any
+	// more, so this is the first moment its pinned resources (mmap) may
+	// be released. m.mu is held for the whole lifecycle, serialising
+	// access to m.release.
+	if m.release != nil {
+		m.release()
+	}
+	m.release = cand.Release
 	st := Status{
 		Generation:   gen,
 		Meta:         cand.Meta,
