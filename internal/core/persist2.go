@@ -607,7 +607,9 @@ func mapFile(path string) ([]byte, *mapping, error) {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, nil, err
+		// Environmental, not corruption — degrade to the buffered decode
+		// like every other unmappable condition in this function.
+		return nil, nil, fmt.Errorf("%w (stat: %v)", errMapUnsupported, err)
 	}
 	if fi.Size() <= 0 || uint64(fi.Size()) > maxPlatformElems {
 		return nil, nil, fmt.Errorf("%w (size %d)", errMapUnsupported, fi.Size())

@@ -84,13 +84,18 @@ func (ix *Index) Shard(lo, hi int) (*IndexShard, error) {
 	if ix.zt != nil {
 		sh.zt = ix.zt.SliceRowsView(lo, hi)
 		sh.ut = ix.ut.SliceRowsView(lo, hi)
-		if ix.mapped != nil {
-			// Detach from the mapping (see below).
-			sh.zt = sh.zt.Copy()
-			sh.ut = sh.ut.Copy()
-		}
 		sh.zqerr = ix.zqerr
 		sh.uqerr = ix.uqerr
+		if ix.mapped != nil {
+			// Detach from the mapping (see below) — including the
+			// rank-length error vectors, which otherwise keep aliasing
+			// the mmap'd qerr sections and break the contract that Close
+			// of the source index is safe the moment Shard returns.
+			sh.zt = sh.zt.Copy()
+			sh.ut = sh.ut.Copy()
+			sh.zqerr = append([]float64(nil), ix.zqerr...)
+			sh.uqerr = append([]float64(nil), ix.uqerr...)
+		}
 		return sh, nil
 	}
 	viewRows := func(m *dense.Mat) *dense.Mat {

@@ -33,8 +33,9 @@ type Router struct {
 }
 
 type boundEntry struct {
-	gens []uint64
-	tail []float64
+	gens  []uint64
+	tail  []float64
+	quant float64
 }
 
 // NewRouter assembles a router over shards, which must be ordered by node
@@ -313,33 +314,50 @@ func (r *Router) TopKRank(ctx context.Context, queries []int, k, rank int) ([]to
 // TruncationBound bounds the entrywise error of a rank-truncated answer,
 // bitwise-equal to core.Index.TruncationBound on the unsharded index: a
 // column maximum over all rows is the maximum of the per-shard column
-// maxima, and the tail recurrence (core.TailBound) is shared code. The
-// result is cached against the shard generation vector, so it is
-// recomputed only after a swap.
+// maxima, and both the tail recurrence (core.TailBound) and the
+// quantisation term (core.QuantBound) are shared code. Quantized shards
+// carry the quant term at every rank — including full rank — exactly
+// like the monolithic bound, so the report stays rigorous against the
+// exact full-rank answer. The result is cached against the shard
+// generation vector, so it is recomputed only after a swap.
 func (r *Router) TruncationBound(rank int) float64 {
-	if rank <= 0 || rank >= r.rank {
-		return 0
-	}
 	gens := r.Generations()
-	if e := r.bound.Load(); e != nil && gensEqual(e.gens, gens) {
-		return e.tail[rank]
-	}
-	zmax := make([]float64, r.rank)
-	umax := make([]float64, r.rank)
-	for _, sh := range r.snapshot() {
-		zm, um := sh.ColMaxes()
-		for j := 0; j < r.rank; j++ {
-			if zm[j] > zmax[j] {
-				zmax[j] = zm[j]
+	e := r.bound.Load()
+	if e == nil || !gensEqual(e.gens, gens) {
+		zmax := make([]float64, r.rank)
+		umax := make([]float64, r.rank)
+		var zerr, uerr []float64
+		for _, sh := range r.snapshot() {
+			zm, um := sh.ColMaxes()
+			for j := 0; j < r.rank; j++ {
+				if zm[j] > zmax[j] {
+					zmax[j] = zm[j]
+				}
+				if um[j] > umax[j] {
+					umax[j] = um[j]
+				}
 			}
-			if um[j] > umax[j] {
-				umax[j] = um[j]
+			// The dequantisation errors are global per-column vectors,
+			// identical across shards cut from one index; any shard's
+			// copy recomposes the monolithic quant term. Mid-roll, with
+			// exact and quantized generations mixed, including the term
+			// over-states the error for exact rows — conservative, never
+			// under-stated.
+			if ze, ue := sh.QuantErrs(); ze != nil || ue != nil {
+				zerr, uerr = ze, ue
 			}
 		}
+		e = &boundEntry{
+			gens:  gens,
+			tail:  core.TailBound(r.c, zmax, umax),
+			quant: core.QuantBound(r.c, zmax, umax, zerr, uerr),
+		}
+		r.bound.Store(e)
 	}
-	tail := core.TailBound(r.c, zmax, umax)
-	r.bound.Store(&boundEntry{gens: gens, tail: tail})
-	return tail[rank]
+	if rank <= 0 || rank >= r.rank {
+		return e.quant
+	}
+	return e.tail[rank] + e.quant
 }
 
 func gensEqual(a, b []uint64) bool {

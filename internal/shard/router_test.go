@@ -400,3 +400,58 @@ func TestConcurrentQueriesDuringSwaps(t *testing.T) {
 	close(stop)
 	roller.Wait()
 }
+
+// TestRouterQuantizedBound pins the quantized-tier error bound through
+// the router: at every shard count and every rank — including full rank,
+// where truncation contributes nothing — the router's TruncationBound
+// equals the monolithic quantized index's, which carries the
+// quantisation term everywhere. A swap must invalidate the cached bound.
+func TestRouterQuantizedBound(t *testing.T) {
+	_, ix := testEngineIndex(t, 1)
+	q, err := ix.Quantize(core.TierI8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.QuantizationBound() <= 0 {
+		t.Fatal("quantized index reports a zero quantisation bound")
+	}
+	for _, k := range shardCounts(t) {
+		rt, err := shard.NewRouterFromIndex(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank <= testRank; rank++ {
+			if got, want := rt.TruncationBound(rank), q.TruncationBound(rank); got != want {
+				t.Fatalf("K=%d quantized TruncationBound(%d) = %v, want %v", k, rank, got, want)
+			}
+		}
+	}
+
+	// Rolling the quantized shards out for exact ones drops the quant
+	// term: the cached bound must follow the generation vector.
+	rt, err := shard.NewRouterFromIndex(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rt.TruncationBound(0), q.QuantizationBound(); got != want {
+		t.Fatalf("full-rank bound %v, want %v", got, want)
+	}
+	for s := 0; s < rt.K(); s++ {
+		lo, hi := rt.Plan().Range(s)
+		sh, err := ix.Shard(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.SwapShard(s, sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.TruncationBound(0); got != 0 {
+		t.Fatalf("exact-tier full-rank bound %v, want 0 after roll", got)
+	}
+	for rank := 1; rank < testRank; rank++ {
+		if got, want := rt.TruncationBound(rank), ix.TruncationBound(rank); got != want {
+			t.Fatalf("post-roll TruncationBound(%d) = %v, want %v", rank, got, want)
+		}
+	}
+}
