@@ -77,6 +77,7 @@ import (
 	"csrplus/internal/reload"
 	"csrplus/internal/serve"
 	"csrplus/internal/shard"
+	"csrplus/internal/wire"
 )
 
 func main() {
@@ -93,6 +94,15 @@ func main() {
 	quantize := flag.String("quantize", "", "factor tier for -saveindex and snapshot publishes: f32 or int8 (default exact f64); the serving engine stays exact")
 	snapDir := flag.String("snapshots", "", "versioned snapshot directory (index-<gen>.csrx + CURRENT); boot from CURRENT when present, publish the boot index otherwise")
 	shards := flag.Int("shards", 1, "partition the index into this many node-range shards behind a scatter-gather router (CSR+ only; 1 = monolithic)")
+	shardWorker := flag.Int("shardworker", -1, "serve ONE shard over the wire protocol: boot from <snapshots>/shard-<s> and answer /shard/* requests (requires -snapshots; graph flags are ignored)")
+	shardAddrs := flag.String("shardaddrs", "", "comma-separated shard worker addresses; serve as the shard router over these remote workers (graph flags are ignored)")
+	wireTimeout := flag.Duration("wiretimeout", 5*time.Second, "per-attempt deadline for shard worker requests")
+	wireRetries := flag.Int("wireretries", 3, "attempts per shard worker request (1 = no retry)")
+	wireBackoff := flag.Duration("wirebackoff", 25*time.Millisecond, "base backoff between shard request retries (exponential, jittered)")
+	wireHedge := flag.Float64("wirehedge", 0.9, "observed-latency quantile past which a shard request is hedged (negative disables)")
+	wireHedgeMin := flag.Duration("wirehedgemin", time.Millisecond, "floor on the hedge delay")
+	wireBreakerFails := flag.Int("wirebreakerfails", 5, "consecutive failed shard calls that open that shard's circuit breaker (0 disables)")
+	wireBreakerCooldown := flag.Duration("wirebreakercooldown", 5*time.Second, "how long an open shard breaker fails fast before probing")
 	adminToken := flag.String("admintoken", "", "bearer token authorising POST /admin/reload (empty disables it)")
 	cacheSize := flag.Int("cache", 1024, "top-k result cache entries (0 disables)")
 	maxBatch := flag.Int("maxbatch", 32, "max query nodes coalesced per engine call")
@@ -109,6 +119,59 @@ func main() {
 	breakerFails := flag.Int("breakerfails", 5, "consecutive failed reloads that open the circuit breaker (0 disables)")
 	breakerCooldown := flag.Duration("breakercooldown", 10*time.Second, "how long an open breaker rejects reload triggers")
 	flag.Parse()
+
+	// The wire modes serve without a local graph: a worker's identity is
+	// its snapshot, a router's is its workers.
+	if *shardWorker >= 0 && *shardAddrs != "" {
+		log.Fatalln("csrserver: -shardworker and -shardaddrs are different processes; pick one")
+	}
+	if *shardWorker >= 0 {
+		runShardWorker(*shardWorker, *snapDir, *addr, *adminToken)
+		return
+	}
+	if *shardAddrs != "" {
+		var lru *cache.LRU
+		if *cacheSize > 0 {
+			lru = cache.New(*cacheSize)
+		}
+		runWireRouter(wireRouterConfig{
+			addrs:      strings.Split(*shardAddrs, ","),
+			addr:       *addr,
+			adminToken: *adminToken,
+			lru:        lru,
+			serveCfg: serve.Config{
+				MaxBatch:   *maxBatch,
+				Linger:     *linger,
+				Workers:    *workers,
+				MaxPending: *maxPending,
+				MaxK:       *maxK,
+				Timeout:    *timeout,
+				Cache:      lru,
+				Degrade: serve.DegradeConfig{
+					Rank:          *degradeRank,
+					QueueFraction: *degradeQueue,
+					MinBudget:     *degradeBudget,
+				},
+			},
+			policy: reload.Policy{
+				MaxAttempts:      *reloadRetries,
+				BaseBackoff:      *reloadBackoff,
+				BreakerThreshold: *breakerFails,
+				BreakerCooldown:  *breakerCooldown,
+			},
+			opt: wire.Options{
+				Timeout:          *wireTimeout,
+				MaxAttempts:      *wireRetries,
+				BaseBackoff:      *wireBackoff,
+				HedgeQuantile:    *wireHedge,
+				HedgeMinDelay:    *wireHedgeMin,
+				BreakerThreshold: *wireBreakerFails,
+				BreakerCooldown:  *wireBreakerCooldown,
+				AdminToken:       *adminToken,
+			},
+		})
+		return
+	}
 
 	g, err := loadGraph(*dataset, *scale, *graphPath, *n)
 	if err != nil {
@@ -216,25 +279,7 @@ func main() {
 		Handler:           newMux(man, sv, lru, *adminToken, src.router),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	go func() {
-		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalln("csrserver:", err)
-		}
-	}()
-	log.Printf("listening on %s (maxbatch=%d linger=%v)", *addr, *maxBatch, *linger)
-
-	// SIGTERM is what container orchestrators send; SIGINT covers ^C.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	<-ctx.Done()
-	log.Println("csrserver: shutting down, draining in-flight batches ...")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Println("csrserver: shutdown:", err)
-	}
-	sv.Close() // stop admitting, flush pending batches, wait for workers
-	log.Println("csrserver: drained")
+	serveAndWait(srv, sv, fmt.Sprintf("server (maxbatch=%d linger=%v)", *maxBatch, *linger))
 }
 
 // source describes where index generations come from. build runs once at

@@ -1,0 +1,220 @@
+// The wire split: csrserver runs either as a shard worker (-shardworker,
+// one process serving one node-range shard over HTTP) or as a shard
+// router (-shardaddrs, the public frontend fanning every query out to the
+// workers and merging their partial top-k lists exactly). The two modes
+// compose into a multi-process cluster whose answers are bitwise-
+// identical to a monolithic csrserver — see internal/wire and DESIGN.md
+// §14.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"csrplus"
+
+	"csrplus/internal/cache"
+	"csrplus/internal/core"
+	"csrplus/internal/reload"
+	"csrplus/internal/serve"
+	"csrplus/internal/shard"
+	"csrplus/internal/topk"
+	"csrplus/internal/wire"
+)
+
+// runShardWorker is the -shardworker mode: boot one shard from its own
+// snapshot directory (<snapshots>/shard-<s>) and serve the wire protocol
+// until SIGINT/SIGTERM. SIGHUP reloads the newest snapshot in place, the
+// same trigger the monolithic server honours. No graph flags are needed —
+// the snapshot carries the shard's whole identity.
+func runShardWorker(shardIdx int, snapDir, addr, adminToken string) {
+	if snapDir == "" {
+		log.Fatalln("csrserver: -shardworker requires -snapshots (the worker boots from <snapshots>/shard-<s>)")
+	}
+	w, err := wire.BootWorker(wire.WorkerConfig{
+		Shard:       shardIdx,
+		SnapshotDir: core.ShardDir(snapDir, shardIdx),
+		AdminToken:  adminToken,
+	})
+	if err != nil {
+		log.Fatalln("csrserver:", err)
+	}
+	slot := w.Slot()
+	log.Printf("shard worker %d: serving nodes [%d, %d) of n=%d r=%d on %s",
+		shardIdx, slot.Lo(), slot.Hi(), slot.N(), slot.Rank(), addr)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Printf("shard worker %d: SIGHUP, reloading snapshot ...", shardIdx)
+			if _, err := w.Reload(); err != nil {
+				log.Printf("shard worker %d: reload failed: %v", shardIdx, err)
+			}
+		}
+	}()
+	srv := &http.Server{Addr: addr, Handler: w.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveAndWait(srv, nil, fmt.Sprintf("shard worker %d", shardIdx))
+}
+
+// wireRouterConfig is everything the -shardaddrs mode needs, assembled
+// from flags in main.
+type wireRouterConfig struct {
+	addrs      []string
+	addr       string
+	adminToken string
+	lru        *cache.LRU
+	serveCfg   serve.Config
+	policy     reload.Policy
+	opt        wire.Options
+}
+
+// runWireRouter is the -shardaddrs mode: dial every worker, assemble the
+// scatter-gather router over the remote slots, and serve the standard
+// csrserver HTTP surface. A reload trigger (SIGHUP, POST /admin/reload)
+// rolls the REMOTE workers one at a time via their /admin/reload — the
+// reload.RollShards discipline moved across the process boundary.
+func runWireRouter(cfg wireRouterConfig) {
+	start := time.Now()
+	dialCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	engines := make([]*wire.RemoteEngine, len(cfg.addrs))
+	slots := make([]shard.Slot, len(cfg.addrs))
+	for i, a := range cfg.addrs {
+		opt := cfg.opt
+		opt.Shard = i
+		e, err := wire.Dial(dialCtx, normalizeAddr(a), opt)
+		if err != nil {
+			log.Fatalln("csrserver:", err)
+		}
+		engines[i], slots[i] = e, e
+		log.Printf("shard %d: %s serving nodes [%d, %d) generation %d", i, e.Addr(), e.Lo(), e.Hi(), e.Generation())
+	}
+	rt, err := shard.NewRouterSlots(slots)
+	if err != nil {
+		log.Fatalln("csrserver:", err)
+	}
+	// The bound cache must be primed while every worker is reachable:
+	// degraded serving later needs the missing-shard bound, and a dead
+	// worker is exactly when it cannot be fetched fresh.
+	if err := rt.PrimeBound(); err != nil {
+		log.Fatalln("csrserver: priming error bounds:", err)
+	}
+	addrList := strings.Join(cfg.addrs, ",")
+	boot := wireCandidate(rt, addrList, time.Since(start))
+	log.Printf("ready in %v (wire router over %d shards, n=%d r=%d)", boot.Meta.BuildTime, rt.K(), rt.N(), rt.Rank())
+
+	sv := serve.NewRanked(serve.Ranked{
+		N:      boot.N,
+		Rank:   boot.Rank,
+		Bound:  boot.Bound,
+		TopK:   boot.TopK,
+		Scores: boot.Scores,
+	}, cfg.serveCfg)
+	sv.Metrics().SetShards(rt.K())
+	sv.Metrics().RegisterExtra("wire_shards", func() any {
+		stats := make([]wire.SlotStats, len(engines))
+		for i, e := range engines {
+			stats[i] = e.Stats()
+		}
+		return stats
+	})
+	lru := cfg.lru
+	load := func(ctx context.Context) (*reload.Candidate, error) {
+		rollStart := time.Now()
+		swapped, err := wire.RollWorkers(ctx, engines)
+		if err != nil {
+			// Mirror invalidateAfterPartialRoll: some workers now answer
+			// from new factors but the serve generation never bumped, so
+			// pre-roll cache entries must not outlive the partial roll.
+			if swapped > 0 && lru != nil {
+				lru.Clear()
+				log.Printf("csrserver: rolling remote reload failed after %d worker swap(s); result cache cleared", swapped)
+			}
+			return nil, err
+		}
+		return wireCandidate(rt, addrList, time.Since(rollStart)), nil
+	}
+	man := reload.NewWithPolicy(sv, load, boot.Meta, cfg.policy)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go reloadOnHUP(hup, man)
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           newMux(man, sv, lru, cfg.adminToken, rt),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveAndWait(srv, sv, "wire router")
+}
+
+// wireCandidate wraps the wire router as a reload candidate: Search and
+// Score bypass the column batcher through the router's direct top-k and
+// targeted-score paths (no n x |Q| matrix ever crosses the wire), and
+// reload validation smoke-queries the actual cluster. The closures are
+// rebuilt per roll so each swap installs a fresh serve generation —
+// which is what invalidates every cached pre-roll result.
+func wireCandidate(rt *shard.Router, addrList string, build time.Duration) *reload.Candidate {
+	return &reload.Candidate{
+		N:     rt.N(),
+		Rank:  rt.Rank(),
+		Bound: rt.TruncationBound,
+		TopK: func(ctx context.Context, queries []int, k, rank int) ([]topk.Item, serve.TopKProvenance, error) {
+			res, err := rt.TopKTagged(ctx, queries, k, rank)
+			if err != nil {
+				return nil, serve.TopKProvenance{}, err
+			}
+			return res.Items, serve.TopKProvenance{MissingShards: res.Missing, ErrorBound: res.ErrorBound}, nil
+		},
+		Scores: rt.Scores,
+		Meta: reload.Meta{
+			Source:    "wire",
+			Path:      addrList,
+			Algorithm: csrplus.AlgoCSRPlus,
+			N:         rt.N(),
+			Rank:      rt.Rank(),
+			Shards:    rt.K(),
+			BuildTime: build,
+		},
+	}
+}
+
+// normalizeAddr accepts bare host:port worker addresses alongside full
+// URLs.
+func normalizeAddr(a string) string {
+	if strings.Contains(a, "://") {
+		return a
+	}
+	return "http://" + a
+}
+
+// serveAndWait runs srv until SIGINT/SIGTERM, then drains it gracefully.
+// sv, when non-nil, is closed after HTTP shutdown so pending batches
+// flush before the process exits. name labels the log lines.
+func serveAndWait(srv *http.Server, sv *serve.Server, name string) {
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalln("csrserver:", err)
+		}
+	}()
+	log.Printf("csrserver: %s listening on %s", name, srv.Addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("csrserver: %s shutting down ...", name)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Println("csrserver: shutdown:", err)
+	}
+	if sv != nil {
+		sv.Close()
+	}
+	log.Printf("csrserver: %s drained", name)
+}

@@ -1,0 +1,17 @@
+// Package cluster holds the multi-process wire-split harness: tests that
+// build real csrserver binaries into a 4-worker + 1-router localhost
+// cluster from per-shard snapshots and hold the cluster's HTTP answers
+// bitwise-identical to a monolithic csrserver over the same graph —
+// including staying up (degraded and tagged) after a worker is killed
+// mid-run.
+//
+// The tests are behind the "cluster" build tag and skip unless
+// CSRSERVER_BIN names a built csrserver binary, because they exec real
+// processes and bind real ports:
+//
+//	go build -o /tmp/csrserver ./cmd/csrserver
+//	CSRSERVER_BIN=/tmp/csrserver go test -tags cluster -race -count=1 ./internal/cluster/
+//
+// Set CLUSTER_LOG_DIR to keep per-process logs (CI uploads them as
+// artifacts when the job fails).
+package cluster

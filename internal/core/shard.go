@@ -231,6 +231,66 @@ func (sh *IndexShard) PartialInto(ctx context.Context, queries []int, uq *dense.
 	return nil
 }
 
+// ScoreRows computes the scores of chosen owned rows against every query
+// column — the targeted-pair primitive behind /similarity in the wire
+// deployment, where materialising even one shard's full band for a
+// handful of (query, target) pairs would waste the worker's memory
+// bandwidth. out[i*|Q|+j] scores global row rows[i] against queries[j]:
+// s = 1{rows[i]==queries[j]} + c · Σ_{k<rank} Z[rows[i]][k]·uq[j][k].
+//
+// Each element is bitwise-equal to the same element of PartialInto's
+// band: the GEMM kernels accumulate every output element independently in
+// ascending column order (see dense.MulTRankInto), which is exactly the
+// plain dot product below, and the per-element operation order (dot, ×c,
+// +1) is shared. Quantized tiers dequantise the Z row elementwise first,
+// matching MulTRankTypedInto's row bands.
+func (sh *IndexShard) ScoreRows(ctx context.Context, queries []int, uq *dense.Mat, rows []int, rank int) ([]float64, error) {
+	cols := len(queries)
+	if cols == 0 {
+		return nil, fmt.Errorf("core: empty query set: %w", ErrParams)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: empty row set: %w", ErrParams)
+	}
+	if !uq.IsShape(cols, sh.rank) {
+		return nil, fmt.Errorf("core: uq is %dx%d, want %dx%d: %w", uq.Rows, uq.Cols, cols, sh.rank, ErrParams)
+	}
+	if rank <= 0 || rank > sh.rank {
+		rank = sh.rank
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows)*cols)
+	var zrow []float64
+	if sh.zt != nil {
+		zrow = make([]float64, sh.rank)
+	}
+	for i, t := range rows {
+		if !sh.Owns(t) {
+			return nil, fmt.Errorf("core: row %d outside shard [%d, %d): %w", t, sh.lo, sh.hi, ErrQuery)
+		}
+		if sh.zt != nil {
+			sh.zt.RowInto(t-sh.lo, zrow)
+		} else {
+			zrow = sh.z.Row(t - sh.lo)
+		}
+		for j, q := range queries {
+			urow := uq.Row(j)
+			s := 0.0
+			for k := 0; k < rank; k++ {
+				s += zrow[k] * urow[k]
+			}
+			s *= sh.c
+			if t == q {
+				s++
+			}
+			out[i*cols+j] = s
+		}
+	}
+	return out, nil
+}
+
 // ColMaxes returns the per-column maxima max|Z_{[lo:hi),j}| and
 // max|U_{[lo:hi),j}| over the shard's rows. Because a max over the full
 // column is the max of the per-shard maxima, a router combines these and

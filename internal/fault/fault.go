@@ -64,6 +64,14 @@ const (
 	// coalesced engine pass: engine-level latency spikes and failures
 	// that every co-batched request observes at once.
 	SiteBatchQuery = "serve/batch.query"
+	// SiteWireDial fires in the wire client immediately before each HTTP
+	// request to a shard worker — the place a connect timeout, refused
+	// connection, or DNS failure would surface.
+	SiteWireDial = "wire/dial"
+	// SiteWireRead guards the wire client's response-body reads, so chaos
+	// can model a worker dying mid-response (truncated or erroring body
+	// after a healthy status line).
+	SiteWireRead = "wire/read"
 	// SiteScratchAlloc gates the scratch-matrix acquisition on the query
 	// path: a forced allocation failure models memory pressure at the
 	// worst moment (ErrAllocFailed surfaces as the engine error).

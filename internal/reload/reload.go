@@ -73,6 +73,13 @@ type Candidate struct {
 	// Bound reports the entrywise error of answering truncated
 	// (csrplus.(*Engine).TruncationBound); only meaningful with RankQuery.
 	Bound func(rank int) float64
+	// TopK, when set, serves Search directly instead of through the
+	// column batcher (shard.Router.TopKTagged over wire slots satisfies
+	// it). A candidate may set TopK with no Query/RankQuery at all —
+	// wire routers have no column path. Scores is its targeted-score
+	// companion (shard.Router.Scores).
+	TopK   serve.DirectTopKFunc
+	Scores serve.DirectScoreFunc
 	// Meta describes the candidate for /admin/index and logs.
 	Meta Meta
 	// Release, when set, frees resources the generation pins for its
@@ -390,8 +397,11 @@ func (m *Manager) runOnce(ctx context.Context) (Status, error) {
 		return m.Current(), err
 	}
 	var gen uint64
-	if cand.RankQuery != nil {
-		gen = m.server.SwapRanked(serve.Ranked{N: cand.N, Rank: cand.Rank, Bound: cand.Bound, Query: cand.RankQuery})
+	if cand.RankQuery != nil || cand.TopK != nil {
+		gen = m.server.SwapRanked(serve.Ranked{
+			N: cand.N, Rank: cand.Rank, Bound: cand.Bound,
+			Query: cand.RankQuery, TopK: cand.TopK, Scores: cand.Scores,
+		})
 	} else {
 		gen = m.server.SwapMat(cand.N, cand.Query)
 	}
@@ -454,13 +464,16 @@ func smokeQuery(c *Candidate, probes []int) (*dense.Mat, error) {
 // This is the gate that turns "the file parsed" into "the engine
 // answers"; CRC and header checks live below it in core.ReadIndex.
 func Validate(c *Candidate) error {
-	if c == nil || (c.Query == nil && c.RankQuery == nil) {
+	if c == nil || (c.Query == nil && c.RankQuery == nil && c.TopK == nil) {
 		return fmt.Errorf("%w: no query engine", ErrValidation)
 	}
 	if c.N <= 0 {
 		return fmt.Errorf("%w: implausible node count %d", ErrValidation, c.N)
 	}
 	probes := probeNodes(c.N)
+	if c.Query == nil && c.RankQuery == nil {
+		return validateDirect(c, probes)
+	}
 	mat, err := smokeQuery(c, probes)
 	if err != nil {
 		return fmt.Errorf("%w: smoke query: %v", ErrValidation, err)
@@ -480,6 +493,55 @@ func Validate(c *Candidate) error {
 		}
 		if self := mat.At(q, j); self <= 0 {
 			return fmt.Errorf("%w: self-similarity of node %d is %v, want > 0", ErrValidation, q, self)
+		}
+	}
+	return nil
+}
+
+// validateDirect smoke-tests a candidate that only serves through direct
+// funcs (no column path to shape-check an n x |Q| matrix against). Each
+// probe node gets a real single-source top-k — exercising the gather,
+// fan-out and merge a wire router runs per request — and, when targeted
+// scores are offered, a probes x probes score matrix whose diagonal must
+// be positive (self-similarity is 1 plus a damped correction, so zero or
+// negative means the cluster's shards disagree about the graph).
+func validateDirect(c *Candidate, probes []int) error {
+	ctx := context.Background()
+	for _, q := range probes {
+		items, prov, err := c.TopK(ctx, []int{q}, 3, 0)
+		if err != nil {
+			return fmt.Errorf("%w: direct top-k probe of node %d: %v", ErrValidation, q, err)
+		}
+		if prov.MissingShards > 0 {
+			return fmt.Errorf("%w: direct top-k probe of node %d answered with %d shards missing", ErrValidation, q, prov.MissingShards)
+		}
+		for _, it := range items {
+			if math.IsNaN(it.Score) || math.IsInf(it.Score, 0) {
+				return fmt.Errorf("%w: non-finite score %v for pair (%d, %d)", ErrValidation, it.Score, it.Node, q)
+			}
+			if it.Node == q {
+				return fmt.Errorf("%w: top-k of node %d contains the query node", ErrValidation, q)
+			}
+		}
+	}
+	if c.Scores == nil {
+		return nil
+	}
+	mat, err := c.Scores(ctx, probes, probes, 0)
+	if err != nil {
+		return fmt.Errorf("%w: direct score probe: %v", ErrValidation, err)
+	}
+	if mat == nil || !mat.IsShape(len(probes), len(probes)) {
+		return fmt.Errorf("%w: direct score probe shape, want %dx%d", ErrValidation, len(probes), len(probes))
+	}
+	for i := range probes {
+		for j := range probes {
+			if v := mat.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: non-finite score %v for pair (%d, %d)", ErrValidation, v, probes[i], probes[j])
+			}
+		}
+		if self := mat.At(i, i); self <= 0 {
+			return fmt.Errorf("%w: self-similarity of node %d is %v, want > 0", ErrValidation, probes[i], self)
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -43,6 +44,9 @@ type Metrics struct {
 	Latency        *Histogram
 	BatchOccupancy *Histogram
 	ReloadDuration *Histogram
+
+	extraMu sync.Mutex
+	extra   map[string]func() any
 }
 
 // NewMetrics returns a registry with the default bucket layouts.
@@ -103,6 +107,20 @@ func (m *Metrics) ReloadFailures() int64 { return m.reloadFailures.Load() }
 func (m *Metrics) ReloadRetried()       { m.reloadRetries.Add(1) }
 func (m *Metrics) ReloadRetries() int64 { return m.reloadRetries.Load() }
 
+// RegisterExtra merges a named producer into every Snapshot: fn runs at
+// snapshot time and its value lands under name. The wire router registers
+// its per-shard client stats this way, so /metrics describes the whole
+// serving path without the registry knowing the stats' shape. A later
+// registration under the same name replaces the earlier one.
+func (m *Metrics) RegisterExtra(name string, fn func() any) {
+	m.extraMu.Lock()
+	defer m.extraMu.Unlock()
+	if m.extra == nil {
+		m.extra = make(map[string]func() any)
+	}
+	m.extra[name] = fn
+}
+
 // Snapshot renders every counter and histogram as a JSON-encodable map,
 // the payload of the /metrics endpoint.
 func (m *Metrics) Snapshot() map[string]interface{} {
@@ -117,7 +135,7 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
 	}
-	return map[string]interface{}{
+	out := map[string]interface{}{
 		"requests_admitted":    m.admitted.Load(),
 		"requests_shed":        m.shed.Load(),
 		"requests_rejected":    m.rejected.Load(),
@@ -142,6 +160,12 @@ func (m *Metrics) Snapshot() map[string]interface{} {
 		"latency_seconds":      m.Latency.Snapshot(),
 		"batch_occupancy":      m.BatchOccupancy.Snapshot(),
 	}
+	m.extraMu.Lock()
+	for name, fn := range m.extra {
+		out[name] = fn()
+	}
+	m.extraMu.Unlock()
+	return out
 }
 
 // Histogram is a fixed-bucket cumulative histogram with atomic counters.

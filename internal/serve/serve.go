@@ -160,8 +160,12 @@ type QueryInfo struct {
 	// backend has no rank structure.
 	FullRank int `json:"full_rank,omitempty"`
 	// ErrorBound is the engine's advertised entrywise bound on
-	// |degraded - exact| for this rank; 0 for exact answers.
+	// |degraded - exact| for this rank; 0 for exact answers. When shards
+	// are missing it additionally absorbs the missing-shard inflation.
 	ErrorBound float64 `json:"error_bound,omitempty"`
+	// MissingShards counts shards that could not contribute to this
+	// answer (wire backends only); > 0 implies Degraded.
+	MissingShards int `json:"missing_shards,omitempty"`
 }
 
 // SearchResult is TopK's full-fidelity result shape.
@@ -183,11 +187,14 @@ type PairsResult struct {
 // entries. Immutable once installed — a reload builds a fresh backend and
 // swaps the pointer.
 type backend struct {
-	gen     uint64
-	n       int
-	rank    int               // engine's full rank; 0 = no rank structure
-	bound   func(int) float64 // entrywise truncation bound; never nil
-	batcher *Batcher
+	gen          uint64
+	n            int
+	rank         int               // engine's full rank; 0 = no rank structure
+	degradedRank int               // rank served under pressure; 0 = degradation off
+	bound        func(int) float64 // entrywise truncation bound; never nil
+	batcher      *Batcher
+	topkFn       DirectTopKFunc  // non-nil routes Search around the batcher
+	scoresFn     DirectScoreFunc // non-nil routes Score around the batcher
 }
 
 // Server answers top-k and similarity requests over one engine, batching
@@ -240,6 +247,34 @@ type MatQueryFunc func(queries []int, scratch *dense.Mat) (*dense.Mat, error)
 // csrplus.(*Engine).QueryRankInto satisfies it.
 type RankQueryFunc func(ctx context.Context, queries []int, rank int, scratch *dense.Mat) (*dense.Mat, error)
 
+// TopKProvenance reports how a direct top-k answer was assembled: how
+// many shards could not contribute and the bound inflation their absence
+// adds to every reported score.
+type TopKProvenance struct {
+	// MissingShards counts shards skipped over (dead workers behind open
+	// breakers, exhausted retries). 0 means every shard contributed and
+	// the merge is exact.
+	MissingShards int
+	// ErrorBound bounds how far any reported score can sit from the
+	// exact answer given the missing shards; 0 when none are missing.
+	ErrorBound float64
+}
+
+// DirectTopKFunc answers a top-k request in one call, bypassing the
+// column batcher — the contract a scatter–gather router satisfies
+// (shard.Router.TopKTagged): shards return rank-limited partial top-k
+// lists and the router merges them exactly, so no n x |Q| matrix ever
+// materialises and the batcher's coalescing economics don't apply.
+// rank <= 0 means full rank.
+type DirectTopKFunc func(ctx context.Context, queries []int, k, rank int) ([]topk.Item, TopKProvenance, error)
+
+// DirectScoreFunc answers targeted (query, target) scores in one call,
+// returning a |queries| x |targets| matrix (shard.Router.Scores
+// satisfies it). Unlike DirectTopKFunc there is no degraded variant: a
+// targeted score from a dead shard has no meaningful substitute, so
+// missing shards fail the call.
+type DirectScoreFunc func(ctx context.Context, queries, targets []int, rank int) (*dense.Mat, error)
+
 // Ranked describes an engine generation with rank structure — the full
 // contract graceful degradation needs.
 type Ranked struct {
@@ -252,8 +287,14 @@ type Ranked struct {
 	// truncated rank (csrplus.(*Engine).TruncationBound). nil means "no
 	// bound advertised" and reports 0.
 	Bound func(rank int) float64
-	// Query answers one multi-source pass at a chosen rank.
+	// Query answers one multi-source pass at a chosen rank. May be nil
+	// when TopK is set: wire backends have no column path (the batcher
+	// then rejects column requests with ErrBadRequest).
 	Query RankQueryFunc
+	// TopK, when non-nil, serves Search/TopK directly instead of through
+	// the column batcher. Scores does the same for Score/Similarity.
+	TopK   DirectTopKFunc
+	Scores DirectScoreFunc
 }
 
 // NewMat is New for a scratch-aware engine: every engine pass borrows an
@@ -343,6 +384,13 @@ func wrapRankQuery(queryFn RankQueryFunc) batchQueryFunc {
 	}
 }
 
+// stubQuery is the batcher's engine func for backends that only serve
+// through direct funcs: wire routers never materialise n x |Q| columns,
+// so the column path is a caller error, not a missing feature.
+func stubQuery(context.Context, []int, int) ([][]float64, error) {
+	return nil, fmt.Errorf("%w: this backend serves top-k and targeted scores only (no column path)", ErrBadRequest)
+}
+
 // Swap atomically installs a new engine generation and returns its
 // number. Requests admitted after Swap returns are validated against n,
 // answered by queryFn, and cached under the new generation's key space;
@@ -353,20 +401,24 @@ func wrapRankQuery(queryFn RankQueryFunc) batchQueryFunc {
 // (they are already unreachable: cache keys embed the generation).
 // Returns 0 without swapping when the server is already closed.
 func (s *Server) Swap(n int, queryFn QueryFunc) uint64 {
-	return s.swapBackend(n, 0, nil, wrapQuery(queryFn))
+	return s.swapBackend(n, 0, nil, wrapQuery(queryFn), nil, nil)
 }
 
 // SwapMat is Swap for a scratch-aware engine (see NewMat).
 func (s *Server) SwapMat(n int, queryFn MatQueryFunc) uint64 {
-	return s.swapBackend(n, 0, nil, wrapMatQuery(queryFn))
+	return s.swapBackend(n, 0, nil, wrapMatQuery(queryFn), nil, nil)
 }
 
 // SwapRanked is Swap for an engine with rank structure (see NewRanked).
 func (s *Server) SwapRanked(e Ranked) uint64 {
-	return s.swapBackend(e.N, e.Rank, e.Bound, wrapRankQuery(e.Query))
+	var queryFn batchQueryFunc = stubQuery
+	if e.Query != nil {
+		queryFn = wrapRankQuery(e.Query)
+	}
+	return s.swapBackend(e.N, e.Rank, e.Bound, queryFn, e.TopK, e.Scores)
 }
 
-func (s *Server) swapBackend(n, rank int, bound func(int) float64, queryFn batchQueryFunc) uint64 {
+func (s *Server) swapBackend(n, rank int, bound func(int) float64, queryFn batchQueryFunc, topkFn DirectTopKFunc, scoresFn DirectScoreFunc) uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	if s.closed {
@@ -387,11 +439,14 @@ func (s *Server) swapBackend(n, rank int, bound func(int) float64, queryFn batch
 	}
 	s.gen++
 	nb := &backend{
-		gen:     s.gen,
-		n:       n,
-		rank:    rank,
-		bound:   bound,
-		batcher: newBatcher(queryFn, s.cfg.MaxBatch, s.cfg.Linger, s.cfg.MaxPending, s.cfg.Workers, s.cfg.StrictLinger, s.metrics, degradedRank, overloadDepth),
+		gen:          s.gen,
+		n:            n,
+		rank:         rank,
+		degradedRank: degradedRank,
+		bound:        bound,
+		batcher:      newBatcher(queryFn, s.cfg.MaxBatch, s.cfg.Linger, s.cfg.MaxPending, s.cfg.Workers, s.cfg.StrictLinger, s.metrics, degradedRank, overloadDepth),
+		topkFn:       topkFn,
+		scoresFn:     scoresFn,
 	}
 	old := s.be.Swap(nb)
 	s.metrics.SetGeneration(s.gen)
@@ -550,6 +605,10 @@ func (s *Server) Search(ctx context.Context, queries []int, k int) (SearchResult
 		}
 	}
 
+	if be.topkFn != nil {
+		return s.searchDirect(ctx, start, be, queries, k)
+	}
+
 	ctx, cancel := s.deadline(ctx)
 	defer cancel()
 	served, cols, rank, err := s.columns(ctx, queries, s.degradeVote(ctx))
@@ -591,6 +650,9 @@ func (s *Server) Score(ctx context.Context, queries, targets []int) (PairsResult
 			return PairsResult{}, s.reject(fmt.Errorf("%w: target %d out of range [0, %d)", ErrBadRequest, t, be.n))
 		}
 	}
+	if be.scoresFn != nil {
+		return s.scoreDirect(ctx, start, be, queries, targets)
+	}
 	ctx, cancel := s.deadline(ctx)
 	defer cancel()
 	served, cols, rank, err := s.columns(ctx, queries, s.degradeVote(ctx))
@@ -606,6 +668,90 @@ func (s *Server) Score(ctx context.Context, queries, targets []int) (PairsResult
 	}
 	s.metrics.Latency.Observe(time.Since(start).Seconds())
 	return PairsResult{Pairs: out, Info: s.info(served, rank)}, nil
+}
+
+// directRank is the admission-time degradation decision for direct-path
+// requests. The batcher's queue-depth trigger has no meaning here (there
+// is no admission queue in front of a direct call), so only the
+// per-request deadline-budget vote applies.
+func (s *Server) directRank(ctx context.Context, be *backend) int {
+	if be.degradedRank > 0 && s.degradeVote(ctx) {
+		return be.degradedRank
+	}
+	return 0
+}
+
+// admitDirect mirrors the batcher's per-engine-call accounting for a
+// direct call, so /metrics reads the same whichever path answered: one
+// admission, one engine call, |Q| nodes at occupancy |Q|.
+func (s *Server) admitDirect(queries []int, rank int) {
+	s.metrics.admitted.Add(1)
+	s.metrics.batches.Add(1)
+	s.metrics.nodes.Add(int64(len(queries)))
+	s.metrics.BatchOccupancy.Observe(float64(len(queries)))
+	if rank > 0 {
+		s.metrics.degradedBatches.Add(1)
+	}
+}
+
+// searchDirect answers Search through the backend's direct top-k func.
+// Caller has validated queries and k and probed the cache.
+func (s *Server) searchDirect(ctx context.Context, start time.Time, be *backend, queries []int, k int) (SearchResult, error) {
+	ctx, cancel := s.deadline(ctx)
+	defer cancel()
+	rank := s.directRank(ctx, be)
+	s.admitDirect(queries, rank)
+	items, prov, err := be.topkFn(ctx, queries, k, rank)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.metrics.expired.Add(1)
+		}
+		return SearchResult{}, err
+	}
+	matches := make([]Match, len(items))
+	for i, it := range items {
+		matches[i] = Match{Node: it.Node, Score: it.Score}
+	}
+	info := s.info(be, rank)
+	if prov.MissingShards > 0 {
+		if !info.Degraded {
+			s.metrics.degraded.Add(1)
+			info.Degraded = true
+		}
+		info.MissingShards = prov.MissingShards
+		info.ErrorBound += prov.ErrorBound
+	}
+	// Only full-fidelity answers are cached: a missing-shard merge is as
+	// transient as a degraded rank and must not outlive the outage.
+	if s.cfg.Cache != nil && rank <= 0 && prov.MissingShards == 0 {
+		s.cfg.Cache.Put(topKKey(be.gen, queries, k), matches)
+	}
+	s.metrics.Latency.Observe(time.Since(start).Seconds())
+	return SearchResult{Matches: matches, Info: info}, nil
+}
+
+// scoreDirect answers Score through the backend's direct scores func.
+// Caller has validated queries and targets.
+func (s *Server) scoreDirect(ctx context.Context, start time.Time, be *backend, queries, targets []int) (PairsResult, error) {
+	ctx, cancel := s.deadline(ctx)
+	defer cancel()
+	rank := s.directRank(ctx, be)
+	s.admitDirect(queries, rank)
+	m, err := be.scoresFn(ctx, queries, targets, rank)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.metrics.expired.Add(1)
+		}
+		return PairsResult{}, err
+	}
+	out := make([]Pair, 0, len(queries)*len(targets))
+	for qi, q := range queries {
+		for ti, t := range targets {
+			out = append(out, Pair{Query: q, Target: t, Score: m.At(qi, ti)})
+		}
+	}
+	s.metrics.Latency.Observe(time.Since(start).Seconds())
+	return PairsResult{Pairs: out, Info: s.info(be, rank)}, nil
 }
 
 // selectTopK mirrors csrplus.Engine.TopK / TopKMulti exactly: single

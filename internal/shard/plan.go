@@ -17,19 +17,17 @@
 // identical to a single engine over the whole graph, at any shard count
 // and any partition boundaries.
 //
-// This delivers the in-process N× memory-scaling and parallelism win; the
-// wire split (shard processes behind RPC) is future work and would slot
-// in behind the same Router surface.
+// The router consumes shards through the Slot interface (slot.go): Local
+// wraps an in-process shard behind an atomic generation pointer, and
+// internal/wire's RemoteEngine speaks the same contract to a shard
+// worker process over HTTP — the wire split slots in behind the same
+// Router surface, merge and bound machinery included.
 package shard
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
-
-	"csrplus/internal/core"
 )
 
 // ErrPlan is returned (wrapped) for invalid partition plans.
@@ -102,45 +100,4 @@ func (p Plan) Owner(q int) int {
 	// sort.Search finds the first fencepost > q; the owning shard is one
 	// before it.
 	return sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > q }) - 1
-}
-
-// generation is one immutable shard engine generation: the loaded factors
-// plus the number identifying them. Swapped as a unit so a reader always
-// sees a shard and its generation number together.
-type generation struct {
-	gen uint64
-	sh  *core.IndexShard
-}
-
-// Engine is one shard slot with PR 3's atomic-swap lifecycle scaled down
-// to a single shard: readers resolve the current generation with one
-// atomic load and compute entirely on that immutable snapshot, while a
-// rolling reload installs replacements one slot at a time.
-type Engine struct {
-	cur    atomic.Pointer[generation]
-	swapMu sync.Mutex // serialises swaps; readers never take it
-}
-
-// newEngine boots the slot at generation 1.
-func newEngine(sh *core.IndexShard) *Engine {
-	e := &Engine{}
-	e.cur.Store(&generation{gen: 1, sh: sh})
-	return e
-}
-
-// current returns the shard and generation serving new work.
-func (e *Engine) current() (*core.IndexShard, uint64) {
-	g := e.cur.Load()
-	return g.sh, g.gen
-}
-
-// swap installs sh as the next generation and returns its number.
-// Queries already computing on the old generation finish on it — shards
-// are immutable, so there is nothing to drain.
-func (e *Engine) swap(sh *core.IndexShard) uint64 {
-	e.swapMu.Lock()
-	defer e.swapMu.Unlock()
-	next := e.cur.Load().gen + 1
-	e.cur.Store(&generation{gen: next, sh: sh})
-	return next
 }

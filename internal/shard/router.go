@@ -2,7 +2,9 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"csrplus/internal/core"
@@ -11,24 +13,34 @@ import (
 	"csrplus/internal/topk"
 )
 
-// Router fans multi-source queries out to K shard engines and assembles
-// exact global answers. It is stateless per request — every query
-// resolves each shard's current generation once at entry and computes
+// Router fans multi-source queries out to K shard slots and assembles
+// exact global answers. It is stateless per request — every fan-out leg
+// resolves its slot's current generation once at entry and computes
 // entirely on that snapshot — so it is safe for concurrent use, including
-// concurrently with rolling SwapShard calls. Its QueryRankInto satisfies
-// serve.RankQueryFunc, making the router a drop-in serving backend with
-// batching, degradation and generation-swap support unchanged.
+// concurrently with rolling SwapShard calls (or remote worker rolls). Its
+// QueryRankInto satisfies serve.RankQueryFunc, making the router a
+// drop-in serving backend with batching, degradation and generation-swap
+// support unchanged; TopKTagged and Scores are the direct paths a wire
+// deployment serves from (see internal/wire).
 type Router struct {
 	n    int
 	rank int
 	c    float64
 	plan Plan
 
-	engines []*Engine
+	slots []Slot
+
+	// remote selects the fan-out strategy: goroutine-per-slot for
+	// network-bound slots (sequential RPCs would serialise latency),
+	// par.Do with its flop gate for CPU-bound local slots.
+	remote bool
 
 	// bound caches the global truncation-bound tail, keyed by the shard
 	// generation vector that produced it; a rolling swap invalidates it by
-	// changing a generation number.
+	// changing a generation number. The hit-path comparison reads each
+	// slot's generation directly against the cached vector — no
+	// allocation per query (this sits on the degraded-tagging hot path,
+	// and per-request RPC amplifies it in the wire deployment).
 	bound atomic.Pointer[boundEntry]
 }
 
@@ -38,27 +50,53 @@ type boundEntry struct {
 	quant float64
 }
 
-// NewRouter assembles a router over shards, which must be ordered by node
-// range, contiguous from 0 to n, and cut from the same index family
-// (equal global n, rank, and damping). Shard boundaries become the
-// router's immutable Plan; SwapShard replaces a shard's factors but never
-// its range.
+// NewRouter assembles a router over in-process shards, which must be
+// ordered by node range, contiguous from 0 to n, and cut from the same
+// index family (equal global n, rank, and damping). Shard boundaries
+// become the router's immutable Plan; SwapShard replaces a shard's
+// factors but never its range.
 func NewRouter(shards []*core.IndexShard) (*Router, error) {
-	if len(shards) == 0 {
+	slots := make([]Slot, len(shards))
+	for s, sh := range shards {
+		slots[s] = NewLocal(sh)
+	}
+	return NewRouterSlots(slots)
+}
+
+// NewRouterSlots assembles a router over already-constructed slots (local
+// or remote), validating the same contiguity and shape invariants as
+// NewRouter. Remote slots must have resolved their metadata before
+// assembly (wire.Dial does).
+func NewRouterSlots(slots []Slot) (*Router, error) {
+	r, err := assemble(slots)
+	if err != nil {
+		return nil, err
+	}
+	for _, sl := range slots {
+		if _, ok := sl.(*Local); !ok {
+			r.remote = true
+			break
+		}
+	}
+	return r, nil
+}
+
+func assemble(slots []Slot) (*Router, error) {
+	if len(slots) == 0 {
 		return nil, fmt.Errorf("%w: no shards", ErrPlan)
 	}
-	n, rank, c := shards[0].N(), shards[0].Rank(), shards[0].Damping()
-	bounds := make([]int, 0, len(shards)+1)
+	n, rank, c := slots[0].N(), slots[0].Rank(), slots[0].Damping()
+	bounds := make([]int, 0, len(slots)+1)
 	bounds = append(bounds, 0)
-	for s, sh := range shards {
-		if sh.N() != n || sh.Rank() != rank || sh.Damping() != c {
+	for s, sl := range slots {
+		if sl.N() != n || sl.Rank() != rank || sl.Damping() != c {
 			return nil, fmt.Errorf("%w: shard %d has n=%d r=%d c=%v, shard 0 has n=%d r=%d c=%v",
-				ErrShard, s, sh.N(), sh.Rank(), sh.Damping(), n, rank, c)
+				ErrShard, s, sl.N(), sl.Rank(), sl.Damping(), n, rank, c)
 		}
-		if sh.Lo() != bounds[s] {
-			return nil, fmt.Errorf("%w: shard %d starts at %d, want %d (gap or overlap)", ErrShard, s, sh.Lo(), bounds[s])
+		if sl.Lo() != bounds[s] {
+			return nil, fmt.Errorf("%w: shard %d starts at %d, want %d (gap or overlap)", ErrShard, s, sl.Lo(), bounds[s])
 		}
-		bounds = append(bounds, sh.Hi())
+		bounds = append(bounds, sl.Hi())
 	}
 	if bounds[len(bounds)-1] != n {
 		return nil, fmt.Errorf("%w: shards end at %d, want %d", ErrShard, bounds[len(bounds)-1], n)
@@ -67,11 +105,7 @@ func NewRouter(shards []*core.IndexShard) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Router{n: n, rank: rank, c: c, plan: plan, engines: make([]*Engine, len(shards))}
-	for s, sh := range shards {
-		r.engines[s] = newEngine(sh)
-	}
-	return r, nil
+	return &Router{n: n, rank: rank, c: c, plan: plan, slots: slots}, nil
 }
 
 // Split cuts ix into k near-equal shards (SplitEven boundaries). The
@@ -115,6 +149,9 @@ func (r *Router) K() int { return r.plan.K() }
 // Plan returns the router's partition plan.
 func (r *Router) Plan() Plan { return r.plan }
 
+// Remote reports whether any slot answers over the wire.
+func (r *Router) Remote() bool { return r.remote }
+
 // ShardStatus describes one shard slot for /stats and /admin/index.
 type ShardStatus struct {
 	Shard      int    `json:"shard"`
@@ -127,9 +164,8 @@ type ShardStatus struct {
 // Status reports every shard slot's range, generation and resident bytes.
 func (r *Router) Status() []ShardStatus {
 	out := make([]ShardStatus, r.K())
-	for s, e := range r.engines {
-		sh, gen := e.current()
-		out[s] = ShardStatus{Shard: s, Lo: sh.Lo(), Hi: sh.Hi(), Generation: gen, Bytes: sh.Bytes()}
+	for s, sl := range r.slots {
+		out[s] = ShardStatus{Shard: s, Lo: sl.Lo(), Hi: sl.Hi(), Generation: sl.Generation(), Bytes: sl.Bytes()}
 	}
 	return out
 }
@@ -137,8 +173,8 @@ func (r *Router) Status() []ShardStatus {
 // Generations returns the per-shard generation vector.
 func (r *Router) Generations() []uint64 {
 	gens := make([]uint64, r.K())
-	for s, e := range r.engines {
-		_, gens[s] = e.current()
+	for s, sl := range r.slots {
+		gens[s] = sl.Generation()
 	}
 	return gens
 }
@@ -148,10 +184,15 @@ func (r *Router) Generations() []uint64 {
 // and match the router's global shape — a rolling reload may change a
 // shard's factors, never the partition. Queries in flight on the old
 // generation finish on it; queries arriving after SwapShard returns see
-// the new one.
+// the new one. Remote slots reject SwapShard: their factors roll inside
+// the worker process (wire.RollWorkers drives the admin endpoint).
 func (r *Router) SwapShard(s int, sh *core.IndexShard) (uint64, error) {
 	if s < 0 || s >= r.K() {
 		return 0, fmt.Errorf("%w: slot %d of %d", ErrShard, s, r.K())
+	}
+	l, ok := r.slots[s].(*Local)
+	if !ok {
+		return 0, fmt.Errorf("%w: slot %d is remote; roll it via its worker's admin endpoint", ErrShard, s)
 	}
 	lo, hi := r.plan.Range(s)
 	if sh.Lo() != lo || sh.Hi() != hi {
@@ -161,20 +202,7 @@ func (r *Router) SwapShard(s int, sh *core.IndexShard) (uint64, error) {
 		return 0, fmt.Errorf("%w: slot %d wants n=%d r=%d c=%v, shard has n=%d r=%d c=%v",
 			ErrShard, s, r.n, r.rank, r.c, sh.N(), sh.Rank(), sh.Damping())
 	}
-	return r.engines[s].swap(sh), nil
-}
-
-// snapshot resolves every shard's current generation once. A query
-// computes entirely on the returned slice, so a concurrent rolling swap
-// never mixes generations within one shard's rows (per-shard answers
-// always come from exactly one generation; different shards may serve
-// different generations mid-roll, each exact for its own index).
-func (r *Router) snapshot() []*core.IndexShard {
-	shards := make([]*core.IndexShard, r.K())
-	for s, e := range r.engines {
-		shards[s], _ = e.current()
-	}
-	return shards
+	return l.Swap(sh), nil
 }
 
 func (r *Router) validate(queries []int) error {
@@ -190,21 +218,101 @@ func (r *Router) validate(queries []int) error {
 }
 
 // gatherU assembles the |Q| x r broadcast matrix of the query nodes' U
-// rows from their owner shards — the only cross-shard data a query needs.
+// rows from their owner slots — the only cross-shard data a query needs.
 // The copied values are the exact float64s of the monolithic U, so the
-// downstream dot products are bitwise those of the single-engine path.
-func (r *Router) gatherU(shards []*core.IndexShard, queries []int) *dense.Mat {
+// downstream dot products are bitwise those of the single-engine path. A
+// failed owner fetch fails the query: a query node whose shard is down
+// cannot be degraded around, because every other shard's partial depends
+// on its U row.
+func (r *Router) gatherU(ctx context.Context, queries []int) (*dense.Mat, error) {
 	uq := dense.NewMat(len(queries), r.rank)
+	// Positions grouped by owner, so each owner answers one batched
+	// gather per query instead of one RPC per query node.
+	byOwner := make([][]int, r.K())
 	for j, q := range queries {
-		copy(uq.Row(j), shards[r.plan.Owner(q)].URow(q))
+		s := r.plan.Owner(q)
+		byOwner[s] = append(byOwner[s], j)
 	}
-	return uq
+	fetch := func(s int) error {
+		js := byOwner[s]
+		if len(js) == 0 {
+			return nil
+		}
+		nodes := make([]int, len(js))
+		for i, j := range js {
+			nodes[i] = queries[j]
+		}
+		rows, err := r.slots[s].URows(ctx, nodes)
+		if err != nil {
+			return fmt.Errorf("shard: gathering U rows from shard %d: %w", s, err)
+		}
+		if !rows.IsShape(len(js), r.rank) {
+			return fmt.Errorf("%w: shard %d returned %dx%d U rows, want %dx%d", ErrShard, s, rows.Rows, rows.Cols, len(js), r.rank)
+		}
+		for i, j := range js {
+			copy(uq.Row(j), rows.Row(i))
+		}
+		return nil
+	}
+	if !r.remote {
+		for s := range r.slots {
+			if err := fetch(s); err != nil {
+				return nil, err
+			}
+		}
+		return uq, nil
+	}
+	errs := make([]error, r.K())
+	var wg sync.WaitGroup
+	for s := range r.slots {
+		if len(byOwner[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fetch(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return uq, nil
 }
 
 // queryFlops estimates one fan-out's multiply-adds for par's threshold
 // gate — the same n·r·|Q| the monolithic GEMM costs.
 func (r *Router) queryFlops(cols int) int64 {
 	return int64(r.n) * int64(r.rank) * int64(cols)
+}
+
+// fanout runs body for every slot and returns the per-slot errors. Local
+// fan-outs go through par.Do (flop-gated, worker-bounded — the slots are
+// CPU-bound); remote fan-outs get a goroutine per slot, because a
+// serialised RPC chain would stack network latencies.
+func (r *Router) fanout(cols int, body func(s int) error) []error {
+	errs := make([]error, r.K())
+	if !r.remote {
+		par.Do(r.K(), r.queryFlops(cols), func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				errs[s] = body(s)
+			}
+		})
+		return errs
+	}
+	var wg sync.WaitGroup
+	for s := range r.slots {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = body(s)
+		}(s)
+	}
+	wg.Wait()
+	return errs
 }
 
 // QueryRankInto answers phase II at a chosen rank by scattering row bands
@@ -214,7 +322,9 @@ func (r *Router) queryFlops(cols int) int64 {
 // core.Index.QueryRankInto's at any shard count (see the package doc for
 // why). rank <= 0 or >= the index rank answers at full rank; honours ctx
 // between row bands. It satisfies serve.RankQueryFunc, so a Router slots
-// into serve.Server exactly where a monolithic engine does.
+// into serve.Server exactly where a monolithic engine does. Remote slots
+// reject this path — the wire never ships n x |Q| columns; wire
+// deployments serve through TopKTagged and Scores instead.
 func (r *Router) QueryRankInto(ctx context.Context, queries []int, rank int, scratch *dense.Mat) (*dense.Mat, error) {
 	if err := r.validate(queries); err != nil {
 		return nil, err
@@ -222,17 +332,17 @@ func (r *Router) QueryRankInto(ctx context.Context, queries []int, rank int, scr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	shards := r.snapshot()
-	uq := r.gatherU(shards, queries)
+	uq, err := r.gatherU(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
 	cols := len(queries)
 	s := scratch.Reuse(r.n, cols)
-	errs := make([]error, r.K())
-	par.Do(r.K(), r.queryFlops(cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sh := shards[i]
-			band := &dense.Mat{Rows: sh.Rows(), Cols: cols, Data: s.Data[sh.Lo()*cols : sh.Hi()*cols]}
-			errs[i] = sh.PartialInto(ctx, queries, uq, rank, band)
-		}
+	errs := r.fanout(cols, func(i int) error {
+		sl := r.slots[i]
+		lo, hi := r.plan.Range(i)
+		band := &dense.Mat{Rows: hi - lo, Cols: cols, Data: s.Data[lo*cols : hi*cols]}
+		return sl.PartialInto(ctx, queries, uq, rank, band)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -255,60 +365,175 @@ func (r *Router) QueryInto(queries []int, scratch *dense.Mat) (*dense.Mat, error
 // column excluding itself; a multi-source set ranks by summed similarity
 // (duplicate queries weigh double) excluding every query node. Unlike
 // QueryRankInto this path never materialises the n x |Q| score matrix on
-// any one allocation larger than a shard — the shape a future wire split
-// would ship between processes.
+// any one allocation larger than a shard — the shape the wire ships
+// between processes.
 func (r *Router) TopK(ctx context.Context, queries []int, k int) ([]topk.Item, error) {
 	return r.TopKRank(ctx, queries, k, 0)
 }
 
 // TopKRank is TopK answered from a rank-r' truncation of the index (rank
 // <= 0 or >= the index rank is full). The merge stays exact for whatever
-// scores the truncation produces.
+// scores the truncation produces. Any slot failure fails the query; for
+// the degrading variant a wire deployment serves from, see TopKTagged.
 func (r *Router) TopKRank(ctx context.Context, queries []int, k, rank int) ([]topk.Item, error) {
+	res, err := r.topK(ctx, queries, k, rank, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.Items, nil
+}
+
+// TopKResult is TopKTagged's answer plus its provenance.
+type TopKResult struct {
+	// Items is the merged top-k, exact over every shard that answered.
+	Items []topk.Item
+	// Missing counts slots whose partial lists were unavailable (worker
+	// down, breaker open, RPC failed after retries). 0 means the answer
+	// is the exact global top-k.
+	Missing int
+	// ErrorBound, when Missing > 0, bounds the aggregate similarity any
+	// omitted candidate could have had: |Q| · (c·Σ_j zmax_j·umax_j +
+	// quant). Scores of returned items are still exact (up to the usual
+	// rank/quantisation bound); the uncertainty is in set membership.
+	ErrorBound float64
+}
+
+// TopKTagged is TopKRank with graceful shard-failure degradation: a slot
+// whose partial list cannot be fetched (after the wire client's retries
+// and hedging) is skipped, the merge runs over the shards that answered,
+// and the result is tagged with how many shards are missing plus a bound
+// on the aggregate score any omitted candidate could have carried — the
+// provenance the serving layer folds into its degraded/error_bound
+// response tagging. Context cancellation and invalid queries still fail
+// the whole query, as does every slot failing at once (nothing answered)
+// or a failed U-row gather (a query node's own shard being down poisons
+// every partial, so there is nothing exact to serve).
+func (r *Router) TopKTagged(ctx context.Context, queries []int, k, rank int) (TopKResult, error) {
+	return r.topK(ctx, queries, k, rank, true)
+}
+
+func (r *Router) topK(ctx context.Context, queries []int, k, rank int, degrade bool) (TopKResult, error) {
+	if err := r.validate(queries); err != nil {
+		return TopKResult{}, err
+	}
+	if k <= 0 {
+		return TopKResult{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return TopKResult{}, err
+	}
+	uq, err := r.gatherU(ctx, queries)
+	if err != nil {
+		return TopKResult{}, err
+	}
+	cols := len(queries)
+	lists := make([][]topk.Item, r.K())
+	errs := r.fanout(cols, func(s int) error {
+		items, err := r.slots[s].PartialTopK(ctx, queries, uq, k, rank)
+		if err != nil {
+			return err
+		}
+		lists[s] = items
+		return nil
+	})
+	missing := 0
+	for s, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !degrade || ctx.Err() != nil || !errors.Is(err, ErrSlotDown) && !isTransport(err) {
+			return TopKResult{}, fmt.Errorf("shard: partial top-k from shard %d: %w", s, err)
+		}
+		missing++
+		lists[s] = nil
+	}
+	if missing == r.K() {
+		return TopKResult{}, fmt.Errorf("shard: all %d shards unavailable: %w", r.K(), errFirst(errs))
+	}
+	res := TopKResult{Items: topk.Merge(k, lists...), Missing: missing}
+	if missing > 0 {
+		res.ErrorBound = float64(cols) * r.MissingShardBound()
+	}
+	return res, nil
+}
+
+// ErrSlotDown marks a slot failure that degradation may skip: the wire
+// client wraps transport errors, breaker-open fast failures, and worker
+// 5xx responses in it, so the router can tell "this shard cannot answer
+// right now" from "this query is malformed".
+var ErrSlotDown = errors.New("shard: slot unavailable")
+
+// isTransport reports whether err looks like a slot-availability failure
+// rather than a caller error. Anything that is not a validation error
+// from this package or core counts: remote slots wrap their failures in
+// ErrSlotDown (handled before this), and an unexpected decode error from
+// a half-dead worker should degrade, not fail the query.
+func isTransport(err error) bool {
+	return !errors.Is(err, core.ErrParams) && !errors.Is(err, core.ErrQuery) && !errors.Is(err, ErrShard) && !errors.Is(err, ErrPlan)
+}
+
+func errFirst(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scores answers targeted (query, target) pairs without materialising any
+// column: each target's owner shard scores just that row, bitwise-equal
+// to the same element of the full column matrix (the kernels accumulate
+// each output element independently in ascending column order). The
+// result is |Q| x |T|, element (i, j) scoring queries[i] against
+// targets[j]. Any owner failure fails the call — a targeted score has no
+// degraded form, unlike top-k set membership.
+func (r *Router) Scores(ctx context.Context, queries, targets []int, rank int) (*dense.Mat, error) {
 	if err := r.validate(queries); err != nil {
 		return nil, err
 	}
-	if k <= 0 {
-		return nil, nil
-	}
-	if err := ctx.Err(); err != nil {
+	if err := r.validate(targets); err != nil {
 		return nil, err
 	}
-	shards := r.snapshot()
-	uq := r.gatherU(shards, queries)
-	cols := len(queries)
-	exclude := make(map[int]bool, cols)
-	for _, q := range queries {
-		exclude[q] = true
+	uq, err := r.gatherU(ctx, queries)
+	if err != nil {
+		return nil, err
 	}
-	lists := make([][]topk.Item, r.K())
-	errs := make([]error, r.K())
-	par.Do(r.K(), r.queryFlops(cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sh := shards[i]
-			partial := dense.NewMat(sh.Rows(), cols)
-			if err := sh.PartialInto(ctx, queries, uq, rank, partial); err != nil {
-				errs[i] = err
-				continue
-			}
-			// Aggregate per node in query order (j outer), matching
-			// Engine.TopKMulti's summation order element for element; for a
-			// single query this adds one column onto zeros, which is exact.
-			agg := make([]float64, sh.Rows())
-			for j := 0; j < cols; j++ {
-				for row := 0; row < sh.Rows(); row++ {
-					agg[row] += partial.At(row, j)
-				}
-			}
-			lists[i] = topk.SelectRange(agg, k, sh.Lo(), exclude)
+	byOwner := make([][]int, r.K())
+	for j, t := range targets {
+		s := r.plan.Owner(t)
+		byOwner[s] = append(byOwner[s], j)
+	}
+	out := dense.NewMat(len(queries), len(targets))
+	errs := r.fanout(len(queries), func(s int) error {
+		js := byOwner[s]
+		if len(js) == 0 {
+			return nil
 		}
+		rows := make([]int, len(js))
+		for i, j := range js {
+			rows[i] = targets[j]
+		}
+		scores, err := r.slots[s].ScoreRows(ctx, queries, uq, rows, rank)
+		if err != nil {
+			return fmt.Errorf("shard: scoring rows on shard %d: %w", s, err)
+		}
+		if len(scores) != len(rows)*len(queries) {
+			return fmt.Errorf("%w: shard %d returned %d scores, want %d", ErrShard, s, len(scores), len(rows)*len(queries))
+		}
+		for i, j := range js {
+			for qi := range queries {
+				out.Set(qi, j, scores[i*len(queries)+qi])
+			}
+		}
+		return nil
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	return topk.Merge(k, lists...), nil
+	return out, nil
 }
 
 // TruncationBound bounds the entrywise error of a rank-truncated answer,
@@ -319,40 +544,14 @@ func (r *Router) TopKRank(ctx context.Context, queries []int, k, rank int) ([]to
 // carry the quant term at every rank — including full rank — exactly
 // like the monolithic bound, so the report stays rigorous against the
 // exact full-rank answer. The result is cached against the shard
-// generation vector, so it is recomputed only after a swap.
+// generation vector, so it is recomputed only after a swap; the hit path
+// allocates nothing. If a remote slot's bound terms cannot be refreshed
+// after a roll, the previous entry keeps answering (conservative for the
+// usual same-tier roll) until a refresh succeeds.
 func (r *Router) TruncationBound(rank int) float64 {
-	gens := r.Generations()
-	e := r.bound.Load()
-	if e == nil || !gensEqual(e.gens, gens) {
-		zmax := make([]float64, r.rank)
-		umax := make([]float64, r.rank)
-		var zerr, uerr []float64
-		for _, sh := range r.snapshot() {
-			zm, um := sh.ColMaxes()
-			for j := 0; j < r.rank; j++ {
-				if zm[j] > zmax[j] {
-					zmax[j] = zm[j]
-				}
-				if um[j] > umax[j] {
-					umax[j] = um[j]
-				}
-			}
-			// The dequantisation errors are global per-column vectors,
-			// identical across shards cut from one index; any shard's
-			// copy recomposes the monolithic quant term. Mid-roll, with
-			// exact and quantized generations mixed, including the term
-			// over-states the error for exact rows — conservative, never
-			// under-stated.
-			if ze, ue := sh.QuantErrs(); ze != nil || ue != nil {
-				zerr, uerr = ze, ue
-			}
-		}
-		e = &boundEntry{
-			gens:  gens,
-			tail:  core.TailBound(r.c, zmax, umax),
-			quant: core.QuantBound(r.c, zmax, umax, zerr, uerr),
-		}
-		r.bound.Store(e)
+	e := r.bestBound()
+	if e == nil {
+		return 0
 	}
 	if rank <= 0 || rank >= r.rank {
 		return e.quant
@@ -360,14 +559,100 @@ func (r *Router) TruncationBound(rank int) float64 {
 	return e.tail[rank] + e.quant
 }
 
-func gensEqual(a, b []uint64) bool {
-	if len(a) != len(b) {
+// MissingShardBound returns the aggregate per-query score bound used to
+// inflate error_bound when a shard's partial top-k list is missing: no
+// single similarity can exceed c·Σ_j zmax_j·umax_j plus the quantisation
+// term (query nodes, the only +1 diagonal entries, are excluded from
+// top-k), so an omitted candidate's |Q|-query aggregate is bounded by |Q|
+// times this value.
+func (r *Router) MissingShardBound() float64 {
+	e := r.bestBound()
+	if e == nil {
+		return 0
+	}
+	return e.tail[0] + e.quant
+}
+
+// PrimeBound eagerly builds the bound cache, failing if any slot's bound
+// terms are unreachable. Wire routers call it at assembly time so that
+// degraded responses always have a cached bound to inflate from, even if
+// the worker that would supply fresh terms is the one that just died.
+func (r *Router) PrimeBound() error {
+	ne, err := r.rebuildBound()
+	if err != nil {
+		return err
+	}
+	r.bound.Store(ne)
+	return nil
+}
+
+// bestBound returns the cached bound entry, rebuilding it when the
+// generation vector moved. The comparison reads each slot's generation
+// against the cached vector directly — no per-call allocation.
+func (r *Router) bestBound() *boundEntry {
+	e := r.bound.Load()
+	if e != nil && r.gensMatch(e.gens) {
+		return e
+	}
+	ne, err := r.rebuildBound()
+	if err != nil {
+		// Refresh failed (a remote slot is unreachable mid-roll): keep
+		// answering from the stale entry rather than dropping the bound.
+		return e
+	}
+	r.bound.Store(ne)
+	return ne
+}
+
+func (r *Router) gensMatch(gens []uint64) bool {
+	if len(gens) != len(r.slots) {
 		return false
 	}
-	for i := range a {
-		if a[i] != b[i] {
+	for s, sl := range r.slots {
+		if sl.Generation() != gens[s] {
 			return false
 		}
 	}
 	return true
+}
+
+func (r *Router) rebuildBound() (*boundEntry, error) {
+	// Gens are captured before the term fetch: if a slot rolls mid-fetch,
+	// the entry lands keyed to the pre-roll vector and the next call
+	// refreshes again — transiently stale, never wedged.
+	gens := r.Generations()
+	zmax := make([]float64, r.rank)
+	umax := make([]float64, r.rank)
+	var zerr, uerr []float64
+	for s, sl := range r.slots {
+		terms, err := sl.BoundTerms(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("shard: bound terms from shard %d: %w", s, err)
+		}
+		if len(terms.ZMax) != r.rank || len(terms.UMax) != r.rank {
+			return nil, fmt.Errorf("%w: shard %d returned %d/%d bound columns, want %d", ErrShard, s, len(terms.ZMax), len(terms.UMax), r.rank)
+		}
+		for j := 0; j < r.rank; j++ {
+			if terms.ZMax[j] > zmax[j] {
+				zmax[j] = terms.ZMax[j]
+			}
+			if terms.UMax[j] > umax[j] {
+				umax[j] = terms.UMax[j]
+			}
+		}
+		// The dequantisation errors are global per-column vectors,
+		// identical across shards cut from one index; any shard's
+		// copy recomposes the monolithic quant term. Mid-roll, with
+		// exact and quantized generations mixed, including the term
+		// over-states the error for exact rows — conservative, never
+		// under-stated.
+		if terms.ZErr != nil || terms.UErr != nil {
+			zerr, uerr = terms.ZErr, terms.UErr
+		}
+	}
+	return &boundEntry{
+		gens:  gens,
+		tail:  core.TailBound(r.c, zmax, umax),
+		quant: core.QuantBound(r.c, zmax, umax, zerr, uerr),
+	}, nil
 }

@@ -455,3 +455,36 @@ func TestRouterQuantizedBound(t *testing.T) {
 		}
 	}
 }
+
+// TestTruncationBoundHitPathNoAlloc pins the bound cache's hot path: once
+// an entry for the current generation vector exists, comparing the vector
+// and returning the cached bound must not allocate — the comparison runs
+// on every degraded-tagging decision, so an allocation here would turn
+// the serving fast path into garbage-collector pressure.
+func TestTruncationBoundHitPathNoAlloc(t *testing.T) {
+	_, ix := testEngineIndex(t, 1)
+	shards, err := shard.Split(ix, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := shard.NewRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.PrimeBound(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{0, 2, testRank} {
+		rank := rank
+		if allocs := testing.AllocsPerRun(100, func() {
+			_ = rt.TruncationBound(rank)
+		}); allocs != 0 {
+			t.Fatalf("TruncationBound(%d) cache hit allocates %.1f times per call", rank, allocs)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = rt.MissingShardBound()
+	}); allocs != 0 {
+		t.Fatalf("MissingShardBound cache hit allocates %.1f times per call", allocs)
+	}
+}

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"csrplus/internal/core"
+	"csrplus/internal/dense"
+	"csrplus/internal/topk"
+)
+
+// Slot is one shard slot as the Router consumes it: the node range it
+// owns, its shape metadata, and the per-shard query primitives the
+// scatter–gather paths fan out to. Two implementations exist — Local
+// wraps an in-process *core.IndexShard behind an atomic generation
+// pointer, and wire.RemoteEngine speaks the same contract to a
+// csrserver -shardworker process over HTTP — so the router's exact
+// merge, generation-keyed bound cache, and degradation tagging work
+// identically in-process and across the wire.
+//
+// Each method resolves the slot's current generation independently (a
+// remote process cannot pin a generation across calls), so a query whose
+// U-gather and partial legs straddle a rolling swap may combine rows
+// from adjacent generations of one shard. Every generation is cut from a
+// validated index, so the answer is exact for a graph state between the
+// two — the same guarantee the in-process mixed-generation roll already
+// documents at the whole-router level.
+type Slot interface {
+	// N, Lo, Hi, Rank and Damping mirror core.IndexShard: the global
+	// node count, the owned range [Lo, Hi), and the factor shape. They
+	// are fixed for the slot's lifetime — swaps replace factors, never
+	// the partition or shape.
+	N() int
+	Lo() int
+	Hi() int
+	Rank() int
+	Damping() float64
+
+	// Generation identifies the factors currently serving. For a remote
+	// slot this is the last generation observed in a response, so it
+	// advances when the worker rolls — which is what keys the router's
+	// bound cache.
+	Generation() uint64
+
+	// Bytes reports the resident factor bytes of the serving generation
+	// (last observed, for remote slots).
+	Bytes() int64
+
+	// URows gathers the U rows of the given nodes — all of which must be
+	// owned by this slot — as a |nodes| x Rank matrix, row i for
+	// nodes[i]. The returned float64s are bitwise those of the shard's
+	// own URow.
+	URows(ctx context.Context, nodes []int) (*dense.Mat, error)
+
+	// PartialInto computes the slot's band of the n x |Q| column matrix
+	// (core.IndexShard.PartialInto). Remote slots reject it: the wire
+	// ships K·|Q|·k partial top-k items, never an n x |Q| matrix.
+	PartialInto(ctx context.Context, queries []int, uq *dense.Mat, rank int, out *dense.Mat) error
+
+	// PartialTopK returns the slot's top-k candidates among the nodes it
+	// owns, scored against the gathered query rows uq at the given rank,
+	// with every query node excluded. Items carry global node ids.
+	PartialTopK(ctx context.Context, queries []int, uq *dense.Mat, k, rank int) ([]topk.Item, error)
+
+	// ScoreRows returns the scores of the owned global rows for every
+	// query column, row-major |rows| x |queries| (out[i*|Q|+j] scores
+	// rows[i] against queries[j]), bitwise-equal to the same elements of
+	// the full column matrix.
+	ScoreRows(ctx context.Context, queries []int, uq *dense.Mat, rows []int, rank int) ([]float64, error)
+
+	// BoundTerms returns the per-column factor maxima (and, for
+	// quantized tiers, the measured dequantisation errors) the router
+	// folds into the global truncation bound.
+	BoundTerms(ctx context.Context) (BoundTerms, error)
+}
+
+// BoundTerms is one shard's contribution to the global truncation bound:
+// per-column |Z| and |U| maxima over the shard's rows, plus the global
+// per-column dequantisation error vectors for quantized tiers (nil for
+// the exact tier).
+type BoundTerms struct {
+	ZMax []float64
+	UMax []float64
+	ZErr []float64
+	UErr []float64
+}
+
+// generation is one immutable shard engine generation: the loaded factors
+// plus the number identifying them. Swapped as a unit so a reader always
+// sees a shard and its generation number together.
+type generation struct {
+	gen uint64
+	sh  *core.IndexShard
+}
+
+// Local is the in-process Slot: one shard slot with PR 3's atomic-swap
+// lifecycle scaled down to a single shard. Readers resolve the current
+// generation with one atomic load and compute entirely on that immutable
+// snapshot, while a rolling reload installs replacements one slot at a
+// time. wire.Worker serves a Local over HTTP, making the worker's swap
+// semantics identical to an in-process slot's.
+type Local struct {
+	cur    atomic.Pointer[generation]
+	swapMu sync.Mutex // serialises swaps; readers never take it
+}
+
+// NewLocal boots the slot at generation 1.
+func NewLocal(sh *core.IndexShard) *Local {
+	l := &Local{}
+	l.cur.Store(&generation{gen: 1, sh: sh})
+	return l
+}
+
+// Current returns the shard and generation serving new work.
+func (l *Local) Current() (*core.IndexShard, uint64) {
+	g := l.cur.Load()
+	return g.sh, g.gen
+}
+
+// Swap installs sh as the next generation and returns its number.
+// Queries already computing on the old generation finish on it — shards
+// are immutable, so there is nothing to drain. The caller is responsible
+// for validating that sh covers the same range and shape (Router.SwapShard
+// and wire.Worker.Reload both do).
+func (l *Local) Swap(sh *core.IndexShard) uint64 {
+	l.swapMu.Lock()
+	defer l.swapMu.Unlock()
+	next := l.cur.Load().gen + 1
+	l.cur.Store(&generation{gen: next, sh: sh})
+	return next
+}
+
+// N, Lo, Hi, Rank and Damping are fixed across swaps (SwapShard and
+// Worker.Reload validate replacements against them), so reading the
+// current generation's copy is exact.
+func (l *Local) N() int           { return l.cur.Load().sh.N() }
+func (l *Local) Lo() int          { return l.cur.Load().sh.Lo() }
+func (l *Local) Hi() int          { return l.cur.Load().sh.Hi() }
+func (l *Local) Rank() int        { return l.cur.Load().sh.Rank() }
+func (l *Local) Damping() float64 { return l.cur.Load().sh.Damping() }
+
+// Generation returns the generation number serving new work.
+func (l *Local) Generation() uint64 {
+	return l.cur.Load().gen
+}
+
+// Bytes reports the serving generation's resident factor bytes.
+func (l *Local) Bytes() int64 {
+	return l.cur.Load().sh.Bytes()
+}
+
+// URows gathers the U rows of owned nodes (see Slot).
+func (l *Local) URows(ctx context.Context, nodes []int) (*dense.Mat, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sh, _ := l.Current()
+	out := dense.NewMat(len(nodes), sh.Rank())
+	for i, q := range nodes {
+		if !sh.Owns(q) {
+			return nil, fmt.Errorf("%w: node %d outside slot [%d, %d)", ErrShard, q, sh.Lo(), sh.Hi())
+		}
+		copy(out.Row(i), sh.URow(q))
+	}
+	return out, nil
+}
+
+// PartialInto computes the slot's band of the column matrix (see Slot).
+func (l *Local) PartialInto(ctx context.Context, queries []int, uq *dense.Mat, rank int, out *dense.Mat) error {
+	sh, _ := l.Current()
+	return sh.PartialInto(ctx, queries, uq, rank, out)
+}
+
+// PartialTopK selects the slot's top-k candidates (see Slot).
+func (l *Local) PartialTopK(ctx context.Context, queries []int, uq *dense.Mat, k, rank int) ([]topk.Item, error) {
+	sh, _ := l.Current()
+	return PartialTopK(ctx, sh, queries, uq, k, rank)
+}
+
+// ScoreRows scores owned rows against the query columns (see Slot).
+func (l *Local) ScoreRows(ctx context.Context, queries []int, uq *dense.Mat, rows []int, rank int) ([]float64, error) {
+	sh, _ := l.Current()
+	return sh.ScoreRows(ctx, queries, uq, rows, rank)
+}
+
+// BoundTerms returns the serving generation's bound inputs (see Slot).
+func (l *Local) BoundTerms(ctx context.Context) (BoundTerms, error) {
+	if err := ctx.Err(); err != nil {
+		return BoundTerms{}, err
+	}
+	sh, _ := l.Current()
+	zmax, umax := sh.ColMaxes()
+	zerr, uerr := sh.QuantErrs()
+	return BoundTerms{ZMax: zmax, UMax: umax, ZErr: zerr, UErr: uerr}, nil
+}
+
+// PartialTopK computes sh's partial top-k list for a gathered query set:
+// the shard's band of the column matrix, aggregated per node in query
+// order (j outer, matching Engine.TopKMulti's summation order element for
+// element; for a single query this adds one column onto zeros, which is
+// exact), then the top-k of the owned nodes with every query node
+// excluded. It is the one computation both the in-process Local slot and
+// the wire worker's /shard/query handler run, so the bytes a worker ships
+// are the bytes the in-process router would have merged.
+func PartialTopK(ctx context.Context, sh *core.IndexShard, queries []int, uq *dense.Mat, k, rank int) ([]topk.Item, error) {
+	cols := len(queries)
+	partial := dense.NewMat(sh.Rows(), cols)
+	if err := sh.PartialInto(ctx, queries, uq, rank, partial); err != nil {
+		return nil, err
+	}
+	agg := make([]float64, sh.Rows())
+	for j := 0; j < cols; j++ {
+		for row := 0; row < sh.Rows(); row++ {
+			agg[row] += partial.At(row, j)
+		}
+	}
+	exclude := make(map[int]bool, cols)
+	for _, q := range queries {
+		exclude[q] = true
+	}
+	return topk.SelectRange(agg, k, sh.Lo(), exclude), nil
+}

@@ -1,0 +1,617 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/fault"
+	"csrplus/internal/serve"
+	"csrplus/internal/shard"
+	"csrplus/internal/topk"
+)
+
+// Clock abstracts time for the client's hedging and breaker machinery so
+// tests can drive both deterministically. The real clock is the default.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Options tunes one RemoteEngine. The zero value selects the documented
+// defaults.
+type Options struct {
+	// Shard is the slot index this engine serves, for stats labelling.
+	Shard int
+	// Timeout bounds each HTTP attempt (not the logical call). Default
+	// 5s; negative disables.
+	Timeout time.Duration
+	// MaxAttempts bounds attempts per logical call (1 = no retry).
+	// Default 3.
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal delay; attempt i waits
+	// BaseBackoff * 2^(i-1), halved-and-jittered like reload.Policy.
+	// Default 25ms. MaxBackoff caps the nominal delay; default 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HedgeQuantile is the observed-latency quantile after which a
+	// second identical request is launched (first response wins, the
+	// loser is cancelled). Default 0.9; negative disables hedging.
+	// Hedging only arms once hedgeMinSamples latencies are observed.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge delay so a microsecond-fast worker
+	// does not get every request doubled. Default 1ms.
+	HedgeMinDelay time.Duration
+	// BreakerThreshold consecutive failed logical calls open the
+	// circuit breaker; 0 disables. Default 5. BreakerCooldown is how
+	// long an open breaker fails fast before admitting a probe call;
+	// default 5s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// AdminToken authenticates RollWorkers' /admin/reload calls.
+	AdminToken string
+	// Clock injects time (tests); nil uses the real clock.
+	Clock Clock
+	// Client is the HTTP client; nil builds a default one.
+	Client *http.Client
+	// Seed seeds the backoff jitter; 0 derives one from the real clock.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 3
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	if o.HedgeQuantile == 0 {
+		o.HedgeQuantile = 0.9
+	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = realClock{}
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// hedgeMinSamples is how many latency observations must exist before the
+// hedge quantile means anything.
+const hedgeMinSamples = 16
+
+// latRingSize is the latency ring's window: recent enough to track a
+// worker's current behaviour, wide enough that one outlier cannot own
+// the quantile.
+const latRingSize = 64
+
+type latRing struct {
+	mu  sync.Mutex
+	buf [latRingSize]time.Duration
+	n   int
+}
+
+func (r *latRing) observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%latRingSize] = d
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *latRing) quantile(q float64) (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < hedgeMinSamples {
+		return 0, false
+	}
+	m := r.n
+	if m > latRingSize {
+		m = latRingSize
+	}
+	cp := make([]time.Duration, m)
+	copy(cp, r.buf[:m])
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(q * float64(m-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= m {
+		idx = m - 1
+	}
+	return cp[idx], true
+}
+
+// SlotStats is one remote slot's health and traffic counters, merged
+// into the router process's /metrics registry.
+type SlotStats struct {
+	Shard               int                     `json:"shard"`
+	Addr                string                  `json:"addr"`
+	Generation          uint64                  `json:"generation"`
+	Requests            int64                   `json:"requests"`
+	Errors              int64                   `json:"errors"`
+	Retries             int64                   `json:"retries"`
+	Hedges              int64                   `json:"hedges"`
+	HedgeWins           int64                   `json:"hedge_wins"`
+	BreakerOpen         bool                    `json:"breaker_open"`
+	ConsecutiveFailures int                     `json:"consecutive_failures"`
+	Latency             serve.HistogramSnapshot `json:"latency_seconds"`
+}
+
+// RemoteEngine speaks the worker protocol and implements shard.Slot, so
+// a shard.Router assembled over RemoteEngines merges network partials
+// with the same code — and the same bitwise guarantees — as in-process
+// shards. Safe for concurrent use.
+type RemoteEngine struct {
+	addr  string
+	opt   Options
+	clock Clock
+	httpc *http.Client
+
+	n, lo, hi, rank int
+	c               float64
+
+	gen   atomic.Uint64 // last generation observed in any response
+	bytes atomic.Int64  // last resident-bytes figure from /shard/meta
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	bmu       sync.Mutex
+	fails     int
+	openUntil time.Time
+
+	requests  atomic.Int64
+	errCount  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	lat       *serve.Histogram
+	ring      latRing
+}
+
+// Dial connects to a shard worker, resolves its shape metadata (with the
+// client's usual retry policy), and returns a ready slot. The shape is
+// fixed for the engine's lifetime — workers validate reloads against it.
+func Dial(ctx context.Context, addr string, opt Options) (*RemoteEngine, error) {
+	opt = opt.withDefaults()
+	e := &RemoteEngine{
+		addr:  strings.TrimSuffix(addr, "/"),
+		opt:   opt,
+		clock: opt.Clock,
+		httpc: opt.Client,
+		rng:   rand.New(rand.NewSource(opt.Seed)),
+		lat: serve.NewHistogram(
+			100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3,
+			10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1),
+	}
+	meta, err := e.fetchMeta(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	if meta.N <= 0 || meta.Lo < 0 || meta.Lo >= meta.Hi || meta.Hi > meta.N || meta.Rank <= 0 {
+		return nil, fmt.Errorf("wire: %s reports implausible shape n=%d [%d, %d) r=%d: %w",
+			addr, meta.N, meta.Lo, meta.Hi, meta.Rank, shard.ErrShard)
+	}
+	e.n, e.lo, e.hi, e.rank, e.c = meta.N, meta.Lo, meta.Hi, meta.Rank, meta.Damping
+	return e, nil
+}
+
+// Addr returns the worker base URL the engine dials.
+func (e *RemoteEngine) Addr() string { return e.addr }
+
+// N, Lo, Hi, Rank and Damping report the shape resolved at Dial.
+func (e *RemoteEngine) N() int           { return e.n }
+func (e *RemoteEngine) Lo() int          { return e.lo }
+func (e *RemoteEngine) Hi() int          { return e.hi }
+func (e *RemoteEngine) Rank() int        { return e.rank }
+func (e *RemoteEngine) Damping() float64 { return e.c }
+
+// Generation returns the last generation observed in a worker response —
+// it advances when the worker rolls, which is what invalidates the
+// router's bound cache.
+func (e *RemoteEngine) Generation() uint64 { return e.gen.Load() }
+
+// Bytes returns the worker's last reported resident factor bytes.
+func (e *RemoteEngine) Bytes() int64 { return e.bytes.Load() }
+
+// Stats snapshots the engine's traffic counters and breaker state.
+func (e *RemoteEngine) Stats() SlotStats {
+	e.bmu.Lock()
+	open := !e.openUntil.IsZero() && e.clock.Now().Before(e.openUntil)
+	fails := e.fails
+	e.bmu.Unlock()
+	return SlotStats{
+		Shard:               e.opt.Shard,
+		Addr:                e.addr,
+		Generation:          e.gen.Load(),
+		Requests:            e.requests.Load(),
+		Errors:              e.errCount.Load(),
+		Retries:             e.retries.Load(),
+		Hedges:              e.hedges.Load(),
+		HedgeWins:           e.hedgeWins.Load(),
+		BreakerOpen:         open,
+		ConsecutiveFailures: fails,
+		Latency:             e.lat.Snapshot(),
+	}
+}
+
+// URows implements shard.Slot over POST /shard/urows.
+func (e *RemoteEngine) URows(ctx context.Context, nodes []int) (*dense.Mat, error) {
+	var resp URowsResponse
+	if err := e.call(ctx, http.MethodPost, "/shard/urows", URowsRequest{Nodes: nodes}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Rows) != len(nodes)*e.rank {
+		return nil, fmt.Errorf("wire: %s returned %d U floats, want %d: %w", e.addr, len(resp.Rows), len(nodes)*e.rank, shard.ErrSlotDown)
+	}
+	e.observeGen(resp.Generation)
+	return dense.NewMatFrom(len(nodes), e.rank, resp.Rows), nil
+}
+
+// PartialInto rejects the column path: the wire ships K·|Q|·k partial
+// top-k items, never an n x |Q| matrix (see BENCH_shard.json). Wire
+// deployments serve through the router's TopKTagged and Scores paths.
+func (e *RemoteEngine) PartialInto(ctx context.Context, queries []int, uq *dense.Mat, rank int, out *dense.Mat) error {
+	return fmt.Errorf("wire: column scatter is not supported over the wire; serve through the top-k path")
+}
+
+// PartialTopK implements shard.Slot over POST /shard/query.
+func (e *RemoteEngine) PartialTopK(ctx context.Context, queries []int, uq *dense.Mat, k, rank int) ([]topk.Item, error) {
+	var resp QueryResponse
+	req := QueryRequest{Queries: queries, UQ: uq.Data, K: k, Rank: rank}
+	if err := e.call(ctx, http.MethodPost, "/shard/query", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Nodes) != len(resp.Scores) || len(resp.Nodes) > k {
+		return nil, fmt.Errorf("wire: %s returned %d nodes / %d scores for k=%d: %w", e.addr, len(resp.Nodes), len(resp.Scores), k, shard.ErrSlotDown)
+	}
+	e.observeGen(resp.Generation)
+	items := make([]topk.Item, len(resp.Nodes))
+	for i := range items {
+		items[i] = topk.Item{Node: resp.Nodes[i], Score: resp.Scores[i]}
+	}
+	return items, nil
+}
+
+// ScoreRows implements shard.Slot over POST /shard/scores.
+func (e *RemoteEngine) ScoreRows(ctx context.Context, queries []int, uq *dense.Mat, rows []int, rank int) ([]float64, error) {
+	var resp ScoresResponse
+	req := ScoresRequest{Queries: queries, UQ: uq.Data, Rows: rows, Rank: rank}
+	if err := e.call(ctx, http.MethodPost, "/shard/scores", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Scores) != len(rows)*len(queries) {
+		return nil, fmt.Errorf("wire: %s returned %d scores, want %d: %w", e.addr, len(resp.Scores), len(rows)*len(queries), shard.ErrSlotDown)
+	}
+	e.observeGen(resp.Generation)
+	return resp.Scores, nil
+}
+
+// BoundTerms implements shard.Slot over GET /shard/meta.
+func (e *RemoteEngine) BoundTerms(ctx context.Context) (shard.BoundTerms, error) {
+	meta, err := e.fetchMeta(ctx)
+	if err != nil {
+		return shard.BoundTerms{}, err
+	}
+	return shard.BoundTerms{ZMax: meta.ZMax, UMax: meta.UMax, ZErr: meta.ZErr, UErr: meta.UErr}, nil
+}
+
+func (e *RemoteEngine) fetchMeta(ctx context.Context) (MetaResponse, error) {
+	var meta MetaResponse
+	if err := e.call(ctx, http.MethodGet, "/shard/meta", nil, &meta); err != nil {
+		return MetaResponse{}, err
+	}
+	e.observeGen(meta.Generation)
+	e.bytes.Store(meta.Bytes)
+	return meta, nil
+}
+
+// Reload triggers the worker's snapshot reload (RollWorkers drives it).
+func (e *RemoteEngine) Reload(ctx context.Context) (ReloadResponse, error) {
+	var resp ReloadResponse
+	if err := e.call(ctx, http.MethodPost, "/admin/reload", nil, &resp); err != nil {
+		return ReloadResponse{}, err
+	}
+	e.observeGen(resp.Generation)
+	return resp, nil
+}
+
+func (e *RemoteEngine) observeGen(gen uint64) {
+	// Generations only advance; keep the max so a straggling response
+	// from a pre-roll request cannot roll the observed generation back
+	// (which would thrash the router's bound cache).
+	for {
+		cur := e.gen.Load()
+		if gen <= cur || e.gen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// call runs one logical RPC: breaker gate, then up to MaxAttempts hedged
+// attempts with jittered backoff between them. Transport-class failures
+// (connect errors, timeouts, 5xx, torn responses) are wrapped in
+// shard.ErrSlotDown so the router can degrade around this shard; caller
+// errors (4xx) surface as-is and are not retried. Context cancellation
+// is never counted against the breaker — a caller giving up is not
+// evidence the worker is down.
+func (e *RemoteEngine) call(ctx context.Context, method, path string, req, resp any) error {
+	e.requests.Add(1)
+	if wait, open := e.breakerOpen(); open {
+		e.errCount.Add(1)
+		return fmt.Errorf("wire: %s breaker open, retry in %v: %w", e.addr, wait.Round(time.Millisecond), shard.ErrSlotDown)
+	}
+	var body []byte
+	if req != nil {
+		var err error
+		if body, err = json.Marshal(req); err != nil {
+			e.errCount.Add(1)
+			return fmt.Errorf("wire: encoding %s request: %w", path, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < e.opt.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			e.retries.Add(1)
+			if err := e.sleepCtx(ctx, e.backoff(attempt)); err != nil {
+				break
+			}
+		}
+		data, err := e.hedged(ctx, method, path, body)
+		if err == nil {
+			if resp != nil {
+				if derr := json.Unmarshal(data, resp); derr != nil {
+					// A 200 whose body does not decode is a half-dead
+					// worker, not a caller bug: retryable transport class.
+					lastErr = fmt.Errorf("decoding %s response: %w", path, derr)
+					continue
+				}
+			}
+			e.breakerRecord(false)
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retryable(err) {
+			break
+		}
+	}
+	e.errCount.Add(1)
+	if ctx.Err() != nil {
+		return fmt.Errorf("wire: %s %s: %w", e.addr, path, lastErr)
+	}
+	if retryable(lastErr) {
+		e.breakerRecord(true)
+		return fmt.Errorf("wire: %s %s failed after %d attempts: %v: %w", e.addr, path, e.opt.MaxAttempts, lastErr, shard.ErrSlotDown)
+	}
+	return fmt.Errorf("wire: %s %s: %w", e.addr, path, lastErr)
+}
+
+// hedged runs one attempt, launching a second identical request if the
+// first is still outstanding past the observed latency quantile. The
+// first response wins: the shared context is cancelled on return, and
+// the loser's body is never decoded — which is the structural reason a
+// hedged request can never double-count a shard's partials in the merge
+// (exactly one response object reaches the router per logical call).
+func (e *RemoteEngine) hedged(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		data  []byte
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	launch := func(isHedge bool) {
+		go func() {
+			data, err := e.post(hctx, method, path, body)
+			ch <- result{data, err, isHedge}
+		}()
+	}
+	launch(false)
+	outstanding := 1
+	var hedgeTimer <-chan time.Time
+	if d, ok := e.hedgeDelay(); ok {
+		hedgeTimer = e.clock.After(d)
+	}
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.hedge {
+					e.hedgeWins.Add(1)
+				}
+				return r.data, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				// Both legs (or the only leg) failed; the outer retry
+				// loop owns what happens next. No hedge is launched
+				// after a failure — that is a retry's job, with backoff.
+				return nil, firstErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			e.hedges.Add(1)
+			launch(true)
+			outstanding++
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (e *RemoteEngine) post(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	if err := fault.Hit(fault.SiteWireDial); err != nil {
+		return nil, err
+	}
+	if e.opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opt.Timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, e.addr+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if e.opt.AdminToken != "" {
+		req.Header.Set("Authorization", "Bearer "+e.opt.AdminToken)
+	}
+	start := e.clock.Now()
+	resp, err := e.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	data, err := io.ReadAll(fault.Reader(fault.SiteWireRead, resp.Body))
+	if err != nil {
+		return nil, err
+	}
+	elapsed := e.clock.Now().Sub(start)
+	e.ring.observe(elapsed)
+	e.lat.Observe(elapsed.Seconds())
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(data))
+		var er ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &httpError{code: resp.StatusCode, msg: msg}
+	}
+	return data, nil
+}
+
+func (e *RemoteEngine) hedgeDelay() (time.Duration, bool) {
+	if e.opt.HedgeQuantile < 0 {
+		return 0, false
+	}
+	d, ok := e.ring.quantile(e.opt.HedgeQuantile)
+	if !ok {
+		return 0, false
+	}
+	if d < e.opt.HedgeMinDelay {
+		d = e.opt.HedgeMinDelay
+	}
+	return d, true
+}
+
+// backoff mirrors reload.Policy: nominal BaseBackoff·2^(attempt-1)
+// capped at MaxBackoff, half deterministic and half jittered so replicas
+// retrying against one struggling worker spread out.
+func (e *RemoteEngine) backoff(attempt int) time.Duration {
+	nominal := float64(e.opt.BaseBackoff) * math.Pow(2, float64(attempt-1))
+	if limit := float64(e.opt.MaxBackoff); nominal > limit {
+		nominal = limit
+	}
+	half := nominal / 2
+	e.rngMu.Lock()
+	j := e.rng.Float64()
+	e.rngMu.Unlock()
+	return time.Duration(half + j*half)
+}
+
+func (e *RemoteEngine) sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-e.clock.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *RemoteEngine) breakerOpen() (time.Duration, bool) {
+	if e.opt.BreakerThreshold <= 0 {
+		return 0, false
+	}
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	now := e.clock.Now()
+	if !e.openUntil.IsZero() && now.Before(e.openUntil) {
+		return e.openUntil.Sub(now), true
+	}
+	return 0, false
+}
+
+func (e *RemoteEngine) breakerRecord(failed bool) {
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	if !failed {
+		e.fails = 0
+		e.openUntil = time.Time{}
+		return
+	}
+	e.fails++
+	if e.opt.BreakerThreshold > 0 && e.fails >= e.opt.BreakerThreshold {
+		e.openUntil = e.clock.Now().Add(e.opt.BreakerCooldown)
+	}
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("http %d: %s", e.code, e.msg) }
+
+// retryable classifies an attempt failure: transport errors, timeouts
+// and 5xx/429 responses may clear on retry; other HTTP statuses are
+// caller errors and burning attempts on them only hides bugs.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code >= 500 || he.code == http.StatusTooManyRequests
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+// Package wire is the process split for sharded serving: each shard of
+// the factor index runs in its own csrserver -shardworker process,
+// serving its node range over HTTP, and a RemoteEngine client implements
+// the same shard.Slot contract the in-process router consumes — so the
+// router's exact scatter–gather merge, generation-keyed bound cache, and
+// degradation tagging work unchanged across the wire.
+//
+// # Protocol
+//
+// Workers expose a small JSON protocol. Bulk float64 payloads travel as
+// base64-encoded little-endian IEEE-754 bit patterns (proto.go's F64s),
+// which round-trips every value bitwise by construction — the wire must
+// not be the place the bitwise-exactness contract dies. The payload shape
+// is the one BENCH_shard.json committed to: K·|Q|·k partial top-k items
+// plus |Q|·r gathered U rows, never an n x |Q| column matrix.
+//
+//	GET  /healthz       liveness: the process is up.
+//	GET  /readyz        readiness: a generation is loaded and serving.
+//	GET  /shard/meta    shape, node range, generation, tier, bound terms.
+//	POST /shard/urows   U rows of owned nodes (the query-broadcast gather).
+//	POST /shard/query   partial top-k of owned nodes for a query set.
+//	POST /shard/scores  targeted row scores (the /similarity primitive).
+//	POST /admin/reload  bearer-authenticated snapshot reload (next
+//	                    generation from the worker's shard-<s>/ dir).
+//
+// Every data response carries the generation that answered it, so the
+// router's bound cache observes worker rolls the same way it observes
+// in-process swaps.
+//
+// # Failure model
+//
+// The client wraps each logical call in bounded retries with jittered
+// exponential backoff, hedges a second attempt after the observed
+// latency quantile (first response wins; the loser's context is
+// cancelled and its response is never decoded, so a hedged request can
+// never double-count a shard's partials in the merge), and trips a
+// per-shard circuit breaker after consecutive failures so a dead worker
+// costs a fast local error instead of a timeout per query. All of these
+// surface as shard.ErrSlotDown to the router, which skips the shard and
+// tags the response degraded with an inflated error_bound
+// (shard.Router.TopKTagged); queries whose own query nodes live on the
+// dead shard still fail, because every other shard's partial needs their
+// U rows.
+//
+// Rolling reloads reuse reload.RollShards semantics one process further
+// out: RollWorkers walks the workers one at a time, triggering each
+// worker's own load→validate→swap (a worker that fails validation keeps
+// serving its old generation), and aborts on the first failure leaving a
+// mixed-generation cluster that still answers exactly per shard.
+package wire

@@ -1,0 +1,638 @@
+package wire_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csrplus"
+
+	"csrplus/internal/core"
+	"csrplus/internal/shard"
+	"csrplus/internal/wire"
+)
+
+const tN, tRank = 101, 4
+
+func randomGraph(t testing.TB, n int, seed int64) *csrplus.Graph {
+	t.Helper()
+	edges := make([][2]int, 0, 4*n)
+	state := uint64(seed)*2654435761 + 1
+	next := func(m int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(m))
+	}
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+		for e := 0; e < 3; e++ {
+			edges = append(edges, [2]int{next(n), next(n)})
+		}
+	}
+	g, err := csrplus.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testEngineIndex(t testing.TB, seed int64) (*csrplus.Engine, *core.Index) {
+	t.Helper()
+	eng, err := csrplus.NewEngine(randomGraph(t, tN, seed), csrplus.Options{Rank: tRank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, ok := eng.CoreIndex()
+	if !ok {
+		t.Fatal("CSR+ engine without a core index")
+	}
+	return eng, ix
+}
+
+// startWorkers splits ix into k shards, serves each behind an httptest
+// server, and returns the servers plus the in-process shards for
+// reference routers.
+func startWorkers(t testing.TB, ix *core.Index, k int) ([]*httptest.Server, []*core.IndexShard) {
+	t.Helper()
+	shards, err := shard.Split(ix, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*httptest.Server, k)
+	for s := range shards {
+		w := wire.NewWorker(shards[s], 0, wire.WorkerConfig{Shard: s})
+		servers[s] = httptest.NewServer(w.Handler())
+		t.Cleanup(servers[s].Close)
+	}
+	return servers, shards
+}
+
+// testOptions returns client options tuned for tests: deterministic
+// jitter, no hedging (tests that want it opt back in), no breaker.
+func testOptions() wire.Options {
+	return wire.Options{
+		Timeout:       30 * time.Second,
+		MaxAttempts:   1,
+		HedgeQuantile: -1,
+		Seed:          1,
+	}
+}
+
+func dialAll(t testing.TB, servers []*httptest.Server, opt wire.Options) ([]*wire.RemoteEngine, []shard.Slot) {
+	t.Helper()
+	engines := make([]*wire.RemoteEngine, len(servers))
+	slots := make([]shard.Slot, len(servers))
+	for i, srv := range servers {
+		o := opt
+		o.Shard = i
+		e, err := wire.Dial(context.Background(), srv.URL, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i], slots[i] = e, e
+	}
+	return engines, slots
+}
+
+func wireRouter(t testing.TB, servers []*httptest.Server, opt wire.Options) (*shard.Router, []*wire.RemoteEngine) {
+	t.Helper()
+	engines, slots := dialAll(t, servers, opt)
+	rt, err := shard.NewRouterSlots(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.PrimeBound(); err != nil {
+		t.Fatal(err)
+	}
+	return rt, engines
+}
+
+func TestF64sRoundTrip(t *testing.T) {
+	in := wire.F64s{0, 1, -1, 0.1, math.Pi, math.Inf(1), math.Inf(-1), math.NaN(),
+		math.SmallestNonzeroFloat64, -math.MaxFloat64, math.Float64frombits(0x0000000000000001)}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out wire.F64s
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Float64bits(out[i]) != math.Float64bits(in[i]) {
+			t.Fatalf("element %d: %x != %x", i, math.Float64bits(out[i]), math.Float64bits(in[i]))
+		}
+	}
+	var bad wire.F64s
+	if err := json.Unmarshal([]byte(`"AAA="`), &bad); err == nil {
+		t.Fatal("payload not a multiple of 8 bytes decoded without error")
+	}
+}
+
+// TestWireRouterMatchesMonolithic is the wire-split equivalence property:
+// a router over HTTP shard workers answers bitwise-identically to the
+// in-process router over the same shards and to the monolithic engine —
+// top-k at several k, truncated ranks, and targeted scores.
+func TestWireRouterMatchesMonolithic(t *testing.T) {
+	eng, ix := testEngineIndex(t, 1)
+	querySets := [][]int{{7}, {0}, {tN - 1}, {0, tN - 1}, {13, 42, 99}, {3, 50, 50, 77}}
+	targets := []int{0, 1, 17, 50, tN - 1}
+	ctx := context.Background()
+	for _, k := range []int{1, 4} {
+		servers, shards := startWorkers(t, ix, k)
+		local, err := shard.NewRouter(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, _ := wireRouter(t, servers, testOptions())
+		for _, queries := range querySets {
+			for _, topN := range []int{1, 10, tN} {
+				for _, rank := range []int{0, 2} {
+					want, err := local.TopKRank(ctx, queries, topN, rank)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := remote.TopKTagged(ctx, queries, topN, rank)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Missing != 0 || got.ErrorBound != 0 {
+						t.Fatalf("K=%d healthy cluster tagged missing=%d bound=%v", k, got.Missing, got.ErrorBound)
+					}
+					if len(got.Items) != len(want) {
+						t.Fatalf("K=%d queries=%v k=%d rank=%d: %d items, want %d", k, queries, topN, rank, len(got.Items), len(want))
+					}
+					for i := range want {
+						if got.Items[i] != want[i] {
+							t.Fatalf("K=%d queries=%v k=%d rank=%d item %d: got (%d, %x), want (%d, %x)",
+								k, queries, topN, rank, i,
+								got.Items[i].Node, math.Float64bits(got.Items[i].Score),
+								want[i].Node, math.Float64bits(want[i].Score))
+						}
+					}
+				}
+			}
+			// Single-query top-k must also match the monolithic engine.
+			if len(queries) == 1 {
+				want, err := eng.TopK(queries[0], 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := remote.TopKTagged(ctx, queries, 10, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got.Items[i].Node != want[i].Node || got.Items[i].Score != want[i].Score {
+						t.Fatalf("K=%d q=%d item %d differs from monolithic engine", k, queries[0], i)
+					}
+				}
+			}
+			for _, rank := range []int{0, 2} {
+				want, err := local.Scores(ctx, queries, targets, rank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := remote.Scores(ctx, queries, targets, rank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.IsShape(want.Rows, want.Cols) {
+					t.Fatalf("K=%d scores shape %dx%d, want %dx%d", k, got.Rows, got.Cols, want.Rows, want.Cols)
+				}
+				for i := range want.Data {
+					if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+						t.Fatalf("K=%d queries=%v rank=%d: score %d differs over the wire", k, queries, rank, i)
+					}
+				}
+			}
+		}
+		// Bounds fetched over the wire must equal the in-process ones.
+		for rank := 0; rank <= tRank; rank++ {
+			if got, want := remote.TruncationBound(rank), local.TruncationBound(rank); got != want {
+				t.Fatalf("K=%d TruncationBound(%d) = %v, want %v", k, rank, got, want)
+			}
+		}
+		if got, want := remote.MissingShardBound(), local.MissingShardBound(); got != want || got <= 0 {
+			t.Fatalf("K=%d MissingShardBound = %v, want %v (> 0)", k, got, want)
+		}
+	}
+}
+
+// TestWireRejectsColumnPath pins the payload contract: no n x |Q| column
+// matrix crosses the wire, so the router's column entry point fails on
+// remote slots instead of silently shipping gigabytes.
+func TestWireRejectsColumnPath(t *testing.T) {
+	_, ix := testEngineIndex(t, 1)
+	servers, _ := startWorkers(t, ix, 2)
+	rt, _ := wireRouter(t, servers, testOptions())
+	if _, err := rt.QueryRankInto(context.Background(), []int{3}, 0, nil); err == nil {
+		t.Fatal("column scatter over the wire succeeded; it must be rejected")
+	}
+}
+
+func TestWorkerAuthAndValidation(t *testing.T) {
+	_, ix := testEngineIndex(t, 1)
+	shards, err := shard.Split(ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWorker(shards[0], 0, wire.WorkerConfig{Shard: 0, AdminToken: "sesame"})
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	post := func(path, auth string, body string) int {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/admin/reload", "", ""); code != http.StatusUnauthorized {
+		t.Fatalf("reload without token: %d, want 401", code)
+	}
+	if code := post("/admin/reload", "Bearer wrong", ""); code != http.StatusUnauthorized {
+		t.Fatalf("reload with bad token: %d, want 401", code)
+	}
+	// The right token passes auth; the reload itself fails (no snapshot
+	// dir behind this worker), which must surface as 500, not an auth code.
+	if code := post("/admin/reload", "Bearer sesame", ""); code != http.StatusInternalServerError {
+		t.Fatalf("authorised reload with no snapshots: %d, want 500", code)
+	}
+	noAuth := wire.NewWorker(shards[0], 0, wire.WorkerConfig{Shard: 0})
+	srv2 := httptest.NewServer(noAuth.Handler())
+	defer srv2.Close()
+	req, _ := http.NewRequest(http.MethodPost, srv2.URL+"/admin/reload", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("reload with admin disabled: %d, want 403", resp.StatusCode)
+	}
+
+	// Request validation: un-owned node, bad UQ shape, bad k, bad method.
+	lo, hi := shards[0].Lo(), shards[0].Hi()
+	if code := post("/shard/urows", "", `{"nodes":[`+itoa(hi)+`]}`); code != http.StatusBadRequest {
+		t.Fatalf("urows outside [%d, %d): %d, want 400", lo, hi, code)
+	}
+	if code := post("/shard/query", "", `{"queries":[1],"uq":"","k":3}`); code != http.StatusBadRequest {
+		t.Fatalf("query with empty uq: %d, want 400", code)
+	}
+	if code := post("/shard/query", "", `{"queries":[],"k":3}`); code != http.StatusBadRequest {
+		t.Fatalf("query with no queries: %d, want 400", code)
+	}
+	getResp, err := http.Get(srv.URL + "/shard/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /shard/query: %d, want 405", getResp.StatusCode)
+	}
+	// Health endpoints are always live once the worker is constructed.
+	for _, p := range []string{"/healthz", "/readyz"} {
+		hr, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ready wire.ReadyResponse
+		if err := json.NewDecoder(hr.Body).Decode(&ready); err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK || ready.Status != "ok" || ready.Generation != 1 {
+			t.Fatalf("%s: %d %+v", p, hr.StatusCode, ready)
+		}
+	}
+}
+
+func itoa(v int) string {
+	raw, _ := json.Marshal(v)
+	return string(raw)
+}
+
+// TestRollWorkersSnapshotLifecycle walks the full remote-roll contract:
+// snapshot-booted workers, a publish + RollWorkers moving every worker to
+// the new generation (and the router's answers to the new factors), and
+// an abort-on-first-failure partial roll leaving a mixed but serving
+// cluster.
+func TestRollWorkersSnapshotLifecycle(t *testing.T) {
+	_, ixA := testEngineIndex(t, 1)
+	engB, ixB := testEngineIndex(t, 2)
+	const k = 3
+	shardsA, err := shard.Split(ixA, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, k)
+	servers := make([]*httptest.Server, k)
+	workers := make([]*wire.Worker, k)
+	root := t.TempDir()
+	for s, sh := range shardsA {
+		dirs[s] = core.ShardDir(root, s)
+		if _, _, err := core.WriteShardSnapshot(dirs[s], sh); err != nil {
+			t.Fatal(err)
+		}
+		w, err := wire.BootWorker(wire.WorkerConfig{Shard: s, SnapshotDir: dirs[s], AdminToken: "sesame"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[s] = w
+		servers[s] = httptest.NewServer(w.Handler())
+		t.Cleanup(servers[s].Close)
+	}
+	opt := testOptions()
+	opt.AdminToken = "sesame"
+	rt, engines := wireRouter(t, servers, opt)
+
+	// Publish index B's factors and roll the cluster onto them.
+	for s := range dirs {
+		lo, hi := rt.Plan().Range(s)
+		sh, err := ixB.Shard(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := core.WriteShardSnapshot(dirs[s], sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	swapped, err := wire.RollWorkers(context.Background(), engines)
+	if err != nil || swapped != k {
+		t.Fatalf("RollWorkers = %d, %v; want %d, nil", swapped, err, k)
+	}
+	for s, e := range engines {
+		if e.Generation() != 2 {
+			t.Fatalf("engine %d generation %d after roll, want 2", s, e.Generation())
+		}
+	}
+	queries := []int{3, 50}
+	want, err := engB.TopKMulti(queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.TopKTagged(context.Background(), queries, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got.Items[i].Node != want[i].Node || got.Items[i].Score != want[i].Score {
+			t.Fatalf("post-roll item %d differs from index B's monolithic answer", i)
+		}
+	}
+
+	// Kill worker 1 and roll again: worker 0 swaps, the roll aborts at
+	// worker 1, worker 2 is never touched — and the cluster still serves.
+	servers[1].Close()
+	for s := range dirs {
+		lo, hi := rt.Plan().Range(s)
+		sh, err := ixA.Shard(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := core.WriteShardSnapshot(dirs[s], sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	swapped, err = wire.RollWorkers(context.Background(), engines)
+	if err == nil || swapped != 1 {
+		t.Fatalf("partial roll = %d, %v; want 1 and an error", swapped, err)
+	}
+	if !errors.Is(err, shard.ErrSlotDown) {
+		t.Fatalf("partial roll error %v, want ErrSlotDown", err)
+	}
+	if g := engines[0].Generation(); g != 3 {
+		t.Fatalf("worker 0 generation %d, want 3 (rolled before the abort)", g)
+	}
+	res, err := rt.TopKTagged(context.Background(), []int{3}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missing != 1 || res.ErrorBound <= 0 {
+		t.Fatalf("degraded serve after crash: missing=%d bound=%v, want 1 and > 0", res.Missing, res.ErrorBound)
+	}
+}
+
+// fakeClock drives the client's hedge timers and breaker deterministically.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if !at.After(c.now) {
+		ch <- c.now
+		return ch
+	}
+	c.timers = append(c.timers, fakeTimer{at, ch})
+	return ch
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, tm := range c.timers {
+		if !tm.at.After(c.now) {
+			tm.ch <- c.now
+		} else {
+			kept = append(kept, tm)
+		}
+	}
+	c.timers = kept
+}
+
+// TestHedgedRequestNeverDoubleCounts pins the hedging invariant with a
+// deterministic clock: the primary request to one shard is held hostage,
+// the fake clock fires the hedge, the hedge's response answers — and the
+// merged top-k is still bitwise-exact, because exactly one response per
+// logical call ever reaches the merge.
+func TestHedgedRequestNeverDoubleCounts(t *testing.T) {
+	eng, ix := testEngineIndex(t, 1)
+	shards, err := shard.Split(ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queryCalls atomic.Int64
+	primaryArrived := make(chan struct{})
+	w0 := wire.NewWorker(shards[0], 0, wire.WorkerConfig{Shard: 0})
+	inner := w0.Handler()
+	srv0 := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/shard/query" {
+			if queryCalls.Add(1) == 1 {
+				// Drain the body so net/http starts its background
+				// connection reader — without that the server never
+				// notices the client cancelling, and r.Context() would
+				// never fire.
+				io.Copy(io.Discard, r.Body)
+				close(primaryArrived)
+				<-r.Context().Done() // hold the primary hostage until it is cancelled
+				return
+			}
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	defer srv0.Close()
+	w1 := wire.NewWorker(shards[1], 0, wire.WorkerConfig{Shard: 1})
+	srv1 := httptest.NewServer(w1.Handler())
+	defer srv1.Close()
+
+	clk := newFakeClock()
+	opt := testOptions()
+	opt.Clock = clk
+	opt.HedgeQuantile = 0.5
+	opt.HedgeMinDelay = time.Millisecond
+	rt, engines := wireRouter(t, []*httptest.Server{srv0, srv1}, opt)
+	// Warm the latency ring past the hedge-arming sample floor.
+	for i := 0; i < 20; i++ {
+		if _, err := engines[0].BoundTerms(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	queries := []int{3, 77}
+	want, err := eng.TopKMulti(queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var res shard.TopKResult
+	var qerr error
+	go func() {
+		defer close(done)
+		res, qerr = rt.TopKTagged(context.Background(), queries, 10, 0)
+	}()
+	<-primaryArrived
+	deadline := time.After(20 * time.Second)
+wait:
+	for {
+		select {
+		case <-done:
+			break wait
+		case <-deadline:
+			t.Fatal("hedge never fired")
+		default:
+			clk.Advance(2 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if res.Missing != 0 {
+		t.Fatalf("hedged query tagged %d missing shards", res.Missing)
+	}
+	if len(res.Items) != len(want) {
+		t.Fatalf("%d items, want %d", len(res.Items), len(want))
+	}
+	for i := range want {
+		if res.Items[i].Node != want[i].Node || res.Items[i].Score != want[i].Score {
+			t.Fatalf("hedged merge item %d: got (%d, %x), want (%d, %x) — a double-counted partial would land here",
+				i, res.Items[i].Node, math.Float64bits(res.Items[i].Score),
+				want[i].Node, math.Float64bits(want[i].Score))
+		}
+	}
+	st := engines[0].Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("hedges=%d wins=%d, want 1/1", st.Hedges, st.HedgeWins)
+	}
+	if calls := queryCalls.Load(); calls != 2 {
+		t.Fatalf("worker saw %d query calls, want 2 (primary + hedge)", calls)
+	}
+}
+
+// TestBreakerOpensAndFailsFast pins the per-shard circuit breaker on a
+// fake clock: consecutive failures open it, an open breaker fails without
+// touching the network, and context cancellations never count as shard
+// failures.
+func TestBreakerOpensAndFailsFast(t *testing.T) {
+	_, ix := testEngineIndex(t, 1)
+	servers, _ := startWorkers(t, ix, 2)
+	clk := newFakeClock()
+	opt := testOptions()
+	opt.Clock = clk
+	opt.Timeout = 2 * time.Second
+	opt.BreakerThreshold = 1
+	opt.BreakerCooldown = time.Hour
+	rt, engines := wireRouter(t, servers, opt)
+
+	// A cancelled caller context is not evidence the worker is down.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := engines[1].BoundTerms(cancelled); err == nil {
+		t.Fatal("call with cancelled context succeeded")
+	}
+	if st := engines[1].Stats(); st.BreakerOpen || st.ConsecutiveFailures != 0 {
+		t.Fatalf("breaker charged for a caller cancellation: %+v", st)
+	}
+
+	servers[1].Close()
+	if _, err := rt.TopKTagged(context.Background(), []int{3}, 5, 0); err != nil {
+		t.Fatalf("degraded top-k errored: %v", err)
+	}
+	st := engines[1].Stats()
+	if !st.BreakerOpen || st.ConsecutiveFailures < 1 {
+		t.Fatalf("breaker after dead-worker call: %+v", st)
+	}
+	// While open, calls fail fast without a network attempt; the degrade
+	// path keeps serving from the shards that remain.
+	before := engines[1].Stats().Retries
+	res, err := rt.TopKTagged(context.Background(), []int{3}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missing != 1 {
+		t.Fatalf("missing=%d, want 1", res.Missing)
+	}
+	if wantBound := 1 * rt.MissingShardBound(); res.ErrorBound != wantBound {
+		t.Fatalf("error bound %v, want |Q|*MissingShardBound = %v", res.ErrorBound, wantBound)
+	}
+	if after := engines[1].Stats().Retries; after != before {
+		t.Fatalf("open breaker still retried the network: %d -> %d", before, after)
+	}
+	// A query whose own query node lives on the dead shard must fail:
+	// every other shard needs its U rows.
+	lo, _ := rt.Plan().Range(1)
+	if _, err := rt.TopKTagged(context.Background(), []int{lo}, 5, 0); err == nil {
+		t.Fatal("query owned by the dead shard succeeded")
+	}
+}

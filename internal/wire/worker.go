@@ -1,0 +1,282 @@
+package wire
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"csrplus/internal/core"
+	"csrplus/internal/dense"
+	"csrplus/internal/reload"
+	"csrplus/internal/shard"
+)
+
+// maxBody bounds a worker request body: the largest legitimate payload is
+// a /shard/query UQ broadcast (|Q| x rank float64s), which at the serving
+// batch sizes is kilobytes. 64 MiB leaves three orders of magnitude of
+// headroom while keeping a confused client from ballooning worker memory.
+const maxBody = 64 << 20
+
+// WorkerConfig configures one shard worker process.
+type WorkerConfig struct {
+	// Shard is the slot index this worker serves (its snapshot dir is
+	// <snapshots>/shard-<Shard>).
+	Shard int
+	// SnapshotDir is the worker's own shard-<s> snapshot directory —
+	// where Reload looks for the next generation.
+	SnapshotDir string
+	// AdminToken authenticates POST /admin/reload. Empty disables the
+	// endpoint (403), matching csrserver's monolithic admin surface.
+	AdminToken string
+	// Log receives worker lifecycle lines; nil uses the standard logger.
+	Log *log.Logger
+}
+
+// Worker serves one core.IndexShard over HTTP behind the same
+// atomic-generation slot an in-process router uses, so a reload swaps
+// factors under in-flight requests with identical semantics: requests
+// resolve the generation once at entry and finish on it.
+type Worker struct {
+	cfg  WorkerConfig
+	slot *shard.Local
+
+	reloadMu sync.Mutex // serialises Reload's load→validate→swap
+	snapGen  uint64     // snapshot generation serving; guarded by reloadMu
+}
+
+// NewWorker wraps an already-loaded shard. snapGen names the snapshot
+// generation it came from (0 when built in process).
+func NewWorker(sh *core.IndexShard, snapGen uint64, cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg, slot: shard.NewLocal(sh), snapGen: snapGen}
+}
+
+// BootWorker recovers the newest loadable snapshot from cfg.SnapshotDir
+// (core.RecoverShardSnapshot's fallback ladder), validates it, and
+// returns a serving worker.
+func BootWorker(cfg WorkerConfig) (*Worker, error) {
+	sh, snap, recovered, err := core.RecoverShardSnapshot(cfg.SnapshotDir)
+	if err != nil {
+		return nil, fmt.Errorf("wire: booting shard %d from %s: %w", cfg.Shard, cfg.SnapshotDir, err)
+	}
+	if err := reload.ValidateShard(sh); err != nil {
+		return nil, fmt.Errorf("wire: booting shard %d: %w", cfg.Shard, err)
+	}
+	if recovered {
+		logf(cfg.Log, "shard %d: recovered to snapshot generation %d (CURRENT was not loadable)", cfg.Shard, snap.Gen)
+	}
+	return NewWorker(sh, snap.Gen, cfg), nil
+}
+
+// Slot exposes the worker's slot for in-process embedding (tests, and a
+// future hybrid local+remote deployment).
+func (w *Worker) Slot() *shard.Local { return w.slot }
+
+// Reload loads the newest snapshot from the worker's directory, validates
+// it against the serving slot's shape, and swaps it in. A reload that
+// fails at any stage leaves the old generation serving — the same
+// guarantee reload.RollShards gives an in-process slot.
+func (w *Worker) Reload() (ReloadResponse, error) {
+	w.reloadMu.Lock()
+	defer w.reloadMu.Unlock()
+	sh, snap, recovered, err := core.RecoverShardSnapshot(w.cfg.SnapshotDir)
+	if err != nil {
+		return ReloadResponse{}, fmt.Errorf("wire: reloading shard %d: %w", w.cfg.Shard, err)
+	}
+	cur, _ := w.slot.Current()
+	if sh.N() != cur.N() || sh.Lo() != cur.Lo() || sh.Hi() != cur.Hi() || sh.Rank() != cur.Rank() || sh.Damping() != cur.Damping() {
+		return ReloadResponse{}, fmt.Errorf("wire: shard %d snapshot covers [%d, %d) of n=%d r=%d, serving [%d, %d) of n=%d r=%d: %w",
+			w.cfg.Shard, sh.Lo(), sh.Hi(), sh.N(), sh.Rank(), cur.Lo(), cur.Hi(), cur.N(), cur.Rank(), shard.ErrShard)
+	}
+	if err := reload.ValidateShard(sh); err != nil {
+		return ReloadResponse{}, fmt.Errorf("wire: reloading shard %d: %w", w.cfg.Shard, err)
+	}
+	gen := w.slot.Swap(sh)
+	w.snapGen = snap.Gen
+	logf(w.cfg.Log, "shard %d: serving generation %d (snapshot %d%s)", w.cfg.Shard, gen, snap.Gen,
+		map[bool]string{true: ", recovered", false: ""}[recovered])
+	return ReloadResponse{Generation: gen, SnapshotGen: snap.Gen, Recovered: recovered}, nil
+}
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", w.handleHealth)
+	mux.HandleFunc("/readyz", w.handleHealth)
+	mux.HandleFunc("/shard/meta", w.handleMeta)
+	mux.HandleFunc("/shard/urows", w.handleURows)
+	mux.HandleFunc("/shard/query", w.handleQuery)
+	mux.HandleFunc("/shard/scores", w.handleScores)
+	mux.HandleFunc("/admin/reload", w.handleReload)
+	return mux
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	// A constructed worker always has a serving generation (boot fails
+	// otherwise), so liveness and readiness coincide; /readyz still
+	// exists separately so orchestration configured against the
+	// monolithic csrserver surface works unchanged.
+	writeJSON(rw, http.StatusOK, ReadyResponse{Status: "ok", Shard: w.cfg.Shard, Generation: w.slot.Generation()})
+}
+
+func (w *Worker) handleMeta(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(rw, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	sh, gen := w.slot.Current()
+	zmax, umax := sh.ColMaxes()
+	zerr, uerr := sh.QuantErrs()
+	writeJSON(rw, http.StatusOK, MetaResponse{
+		N: sh.N(), Lo: sh.Lo(), Hi: sh.Hi(), Rank: sh.Rank(), Damping: sh.Damping(),
+		Generation: gen, Bytes: sh.Bytes(), Tier: sh.Tier().String(),
+		ZMax: zmax, UMax: umax, ZErr: zerr, UErr: uerr,
+	})
+}
+
+func (w *Worker) handleURows(rw http.ResponseWriter, r *http.Request) {
+	var req URowsRequest
+	if !readJSON(rw, r, &req) {
+		return
+	}
+	sh, gen := w.slot.Current()
+	if len(req.Nodes) == 0 {
+		writeError(rw, http.StatusBadRequest, errors.New("empty node set"))
+		return
+	}
+	rows := make([]float64, 0, len(req.Nodes)*sh.Rank())
+	for _, q := range req.Nodes {
+		if !sh.Owns(q) {
+			writeError(rw, http.StatusBadRequest, fmt.Errorf("node %d outside shard [%d, %d)", q, sh.Lo(), sh.Hi()))
+			return
+		}
+		rows = append(rows, sh.URow(q)...)
+	}
+	writeJSON(rw, http.StatusOK, URowsResponse{Generation: gen, Rows: rows})
+}
+
+// decodeUQ validates and shapes the query broadcast common to /shard/query
+// and /shard/scores.
+func decodeUQ(sh *core.IndexShard, queries []int, uq F64s) (*dense.Mat, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("empty query set")
+	}
+	for _, q := range queries {
+		if q < 0 || q >= sh.N() {
+			return nil, fmt.Errorf("query node %d not in [0, %d)", q, sh.N())
+		}
+	}
+	if len(uq) != len(queries)*sh.Rank() {
+		return nil, fmt.Errorf("uq has %d floats, want %d (|Q|=%d x r=%d)", len(uq), len(queries)*sh.Rank(), len(queries), sh.Rank())
+	}
+	return dense.NewMatFrom(len(queries), sh.Rank(), uq), nil
+}
+
+func (w *Worker) handleQuery(rw http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !readJSON(rw, r, &req) {
+		return
+	}
+	sh, gen := w.slot.Current()
+	uq, err := decodeUQ(sh, req.Queries, req.UQ)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 1 {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("k must be >= 1, got %d", req.K))
+		return
+	}
+	items, err := shard.PartialTopK(r.Context(), sh, req.Queries, uq, req.K, req.Rank)
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	resp := QueryResponse{Generation: gen, Nodes: make([]int, len(items)), Scores: make(F64s, len(items))}
+	for i, it := range items {
+		resp.Nodes[i] = it.Node
+		resp.Scores[i] = it.Score
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+func (w *Worker) handleScores(rw http.ResponseWriter, r *http.Request) {
+	var req ScoresRequest
+	if !readJSON(rw, r, &req) {
+		return
+	}
+	sh, gen := w.slot.Current()
+	uq, err := decodeUQ(sh, req.Queries, req.UQ)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	scores, err := sh.ScoreRows(r.Context(), req.Queries, uq, req.Rows, req.Rank)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, core.ErrParams) || errors.Is(err, core.ErrQuery) {
+			code = http.StatusBadRequest
+		}
+		writeError(rw, code, err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, ScoresResponse{Generation: gen, Scores: scores})
+}
+
+func (w *Worker) handleReload(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if w.cfg.AdminToken == "" {
+		writeError(rw, http.StatusForbidden, errors.New("admin endpoints disabled: no admin token configured"))
+		return
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix ||
+		subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(w.cfg.AdminToken)) != 1 {
+		writeError(rw, http.StatusUnauthorized, errors.New("bad admin token"))
+		return
+	}
+	resp, err := w.Reload()
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+func readJSON(rw http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxBody))
+	if err := dec.Decode(dst); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func writeError(rw http.ResponseWriter, code int, err error) {
+	writeJSON(rw, code, ErrorResponse{Error: err.Error()})
+}
+
+func logf(l *log.Logger, format string, args ...any) {
+	if l != nil {
+		l.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
