@@ -1,0 +1,82 @@
+package main
+
+import (
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"csrplus/internal/fault"
+)
+
+// armFaultsFromEnv arms the fault-injection registry from the
+// environment, so a test harness can inject faults into a real csrserver
+// process without a bespoke flag surface:
+//
+//	CSRSERVER_FAULT_SEED=7
+//	CSRSERVER_FAULTS="ingest/wal.append:errprob=0.1,tornprob=0.2,tornbytes=13;ingest/wal.fsync:errprob=0.2"
+//
+// The spec is ';'-separated site entries, each "site:key=val,key=val".
+// Keys mirror fault.Plan: errprob, tornprob, tornbytes, allocprob,
+// latencyprob, latency (a time.Duration). In a binary built without
+// -tags faultinject the registry's hooks compile to no-ops; a requested
+// spec is then reported and ignored rather than silently half-applied.
+func armFaultsFromEnv() {
+	spec := os.Getenv("CSRSERVER_FAULTS")
+	if spec == "" {
+		return
+	}
+	seed := int64(1)
+	if s := os.Getenv("CSRSERVER_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			log.Fatalf("CSRSERVER_FAULT_SEED=%q is not an integer: %v", s, err)
+		}
+		seed = v
+	}
+	fault.Enable(seed)
+	if !fault.Enabled() {
+		log.Printf("CSRSERVER_FAULTS set but this binary was built without -tags faultinject; ignoring")
+		return
+	}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, kvs, ok := strings.Cut(entry, ":")
+		if !ok {
+			log.Fatalf("CSRSERVER_FAULTS entry %q: want site:key=val,...", entry)
+		}
+		var plan fault.Plan
+		for _, kv := range strings.Split(kvs, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				log.Fatalf("CSRSERVER_FAULTS entry %q: bad pair %q", entry, kv)
+			}
+			var err error
+			switch k {
+			case "errprob":
+				plan.ErrProb, err = strconv.ParseFloat(v, 64)
+			case "tornprob":
+				plan.TornProb, err = strconv.ParseFloat(v, 64)
+			case "tornbytes":
+				plan.TornBytes, err = strconv.Atoi(v)
+			case "allocprob":
+				plan.AllocProb, err = strconv.ParseFloat(v, 64)
+			case "latencyprob":
+				plan.LatencyProb, err = strconv.ParseFloat(v, 64)
+			case "latency":
+				plan.Latency, err = time.ParseDuration(v)
+			default:
+				log.Fatalf("CSRSERVER_FAULTS entry %q: unknown key %q", entry, k)
+			}
+			if err != nil {
+				log.Fatalf("CSRSERVER_FAULTS entry %q: bad value %q for %q: %v", entry, v, k, err)
+			}
+		}
+		fault.Arm(site, plan)
+		log.Printf("fault injection: armed %s (seed %d): %+v", site, seed, plan)
+	}
+}

@@ -56,7 +56,6 @@ package main
 
 import (
 	"context"
-	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -72,8 +71,10 @@ import (
 
 	"csrplus"
 
+	"csrplus/internal/auth"
 	"csrplus/internal/cache"
 	"csrplus/internal/core"
+	"csrplus/internal/ingest"
 	"csrplus/internal/reload"
 	"csrplus/internal/serve"
 	"csrplus/internal/shard"
@@ -103,7 +104,9 @@ func main() {
 	wireHedgeMin := flag.Duration("wirehedgemin", time.Millisecond, "floor on the hedge delay")
 	wireBreakerFails := flag.Int("wirebreakerfails", 5, "consecutive failed shard calls that open that shard's circuit breaker (0 disables)")
 	wireBreakerCooldown := flag.Duration("wirebreakercooldown", 5*time.Second, "how long an open shard breaker fails fast before probing")
-	adminToken := flag.String("admintoken", "", "bearer token authorising POST /admin/reload (empty disables it)")
+	adminToken := flag.String("admintoken", "", "bearer token authorising the POST /admin/* routes (empty disables them)")
+	walDir := flag.String("waldir", "", "write-ahead log directory for durable streaming edge ingestion; enables POST /admin/edges and boot-time crash replay (monolithic CSR+ only)")
+	driftBudget := flag.Float64("driftbudget", 0, "entrywise drift bound past which streamed edges mark answers degraded and trigger a live-graph rebuild (0 disables; requires -waldir)")
 	cacheSize := flag.Int("cache", 1024, "top-k result cache entries (0 disables)")
 	maxBatch := flag.Int("maxbatch", 32, "max query nodes coalesced per engine call")
 	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for co-batching a partial batch")
@@ -119,11 +122,15 @@ func main() {
 	breakerFails := flag.Int("breakerfails", 5, "consecutive failed reloads that open the circuit breaker (0 disables)")
 	breakerCooldown := flag.Duration("breakercooldown", 10*time.Second, "how long an open breaker rejects reload triggers")
 	flag.Parse()
+	armFaultsFromEnv()
 
 	// The wire modes serve without a local graph: a worker's identity is
 	// its snapshot, a router's is its workers.
 	if *shardWorker >= 0 && *shardAddrs != "" {
 		log.Fatalln("csrserver: -shardworker and -shardaddrs are different processes; pick one")
+	}
+	if *walDir != "" && (*shardWorker >= 0 || *shardAddrs != "") {
+		log.Fatalln("csrserver: -waldir needs the graph in-process; it is not supported in the wire modes (-shardworker/-shardaddrs)")
 	}
 	if *shardWorker >= 0 {
 		runShardWorker(*shardWorker, *snapDir, *addr, *adminToken)
@@ -186,6 +193,18 @@ func main() {
 	if *shards > 1 && *algo != csrplus.AlgoCSRPlus {
 		log.Fatalln("csrserver: -shards requires the CSR+ algorithm (only CSR+ factors partition by node range)")
 	}
+	if *walDir != "" {
+		switch {
+		case *algo != csrplus.AlgoCSRPlus:
+			log.Fatalln("csrserver: -waldir requires the CSR+ algorithm (streamed edges maintain CSR+ factors)")
+		case *shards > 1:
+			log.Fatalln("csrserver: -waldir requires a monolithic server (-shards 1)")
+		case *quantize != "":
+			log.Fatalln("csrserver: -waldir maintains exact f64 factors; drop -quantize")
+		}
+	} else if *driftBudget > 0 {
+		log.Fatalln("csrserver: -driftbudget requires -waldir")
+	}
 	var lru *cache.LRU
 	if *cacheSize > 0 {
 		lru = cache.New(*cacheSize)
@@ -237,6 +256,17 @@ func main() {
 	}
 	log.Printf("ready in %v (source=%s peak %d bytes)", cand.Meta.BuildTime, cand.Meta.Source, cand.Meta.PeakBytes)
 
+	// Streaming ingestion: the WAL-backed service layers streamed edges
+	// onto the boot graph and accounts the drift the boot factors accrue
+	// against the live graph. It comes up cold here; replay runs in the
+	// background below so /readyz tracks it honestly.
+	var ing *ingest.Service
+	if *walDir != "" {
+		if ing, err = setupIngest(g, eng, cand, *walDir, *driftBudget); err != nil {
+			log.Fatalln("csrserver:", err)
+		}
+	}
+
 	// NewRanked: engine passes reuse a pooled n x |Q| scratch matrix and
 	// see the batch context (an abandoned batch stops mid-pass); engines
 	// with rank structure additionally serve truncated under pressure.
@@ -245,6 +275,7 @@ func main() {
 		Rank:  cand.Rank,
 		Bound: cand.Bound,
 		Query: cand.RankQuery,
+		Drift: cand.Drift,
 	}, serve.Config{
 		MaxBatch:   *maxBatch,
 		Linger:     *linger,
@@ -262,7 +293,11 @@ func main() {
 	if src.router != nil {
 		sv.Metrics().SetShards(src.router.K())
 	}
-	man := reload.NewWithPolicy(sv, src.loader(), cand.Meta, reload.Policy{
+	loadFn := src.loader()
+	if ing != nil {
+		loadFn = ingestLoader(src, ing)
+	}
+	man := reload.NewWithPolicy(sv, loadFn, cand.Meta, reload.Policy{
 		MaxAttempts:      *reloadRetries,
 		BaseBackoff:      *reloadBackoff,
 		BreakerThreshold: *breakerFails,
@@ -271,12 +306,33 @@ func main() {
 	// The boot generation may pin a snapshot mapping too; the Manager
 	// frees it after the first successful reload swaps it out.
 	man.SetBootRelease(cand.Release)
+	if ing != nil {
+		ing.SetRebuildTrigger(func() {
+			log.Println("csrserver: drift budget exceeded, rebuilding from the live graph ...")
+			if _, err := reloadAndCommit(context.Background(), man, ing); err != nil {
+				log.Println("csrserver: drift rebuild failed:", err)
+			}
+		})
+		// Replay off the serving path: the listener comes up immediately,
+		// /readyz reports not-ready and /admin/edges 503s until the tail is
+		// back inside the graph. A log the boot factors can't replay onto
+		// is fatal — serving would silently drop acknowledged edges.
+		go func() {
+			start := time.Now()
+			if err := ing.Recover(); err != nil {
+				log.Fatalln("csrserver: WAL recovery failed:", err)
+			}
+			st := ing.Stats()
+			log.Printf("csrserver: WAL replay complete in %v (seq %d, drift %.3g)", time.Since(start), st.LastSeq, st.Drift)
+			ing.TriggerIfExceeded()
+		}()
+	}
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
-	go reloadOnHUP(hup, man)
+	go reloadOnHUP(hup, man, ing)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(man, sv, lru, *adminToken, src.router),
+		Handler:           newMux(man, sv, lru, *adminToken, src.router, ing),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	serveAndWait(srv, sv, fmt.Sprintf("server (maxbatch=%d linger=%v)", *maxBatch, *linger))
@@ -564,11 +620,14 @@ func tierName(q string) string {
 
 // reloadOnHUP runs one reload per SIGHUP — the operator's signal that a
 // new snapshot was published (or that the graph should be re-indexed).
-// Failures are logged and the previous generation keeps serving.
-func reloadOnHUP(ch <-chan os.Signal, man *reload.Manager) {
+// Failures are logged and the previous generation keeps serving. svc is
+// the streaming-ingestion service when one is configured (nil otherwise);
+// a successful operator reload commits its drift baseline like a
+// drift-triggered one would.
+func reloadOnHUP(ch <-chan os.Signal, man *reload.Manager, svc *ingest.Service) {
 	for range ch {
 		log.Println("csrserver: SIGHUP, reloading index ...")
-		st, err := man.Reload(context.Background())
+		st, err := reloadAndCommit(context.Background(), man, svc)
 		if err != nil {
 			log.Println("csrserver: reload failed:", err)
 			continue
@@ -597,11 +656,13 @@ func loadGraph(dataset string, scale int64, graphPath string, n int) (*csrplus.G
 // newMux wires the HTTP routes: query traffic goes through the serve
 // layer sv; the reload manager man answers /stats and the /admin routes.
 // Split from main so the handlers are testable with httptest. adminToken
-// guards POST /admin/reload; empty disables the route entirely. rt is the
+// guards the POST /admin/* routes; empty disables them. rt is the
 // scatter-gather router when -shards > 1 (nil otherwise) and only adds
 // per-shard detail to /stats and /admin/index — their unsharded shapes
-// are unchanged.
-func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken string, rt *shard.Router) *http.ServeMux {
+// are unchanged. svc is the streaming-ingestion service when -waldir is
+// set (nil otherwise): it registers POST /admin/edges, gates /readyz on
+// WAL replay, and adds an "ingest" section to /stats.
+func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken string, rt *shard.Router, svc *ingest.Service) *http.ServeMux {
 	mux := http.NewServeMux()
 	// /health and /healthz are liveness: the process is up and able to
 	// answer HTTP. They stay 200 through failed reloads and degraded mode
@@ -625,9 +686,17 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 			"recovered":      st.Recovered,
 			"reload_breaker": b,
 		}
+		if svc != nil {
+			body["ingest_ready"] = svc.Ready()
+		}
 		switch {
 		case st.Generation == 0:
 			body["status"] = "no generation"
+			writeJSON(w, http.StatusServiceUnavailable, body)
+		case svc != nil && !svc.Ready():
+			// A generation is serving but acknowledged edges are still
+			// being replayed: answers would silently miss them.
+			body["status"] = "ingest replay in progress"
 			writeJSON(w, http.StatusServiceUnavailable, body)
 		case b.Open:
 			body["status"] = "reload breaker open"
@@ -659,6 +728,9 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 		if rt != nil {
 			body["shards"] = rt.Status()
 		}
+		if svc != nil {
+			body["ingest"] = svc.Stats()
+		}
 		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("/admin/index", func(w http.ResponseWriter, r *http.Request) {
@@ -688,21 +760,10 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("reload requires POST"))
 			return
 		}
-		if adminToken == "" {
-			writeError(w, http.StatusForbidden, fmt.Errorf("admin reload disabled: start csrserver with -admintoken"))
+		if !auth.Require(w, r, adminToken, failAuth) {
 			return
 		}
-		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-		if !ok || token == "" {
-			w.Header().Set("WWW-Authenticate", "Bearer")
-			writeError(w, http.StatusUnauthorized, fmt.Errorf("missing bearer token"))
-			return
-		}
-		if subtle.ConstantTimeCompare([]byte(token), []byte(adminToken)) != 1 {
-			writeError(w, http.StatusForbidden, fmt.Errorf("bad token"))
-			return
-		}
-		st, err := man.Reload(r.Context())
+		st, err := reloadAndCommit(r.Context(), man, svc)
 		switch {
 		case errors.Is(err, reload.ErrCoalesced):
 			// The trigger was folded into the in-flight reload's pending
@@ -719,6 +780,44 @@ func newMux(man *reload.Manager, sv *serve.Server, lru *cache.LRU, adminToken st
 			writeJSON(w, http.StatusOK, st)
 		}
 	})
+	// /admin/edges is the durable ingestion door: the batch is validated,
+	// WAL-appended (the 200 means it survived fsync), and applied to the
+	// live graph before the response. It exists only when -waldir is set.
+	if svc != nil {
+		mux.HandleFunc("/admin/edges", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				w.Header().Set("Allow", http.MethodPost)
+				writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("edge ingestion requires POST"))
+				return
+			}
+			if !auth.Require(w, r, adminToken, failAuth) {
+				return
+			}
+			var req struct {
+				Edges []ingest.Edge `json:"edges"`
+			}
+			dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+			if err := dec.Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad ingest body: %v", err))
+				return
+			}
+			seq, drift, err := svc.Append(req.Edges)
+			switch {
+			case errors.Is(err, ingest.ErrNotReady):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, err)
+			case errors.Is(err, ingest.ErrBadEdge):
+				writeError(w, http.StatusBadRequest, err)
+			case err != nil:
+				writeError(w, http.StatusInternalServerError, err)
+			default:
+				writeJSON(w, http.StatusOK, map[string]interface{}{
+					"seq":         seq,
+					"drift_bound": drift,
+				})
+			}
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, sv.Metrics().Snapshot())
 	})
@@ -830,4 +929,9 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// failAuth adapts writeError to the shared Bearer-auth helper.
+func failAuth(w http.ResponseWriter, status int, msg string) {
+	writeError(w, status, errors.New(msg))
 }

@@ -77,7 +77,7 @@ func testServerAuth(t *testing.T, cfg serve.Config, lru *cache.LRU, adminToken s
 	cfg.Cache = lru
 	sv := serve.New(6, eng.Query, cfg)
 	t.Cleanup(sv.Close)
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, lru, adminToken, nil))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, lru, adminToken, nil, nil))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -244,7 +244,7 @@ func TestOverloadReturns429(t *testing.T) {
 		return eng.Query(queries)
 	}
 	sv := serve.New(6, blocking, serve.Config{MaxBatch: 1, Linger: -1, MaxPending: 1, Workers: 1})
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil, nil))
 	var gateOnce sync.Once
 	release := func() { gateOnce.Do(func() { close(gate) }) }
 	defer srv.Close()
@@ -298,7 +298,7 @@ func TestDeadlineReturns504(t *testing.T) {
 	}
 	sv := serve.New(6, slow, serve.Config{Linger: -1, Timeout: 5 * time.Millisecond})
 	defer sv.Close()
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil, nil))
 	defer srv.Close()
 	code, body := get(t, srv, "/topk?node=1&k=2")
 	if code != http.StatusGatewayTimeout {
@@ -355,7 +355,7 @@ func BenchmarkTopKHandler(b *testing.B) {
 	run := func(b *testing.B, lru *cache.LRU) {
 		sv := serve.New(6, eng.Query, serve.Config{Linger: -1, Cache: lru})
 		defer sv.Close()
-		srv := httptest.NewServer(newMux(testManager(b, eng, sv), sv, lru, "", nil))
+		srv := httptest.NewServer(newMux(testManager(b, eng, sv), sv, lru, "", nil, nil))
 		defer srv.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -444,7 +444,7 @@ func TestReloadOnHUP(t *testing.T) {
 	ch := make(chan os.Signal) // unbuffered: a send returns only once the loop is ready again
 	done := make(chan struct{})
 	go func() {
-		reloadOnHUP(ch, man)
+		reloadOnHUP(ch, man, nil)
 		close(done)
 	}()
 	ch <- syscall.SIGHUP
@@ -508,7 +508,7 @@ func TestAdminReloadPicksUpNewSnapshot(t *testing.T) {
 	sv := serve.NewMat(cand.N, cand.Query, serve.Config{Linger: -1})
 	defer sv.Close()
 	man := reload.New(sv, src.loader(), cand.Meta)
-	srv := httptest.NewServer(newMux(man, sv, nil, "sesame", nil))
+	srv := httptest.NewServer(newMux(man, sv, nil, "sesame", nil, nil))
 	defer srv.Close()
 
 	if _, _, err := eng.SaveSnapshot(dir); err != nil { // publish generation 2
@@ -554,7 +554,7 @@ func TestReadyzReportsOpenBreaker(t *testing.T) {
 		func(context.Context) (*reload.Candidate, error) { return nil, errTestDown },
 		reload.Meta{Source: "boot"},
 		reload.Policy{MaxAttempts: 1, BreakerThreshold: 1, BreakerCooldown: time.Minute})
-	srv := httptest.NewServer(newMux(man, sv, nil, "", nil))
+	srv := httptest.NewServer(newMux(man, sv, nil, "", nil, nil))
 	t.Cleanup(srv.Close)
 
 	if _, err := man.Reload(context.Background()); err == nil {
@@ -588,7 +588,7 @@ func TestTopKDegradedTagging(t *testing.T) {
 		Degrade: serve.DegradeConfig{Rank: 1, MinBudget: time.Hour},
 	})
 	t.Cleanup(sv.Close)
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", nil, nil))
 	t.Cleanup(srv.Close)
 
 	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/topk?node=1&k=3", nil)
@@ -714,7 +714,7 @@ func TestShardedMuxEndpoints(t *testing.T) {
 	}, serve.Config{Linger: -1})
 	t.Cleanup(sv.Close)
 	sv.Metrics().SetShards(rt.K())
-	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", rt))
+	srv := httptest.NewServer(newMux(testManager(t, eng, sv), sv, nil, "", rt, nil))
 	t.Cleanup(srv.Close)
 	mono := testServer(t, serve.Config{}, nil)
 

@@ -145,10 +145,10 @@ func runWireRouter(cfg wireRouterConfig) {
 	man := reload.NewWithPolicy(sv, load, boot.Meta, cfg.policy)
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
-	go reloadOnHUP(hup, man)
+	go reloadOnHUP(hup, man, nil)
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           newMux(man, sv, lru, cfg.adminToken, rt),
+		Handler:           newMux(man, sv, lru, cfg.adminToken, rt, nil),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	serveAndWait(srv, sv, "wire router")

@@ -10,6 +10,7 @@
 //	csrstat -index snap.csrx
 //	csrstat -index old-v1.csrx -convert new.csrx              # v1 -> v2 migration
 //	csrstat -index exact.csrx -convert small.csrx -quantize int8
+//	csrstat -wal /var/lib/csrserver/wal                       # inspect an ingestion log
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"csrplus/internal/core"
 	"csrplus/internal/graph"
+	"csrplus/internal/ingest"
 )
 
 func main() {
@@ -31,17 +33,23 @@ func main() {
 	indexPath := flag.String("index", "", "inspect a persisted CSR+ index instead of a graph")
 	convert := flag.String("convert", "", "with -index: rewrite the index to this path in the current (v2, mmap-able) layout")
 	quantize := flag.String("quantize", "", "with -convert: factor tier of the written index, f32 or int8 (default: keep the source tier)")
+	walDir := flag.String("wal", "", "inspect a streaming-ingestion WAL directory instead of a graph")
 	flag.Parse()
 
 	var err error
-	if *indexPath != "" {
-		err = runIndex(os.Stdout, *indexPath, *convert, *quantize)
-	} else {
-		if *convert != "" || *quantize != "" {
-			err = fmt.Errorf("-convert and -quantize require -index")
+	switch {
+	case *walDir != "":
+		if *indexPath != "" {
+			err = fmt.Errorf("-wal and -index are different modes; pick one")
 		} else {
-			err = run(os.Stdout, *dataset, *scale, *graphPath, *n, *hubs)
+			err = runWal(os.Stdout, *walDir)
 		}
+	case *indexPath != "":
+		err = runIndex(os.Stdout, *indexPath, *convert, *quantize)
+	case *convert != "" || *quantize != "":
+		err = fmt.Errorf("-convert and -quantize require -index")
+	default:
+		err = run(os.Stdout, *dataset, *scale, *graphPath, *n, *hubs)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "csrstat:", err)
@@ -95,6 +103,45 @@ func runIndex(out io.Writer, path, convert, quantize string) error {
 		return err
 	}
 	fmt.Fprintf(out, "written:       %s (tier %s)\n", convert, outIx.Tier())
+	return nil
+}
+
+// runWal is WAL mode: a read-only walk of an ingestion log's segments —
+// sequence range, per-segment record counts, CRC verification, the torn
+// tail a crash mid-append left (recoverable: replay truncates it), and
+// whether the acknowledged history itself is damaged (fatal: replay
+// refuses to serve over it). Inspect never mutates the log, so it is
+// safe against a live server's WAL directory.
+func runWal(out io.Writer, dir string) error {
+	info, err := ingest.Inspect(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wal dir:       %s\n", info.Dir)
+	fmt.Fprintf(out, "segments:      %d\n", len(info.Segments))
+	fmt.Fprintf(out, "records:       %d\n", info.Records)
+	if info.Records > 0 {
+		fmt.Fprintf(out, "seq range:     %d - %d\n", info.FirstSeq, info.LastSeq)
+	}
+	for _, s := range info.Segments {
+		fmt.Fprintf(out, "  %s: %d records (seq %d-%d), %d bytes", s.Name, s.Records, s.FirstSeq, s.LastSeq, s.Bytes)
+		if s.TornTail > 0 {
+			fmt.Fprintf(out, ", %d torn tail bytes", s.TornTail)
+		}
+		if s.Corrupt != "" {
+			fmt.Fprintf(out, " [%s]", s.Corrupt)
+		}
+		fmt.Fprintln(out)
+	}
+	switch {
+	case info.Corrupt != "":
+		fmt.Fprintf(out, "status:        CORRUPT — %s\n", info.Corrupt)
+		return fmt.Errorf("acknowledged history is damaged; restore the log from a replica or remove it and re-bootstrap from the latest snapshot")
+	case info.TornTail > 0:
+		fmt.Fprintf(out, "status:        torn tail (%d bytes) — the next replay truncates it\n", info.TornTail)
+	default:
+		fmt.Fprintf(out, "status:        clean\n")
+	}
 	return nil
 }
 

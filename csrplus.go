@@ -132,6 +132,16 @@ func LoadWeightedGraph(path string, n int) (*Graph, error) {
 // Weighted reports whether the graph carries edge weights.
 func (gr *Graph) Weighted() bool { return gr.g.Weighted() }
 
+// CoreGraph exposes the wrapped internal graph. Like Engine.CoreIndex,
+// this is a module-internal hook — the ingest pipeline maintains dynamic
+// state against it — not part of the stable public surface.
+func (gr *Graph) CoreGraph() *graph.Graph { return gr.g }
+
+// FromCoreGraph wraps an internal graph (e.g. one materialised from the
+// ingest pipeline's live edge set) for engine construction. Module-
+// internal hook, like CoreGraph.
+func FromCoreGraph(g *graph.Graph) *Graph { return &Graph{g: g} }
+
 // OutDegree returns the out-degree of node u.
 func (gr *Graph) OutDegree(u int) int { return gr.g.OutDegree(u) }
 

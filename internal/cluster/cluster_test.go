@@ -97,6 +97,13 @@ func freePorts(t *testing.T, n int) []int {
 }
 
 func (h *harness) spawn(name string, args ...string) *proc {
+	return h.spawnEnv(name, nil, args...)
+}
+
+// spawnEnv spawns with extra environment entries appended to the
+// parent's — how the crash-replay harness arms fault injection inside a
+// faultinject-built csrserver (CSRSERVER_FAULTS/CSRSERVER_FAULT_SEED).
+func (h *harness) spawnEnv(name string, env []string, args ...string) *proc {
 	h.t.Helper()
 	logPath := filepath.Join(h.logDir, name+".log")
 	logFile, err := os.Create(logPath)
@@ -104,6 +111,9 @@ func (h *harness) spawn(name string, args ...string) *proc {
 		h.t.Fatal(err)
 	}
 	cmd := exec.Command(h.bin, args...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile
 	if err := cmd.Start(); err != nil {

@@ -1,0 +1,280 @@
+//go:build cluster && faultinject
+
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"csrplus"
+
+	"csrplus/internal/graph"
+	"csrplus/internal/ingest"
+)
+
+const replayRank = 4
+
+// replaySeeds is the fixed seed matrix of the crash-replay run;
+// CHAOS_SEED narrows it, matching the chaos suite's convention.
+var replaySeeds = []int64{7, 11, 13}
+
+// freshStream returns k edges absent from g, scanned deterministically.
+func freshStream(t *testing.T, g *graph.Graph, k int) []ingest.Edge {
+	t.Helper()
+	out := make([]ingest.Edge, 0, k)
+	n := g.N()
+	for u := 0; u < n && len(out) < k; u++ {
+		for v := n - 1; v >= 0 && len(out) < k; v-- {
+			if u != v && !g.HasEdge(u, v) {
+				out = append(out, ingest.Edge{Src: u, Dst: v})
+			}
+		}
+	}
+	if len(out) < k {
+		t.Fatalf("cluster graph too dense to pick %d fresh edges", k)
+	}
+	return out
+}
+
+func postEdge(url, token string, payload []byte) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, url+"/admin/edges", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func edgePayload(edges []ingest.Edge) []byte {
+	type wireEdge struct {
+		Src int `json:"src"`
+		Dst int `json:"dst"`
+	}
+	var req struct {
+		Edges []wireEdge `json:"edges"`
+	}
+	for _, e := range edges {
+		req.Edges = append(req.Edges, wireEdge{Src: e.Src, Dst: e.Dst})
+	}
+	payload, _ := json.Marshal(req)
+	return payload
+}
+
+// TestCrashReplayConvergesUnderWALFaults is the ingestion durability
+// acceptance run: a real csrserver ingests a fresh-edge stream while its
+// WAL write and fsync paths are fault-injected via the environment, gets
+// kill -9'd mid-ingest, and must come back with every acknowledged edge
+// intact and zero corruption. The client then re-sends the full stream
+// (at-least-once delivery) and the live graph must converge to exactly
+// base + stream.
+func TestCrashReplayConvergesUnderWALFaults(t *testing.T) {
+	bin := os.Getenv("CSRSERVER_BIN")
+	if bin == "" {
+		t.Skip("CSRSERVER_BIN not set; build cmd/csrserver -tags faultinject and point CSRSERVER_BIN at it")
+	}
+	logDir := os.Getenv("CLUSTER_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	} else if err := os.MkdirAll(logDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seedSet := replaySeeds
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q is not an integer: %v", s, err)
+		}
+		seedSet = []int64{v}
+	}
+	for _, seed := range seedSet {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			crashReplayRun(t, &harness{t: t, bin: bin, logDir: logDir}, seed)
+		})
+	}
+}
+
+func crashReplayRun(t *testing.T, h *harness, seed int64) {
+	tmp := t.TempDir()
+	edges := edgeList()
+	edgePath := filepath.Join(tmp, "edges.txt")
+	if err := os.WriteFile(edgePath, edges, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(tmp, "wal")
+	g, err := csrplus.ReadGraph(bytes.NewReader(edges), clusterN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := freshStream(t, g.CoreGraph(), 30)
+	ports := freePorts(t, 2)
+
+	serverArgs := func(port int) []string {
+		return []string{
+			"-graph", edgePath, "-n", fmt.Sprint(clusterN),
+			"-r", fmt.Sprint(replayRank), "-c", fmt.Sprint(clusterC),
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-admintoken", adminToken,
+			"-waldir", walDir,
+		}
+	}
+
+	// Phase 1: ingest under injected WAL faults, then kill -9 mid-stream.
+	p1 := h.spawnEnv(fmt.Sprintf("ingest-seed%d", seed), []string{
+		"CSRSERVER_FAULTS=ingest/wal.append:errprob=0.05,tornprob=0.1,tornbytes=11;ingest/wal.fsync:errprob=0.1",
+		fmt.Sprintf("CSRSERVER_FAULT_SEED=%d", seed),
+	}, serverArgs(ports[0])...)
+	url1 := fmt.Sprintf("http://127.0.0.1:%d", ports[0])
+	waitReady(t, url1, 60*time.Second)
+
+	var mu sync.Mutex
+	var acked []ingest.Edge
+	posted := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, e := range stream {
+			code, body, err := postEdge(url1, adminToken, edgePayload([]ingest.Edge{e}))
+			mu.Lock()
+			posted++
+			if err == nil && code == http.StatusOK {
+				var resp struct {
+					Seq uint64 `json:"seq"`
+				}
+				if json.Unmarshal(body, &resp) == nil && resp.Seq > 0 {
+					acked = append(acked, e)
+				}
+			}
+			mu.Unlock()
+			// A short gap keeps the stream in flight long enough for the
+			// kill below to land mid-ingest.
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	for {
+		mu.Lock()
+		n := posted
+		mu.Unlock()
+		if n >= 12 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	_, _ = p1.cmd.Process.Wait()
+	<-done
+	mu.Lock()
+	nAcked := len(acked)
+	mu.Unlock()
+	t.Logf("seed %d: %d/%d edges acknowledged before kill -9", seed, nAcked, len(stream))
+
+	// The log a kill -9 leaves must replay: no corruption, and every
+	// acknowledged edge present. (This replay also truncates any torn
+	// tail, exactly as the restarted server's boot would.)
+	info, err := ingest.Inspect(walDir)
+	if err != nil {
+		t.Fatalf("inspecting the WAL after kill -9: %v", err)
+	}
+	if info.Corrupt != "" {
+		t.Fatalf("WAL corrupt after kill -9: %s", info.Corrupt)
+	}
+	eng, err := csrplus.NewEngine(g, csrplus.Options{Rank: replayRank, Damping: clusterC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, ok := eng.CoreIndex()
+	if !ok {
+		t.Fatal("CSR+ engine without a core index")
+	}
+	svc, err := ingest.NewService(g.CoreGraph(), ix, ingest.Config{Dir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Recover(); err != nil {
+		t.Fatalf("replaying the WAL after kill -9: %v", err)
+	}
+	cut, _, _, err := svc.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range acked {
+		if !cut.HasEdge(e.Src, e.Dst) {
+			t.Fatalf("acknowledged edge (%d, %d) lost across kill -9", e.Src, e.Dst)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: restart over the same log with faults disarmed; the boot
+	// replay must bring the server ready, and re-sending the full stream
+	// must converge (replayed and re-sent duplicates are no-ops).
+	p2 := h.spawn(fmt.Sprintf("recover-seed%d", seed), serverArgs(ports[1])...)
+	url2 := fmt.Sprintf("http://127.0.0.1:%d", ports[1])
+	waitReady(t, url2, 60*time.Second)
+	code, body, err := postEdge(url2, adminToken, edgePayload(stream))
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("re-sending the stream after restart: code %d, err %v, body %s", code, err, body)
+	}
+	var stats struct {
+		Ingest struct {
+			LiveEdges int64  `json:"live_edges"`
+			LastSeq   uint64 `json:"last_seq"`
+		} `json:"ingest"`
+	}
+	if code := getJSON(t, url2+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats after convergence: %d", code)
+	}
+	if want := g.M() + int64(len(stream)); stats.Ingest.LiveEdges != want {
+		t.Fatalf("live edges %d after full re-send, want %d (duplicates must collapse)", stats.Ingest.LiveEdges, want)
+	}
+	p2.kill()
+
+	// Final sweep: the log is clean end to end, and a fresh replay holds
+	// exactly base + stream.
+	if info, err = ingest.Inspect(walDir); err != nil {
+		t.Fatal(err)
+	}
+	if info.Corrupt != "" {
+		t.Fatalf("WAL corrupt after convergence: %s", info.Corrupt)
+	}
+	svc2, err := ingest.NewService(g.CoreGraph(), ix, ingest.Config{Dir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.Recover(); err != nil {
+		t.Fatalf("final replay: %v", err)
+	}
+	final, _, _, err := svc2.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream {
+		if !final.HasEdge(e.Src, e.Dst) {
+			t.Fatalf("stream edge (%d, %d) missing after convergence", e.Src, e.Dst)
+		}
+	}
+	if want := g.M() + int64(len(stream)); final.M() != want {
+		t.Fatalf("final edge count %d, want %d", final.M(), want)
+	}
+	if err := svc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

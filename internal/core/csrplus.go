@@ -101,6 +101,12 @@ type Index struct {
 	zt, ut       *dense.Typed
 	zqerr, uqerr []float64
 
+	// walSeq is the last ingest-WAL sequence number whose edge is baked
+	// into the factors (0 for indexes built outside the ingestion path).
+	// Boot recovery replays only WAL records above it with drift
+	// counting; records at or below rebuild structure drift-free.
+	walSeq uint64
+
 	// mapped is non-nil when the factor slices are zero-copy views over
 	// an mmap'd snapshot (core.MapIndex); Close releases it. The serving
 	// lifecycle must keep the Index alive until every in-flight query has
@@ -126,6 +132,16 @@ func (ix *Index) Rank() int { return ix.rank }
 
 // Damping returns the damping factor baked into the index.
 func (ix *Index) Damping() float64 { return ix.c }
+
+// WalSeq returns the last ingest-WAL sequence baked into the factors,
+// 0 for indexes built outside the ingestion path or loaded from v1
+// snapshots (which predate the field).
+func (ix *Index) WalSeq() uint64 { return ix.walSeq }
+
+// SetWalSeq records the last WAL sequence covered by the factors; the
+// ingestion rebuild path calls it before writing the snapshot so boot
+// recovery knows where drift-counted replay starts.
+func (ix *Index) SetWalSeq(seq uint64) { ix.walSeq = seq }
 
 // Iterations returns the number of repeated-squaring steps performed.
 func (ix *Index) Iterations() int { return ix.iters }

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"csrplus/internal/dense"
+	"csrplus/internal/graph"
+	"csrplus/internal/sparse"
+)
+
+// fullRankFixture builds a graph and a FULL-rank index over it. At full
+// rank the SVD identities (QV = UΣ, VᵀV = I) hold to rounding, which
+// makes the Galerkin projection exact — the regime where Dynamic's
+// refresh and drift claims can be checked against ground truth.
+func fullRankFixture(t *testing.T, n, m int, seed int64) (*graph.Graph, *Index) {
+	t.Helper()
+	g, err := graph.ErdosRenyi(n, int64(m), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Precompute(g, Options{Rank: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ix
+}
+
+func maxAbsDiff(a, b *dense.Mat) float64 {
+	var max float64
+	for i, v := range a.Data {
+		if d := math.Abs(v - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// scoresFrom evaluates S = I + c·U·A·Uᵀ column by column for the
+// refreshed factor Z' = U·A, i.e. S = I + c·Z'·Uᵀ.
+func scoresFrom(ix *Index, z *dense.Mat) *dense.Mat {
+	return dense.MulT(z, ix.u).Scale(ix.c).AddEye(1)
+}
+
+func TestDynamicBootRefreshReproducesServedFactors(t *testing.T) {
+	_, ix := fullRankFixture(t, 28, 140, 7)
+	g2, err := graph.ErdosRenyi(28, 140, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g2, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := d.Refresh(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := maxAbsDiff(z, ix.z); diff > 1e-8 {
+		t.Fatalf("zero-edge refresh drifts from the served Z by %g", diff)
+	}
+	if d.Drift() != 0 || d.Edges() != 0 {
+		t.Fatalf("fresh dynamic state carries drift %g over %d edges", d.Drift(), d.Edges())
+	}
+}
+
+func TestDynamicRefreshTracksLiveGraphAtFullRank(t *testing.T) {
+	g, ix := fullRankFixture(t, 24, 110, 11)
+	d, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert edges the graph does not have.
+	added := 0
+	for i := 0; added < 6; i++ {
+		u, v := (i*5)%24, (i*7+3)%24
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		applied, _, err := d.ApplyEdge(u, v, 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !applied {
+			t.Fatalf("edge (%d, %d) not applied", u, v)
+		}
+		added++
+	}
+	live, err := d.MaterializeGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.M() != g.M()+6 {
+		t.Fatalf("live graph has %d edges, want %d", live.M(), g.M()+6)
+	}
+	ixLive, err := Precompute(live, Options{Rank: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := d.Refresh(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scoresFrom(ix, z)
+	want := scoresFrom(ixLive, ixLive.z)
+	if diff := maxAbsDiff(got, want); diff > 1e-6 {
+		t.Fatalf("full-rank refresh off the live graph's exact scores by %g", diff)
+	}
+}
+
+// TestDynamicGalerkinStateMatchesRebuild checks the incremental W = QU
+// maintenance against a from-scratch rebuild over the materialized
+// graph after a burst of inserts (including weighted accumulation).
+func TestDynamicGalerkinStateMatchesRebuild(t *testing.T) {
+	g, ix := fullRankFixture(t, 30, 160, 3)
+	d, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := d.ApplyEdge((i*11)%30, (i*13+1)%30, 1, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, err := d.MaterializeGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewDynamic(live, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := maxAbsDiff(d.w, fresh.w); diff > 1e-12 {
+		t.Fatalf("incrementally maintained W off the rebuilt one by %g", diff)
+	}
+}
+
+// TestDynamicDriftBoundHolds is the honesty check behind the tagged
+// error_bound: with exact (full-rank) factors, the entrywise difference
+// between the live graph's exact scores and the stale factors' scores
+// must stay within the accumulated drift bound.
+func TestDynamicDriftBoundHolds(t *testing.T) {
+	g, ix := fullRankFixture(t, 32, 170, 19)
+	d, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := d.ApplyEdge((i*3+2)%32, (i*17+5)%32, 1, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Drift() <= 0 || math.IsInf(d.Drift(), 0) || math.IsNaN(d.Drift()) {
+		t.Fatalf("drift bound %g after inserts", d.Drift())
+	}
+	live, err := d.MaterializeGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixLive, err := Precompute(live, Options{Rank: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := scoresFrom(ix, ix.z)
+	exact := scoresFrom(ixLive, ixLive.z)
+	// Both score evaluations carry the squaring series' own ~eps error;
+	// leave it a little slack on top of the drift bound.
+	if diff := maxAbsDiff(stale, exact); diff > d.Drift()+1e-4 {
+		t.Fatalf("stale factors off the live exact scores by %g, drift bound promises %g", diff, d.Drift())
+	}
+	// The bound must also be additive: re-applying the same stream
+	// yields the same total.
+	d2, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < 10; i++ {
+		_, dd, err := d2.ApplyEdge((i*3+2)%32, (i*17+5)%32, 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += dd
+	}
+	if math.Abs(sum-d.Drift()) > 1e-12 {
+		t.Fatalf("per-edge contributions sum to %g, total drift %g", sum, d.Drift())
+	}
+}
+
+func TestDynamicUnweightedDuplicateIsNoOp(t *testing.T) {
+	g, ix := fullRankFixture(t, 20, 90, 5)
+	d, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an existing edge.
+	adj := g.Adj()
+	src, dst := -1, -1
+	for u := 0; u < 20 && src < 0; u++ {
+		if adj.RowPtr[u] < adj.RowPtr[u+1] {
+			src, dst = u, int(adj.ColIdx[adj.RowPtr[u]])
+		}
+	}
+	applied, dd, err := d.ApplyEdge(src, dst, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied || dd != 0 || d.Drift() != 0 || d.M() != g.M() {
+		t.Fatalf("duplicate unweighted edge was not a no-op: applied=%v drift=%g m=%d", applied, dd, d.M())
+	}
+	live, err := d.MaterializeGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, ga := live.Adj(), g.Adj()
+	if len(la.ColIdx) != len(ga.ColIdx) {
+		t.Fatalf("materialized graph has %d entries, want %d", len(la.ColIdx), len(ga.ColIdx))
+	}
+	for i := range ga.ColIdx {
+		if la.ColIdx[i] != ga.ColIdx[i] || la.Val[i] != ga.Val[i] {
+			t.Fatalf("materialized adjacency differs at entry %d", i)
+		}
+	}
+}
+
+// TestDynamicMaterializeOrderIndependent: two different application
+// orders of the same edge set materialize bitwise-identical graphs —
+// the property the recovery-ordering guarantee rests on.
+func TestDynamicMaterializeOrderIndependent(t *testing.T) {
+	g, ix := fullRankFixture(t, 22, 100, 13)
+	edges := [][2]int{{1, 9}, {20, 2}, {7, 7}, {3, 15}, {18, 0}, {5, 21}}
+	d1, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if _, _, err := d1.ApplyEdge(e[0], e[1], 1, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		if _, _, err := d2.ApplyEdge(edges[i][0], edges[i][1], 1, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g1, err := d1.MaterializeGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := d2.MaterializeGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := g1.Adj(), g2.Adj()
+	if len(a1.ColIdx) != len(a2.ColIdx) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a1.ColIdx), len(a2.ColIdx))
+	}
+	for i := range a1.ColIdx {
+		if a1.ColIdx[i] != a2.ColIdx[i] || math.Float64bits(a1.Val[i]) != math.Float64bits(a2.Val[i]) {
+			t.Fatalf("adjacencies differ at entry %d", i)
+		}
+	}
+	for i := range a1.RowPtr {
+		if a1.RowPtr[i] != a2.RowPtr[i] {
+			t.Fatalf("row pointers differ at %d", i)
+		}
+	}
+}
+
+func TestDynamicWeightedAccumulatesAndValidates(t *testing.T) {
+	coo := sparse.NewCOO(6, 6)
+	for _, e := range [][3]float64{{0, 1, 2}, {2, 1, 1}, {3, 4, 5}, {1, 0, 1}} {
+		if err := coo.Add(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := graph.NewWeighted(coo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Precompute(g, Options{Rank: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate weighted edge accumulates (2 + 3 = 5 of a total 6).
+	applied, dd, err := d.ApplyEdge(0, 1, 3, true)
+	if err != nil || !applied || dd <= 0 {
+		t.Fatalf("weighted duplicate: applied=%v drift=%g err=%v", applied, dd, err)
+	}
+	live, err := d.MaterializeGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := live.Adj().At(0, 1); got != 5 {
+		t.Fatalf("accumulated weight %g, want 5", got)
+	}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, _, err := d.ApplyEdge(2, 3, w, true); !errors.Is(err, ErrParams) {
+			t.Fatalf("weight %v accepted: %v", w, err)
+		}
+	}
+	if _, _, err := d.ApplyEdge(-1, 2, 1, true); !errors.Is(err, ErrQuery) {
+		t.Fatalf("negative src accepted: %v", err)
+	}
+	if _, _, err := d.ApplyEdge(0, 6, 1, true); !errors.Is(err, ErrQuery) {
+		t.Fatalf("out-of-range dst accepted: %v", err)
+	}
+}
+
+func TestDynamicStructureOnlyReplayChargesNoDrift(t *testing.T) {
+	g, ix := fullRankFixture(t, 20, 80, 23)
+	d, err := NewDynamic(g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.ApplyEdge(2, 17, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if d.Drift() != 0 || d.Edges() != 0 {
+		t.Fatalf("structure-only apply charged drift %g / %d edges", d.Drift(), d.Edges())
+	}
+	if _, _, err := d.ApplyEdge(3, 18, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if d.Drift() <= 0 || d.Edges() != 1 {
+		t.Fatalf("drift-counted apply recorded drift %g / %d edges", d.Drift(), d.Edges())
+	}
+}

@@ -19,6 +19,8 @@ package core
 //	[48:56]    0        uint64 (index) / hi (shard)
 //	[56:64]    fileSize uint64  — O(1) truncation detection
 //	[64:...]   section table, 24 bytes each: off u64, len u64, crc u32, 0 u32
+//	[240:248]  walSeq   uint64 — last ingest-WAL sequence baked into the
+//	           factors (index; 0 for shards and pre-ingestion files)
 //	[4092:4096] header CRC32-IEEE of bytes [0:4092]
 //
 // Index sections, in order: sigma, zscale, uscale, zqerr, uqerr, z, u.
@@ -64,6 +66,13 @@ const (
 
 	v2IndexSections = 7
 	v2ShardSections = 6
+
+	// v2WalSeqOff holds the index's last-applied ingest-WAL sequence.
+	// It sits past the section table (which ends at 64 + 7·24 = 232),
+	// inside the header CRC's coverage; files written before the field
+	// existed have zeros there, which reads back as walSeq 0 — exactly
+	// the "no WAL coverage" meaning. Shards always write 0.
+	v2WalSeqOff = 240
 )
 
 // errMapUnsupported reports that a file could not be memory-mapped for
@@ -125,7 +134,7 @@ func (ix *Index) WriteToV2(w io.Writer) (int64, error) {
 	uscale, uqe, u := factorSections(ix.u, ix.ut, ix.uqerr)
 	secs := []v2section{f64Section(ix.sigma), zscale, uscale, zqe, uqe, z, u}
 	hdr := [5]uint64{uint64(ix.n), uint64(ix.rank), math.Float64bits(ix.c), uint64(ix.iters), 0}
-	return writeV2(w, indexMagic, ix.Tier(), hdr, secs)
+	return writeV2(w, indexMagic, ix.Tier(), hdr, ix.walSeq, secs)
 }
 
 // WriteToV2 serialises the shard in the v2 layout (magic "CSRS").
@@ -134,14 +143,14 @@ func (sh *IndexShard) WriteToV2(w io.Writer) (int64, error) {
 	uscale, uqe, u := factorSections(sh.u, sh.ut, sh.uqerr)
 	secs := []v2section{zscale, uscale, zqe, uqe, z, u}
 	hdr := [5]uint64{uint64(sh.n), uint64(sh.rank), math.Float64bits(sh.c), uint64(sh.lo), uint64(sh.hi)}
-	return writeV2(w, shardMagic, sh.Tier(), hdr, secs)
+	return writeV2(w, shardMagic, sh.Tier(), hdr, 0, secs)
 }
 
 // writeV2 lays out and writes a v2 file: header page, then each section
 // at the next page boundary followed by zero padding. Section CRCs are
 // computed in a first encode pass (over payload plus padding), so the
 // writer streams — it never materialises a quantized payload in memory.
-func writeV2(w io.Writer, magic [4]byte, tier Tier, hdr [5]uint64, secs []v2section) (int64, error) {
+func writeV2(w io.Writer, magic [4]byte, tier Tier, hdr [5]uint64, walSeq uint64, secs []v2section) (int64, error) {
 	le := binary.LittleEndian
 
 	// Pass 1: place sections and checksum their padded extents.
@@ -185,6 +194,7 @@ func writeV2(w io.Writer, magic [4]byte, tier Tier, hdr [5]uint64, secs []v2sect
 		le.PutUint64(d[8:], s.length)
 		le.PutUint32(d[16:], pl[i].crc)
 	}
+	le.PutUint64(head[v2WalSeqOff:], walSeq)
 	le.PutUint32(head[v2HeaderCRC:], crc32.ChecksumIEEE(head[:v2HeaderCRC]))
 
 	// Pass 2: write. No bufio — sections already stream in large chunks,
@@ -232,6 +242,7 @@ type v2file struct {
 	n, rank uint64
 	c       float64
 	w4, w5  uint64 // iters/0 for an index, lo/hi for a shard
+	walSeq  uint64 // last ingest-WAL sequence baked in (index only)
 	secs    []v2sec
 	data    []byte
 }
@@ -259,12 +270,13 @@ func parseV2Header(data []byte, magic [4]byte, wantSecs int, rowsFor func(*v2fil
 		return nil, fmt.Errorf("core: v2 header checksum %08x, want %08x: %w", got, want, ErrCorrupt)
 	}
 	f := &v2file{
-		n:    le.Uint64(data[16:]),
-		rank: le.Uint64(data[24:]),
-		c:    math.Float64frombits(le.Uint64(data[32:])),
-		w4:   le.Uint64(data[40:]),
-		w5:   le.Uint64(data[48:]),
-		data: data,
+		n:      le.Uint64(data[16:]),
+		rank:   le.Uint64(data[24:]),
+		c:      math.Float64frombits(le.Uint64(data[32:])),
+		w4:     le.Uint64(data[40:]),
+		w5:     le.Uint64(data[48:]),
+		walSeq: le.Uint64(data[v2WalSeqOff:]),
+		data:   data,
 	}
 	tier := le.Uint32(data[8:])
 	if tier > uint32(TierI8) {
@@ -487,6 +499,9 @@ func shardRows(f *v2file) (uint64, error) {
 	if f.n > maxPlatformElems {
 		return 0, fmt.Errorf("core: shard global n=%d exceeds platform int: %w", f.n, ErrCorrupt)
 	}
+	if f.walSeq != 0 {
+		return 0, fmt.Errorf("core: v2 shard carries WAL sequence %d: %w", f.walSeq, ErrCorrupt)
+	}
 	return f.w5 - f.w4, nil
 }
 
@@ -506,17 +521,18 @@ func indexFromV2(f *v2file, zeroCopy bool) (*Index, error) {
 		return nil, err
 	}
 	return &Index{
-		n:     n,
-		c:     f.c,
-		rank:  int(f.rank),
-		iters: int(f.w4),
-		z:     z,
-		u:     u,
-		zt:    zt,
-		ut:    ut,
-		zqerr: zqerr,
-		uqerr: uqerr,
-		sigma: sigma,
+		n:      n,
+		c:      f.c,
+		rank:   int(f.rank),
+		iters:  int(f.w4),
+		walSeq: f.walSeq,
+		z:      z,
+		u:      u,
+		zt:     zt,
+		ut:     ut,
+		zqerr:  zqerr,
+		uqerr:  uqerr,
+		sigma:  sigma,
 	}, nil
 }
 

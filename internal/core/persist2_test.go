@@ -506,3 +506,77 @@ func TestShardFromMappedQuantizedDetaches(t *testing.T) {
 		}
 	}
 }
+
+// TestV2WalSeqRoundTrip pins the walSeq header field: preserved through
+// the v2 decode and map paths, absent (zero) through v1, zero-forgiving
+// for pre-field v2 files (zero bytes at the offset mean walSeq 0), and
+// rejected on shard files, which never carry one.
+func TestV2WalSeqRoundTrip(t *testing.T) {
+	ix := buildIndex(t)
+	ix.SetWalSeq(0xdeadbeef12)
+	path := writeV2File(t, ix)
+
+	decoded, err := LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer decoded.Close()
+	if decoded.WalSeq() != 0xdeadbeef12 {
+		t.Fatalf("decoded walSeq %#x, want 0xdeadbeef12", decoded.WalSeq())
+	}
+
+	mapped, err := MapIndex(path)
+	if err == nil {
+		if mapped.WalSeq() != 0xdeadbeef12 {
+			t.Fatalf("mapped walSeq %#x, want 0xdeadbeef12", mapped.WalSeq())
+		}
+		mapped.Close()
+	} else if !errors.Is(err, errMapUnsupported) {
+		t.Fatal(err)
+	}
+
+	// v1 predates the field: it round-trips to zero, never an error.
+	var v1 bytes.Buffer
+	if _, err := ix.WriteTo(&v1); err != nil {
+		t.Fatal(err)
+	}
+	fromV1, err := ReadIndex(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromV1.WalSeq() != 0 {
+		t.Fatalf("v1 round-trip invented walSeq %d", fromV1.WalSeq())
+	}
+
+	// A pre-field v2 file has zeros at the offset; zeroing it (and
+	// repatching the CRC) must read back as walSeq 0.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(data[v2WalSeqOff:], 0)
+	repatchV2HeaderCRC(data)
+	old, err := decodeIndexV2(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.WalSeq() != 0 {
+		t.Fatalf("pre-field image read walSeq %d", old.WalSeq())
+	}
+
+	// Shards never carry a WAL sequence; a forged one is corruption.
+	sh, err := ix.Shard(0, ix.N()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if _, err := sh.WriteToV2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sdata := sb.Bytes()
+	binary.LittleEndian.PutUint64(sdata[v2WalSeqOff:], 7)
+	repatchV2HeaderCRC(sdata)
+	if _, err := decodeShardV2(sdata); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("forged shard walSeq accepted: %v", err)
+	}
+}

@@ -192,6 +192,7 @@ func (ix *Index) Quantize(tier Tier) (*Index, error) {
 		ut:      ut,
 		zqerr:   zqerr,
 		uqerr:   uqerr,
+		walSeq:  ix.walSeq,
 	}, nil
 }
 

@@ -76,6 +76,19 @@ const (
 	// path: a forced allocation failure models memory pressure at the
 	// worst moment (ErrAllocFailed surfaces as the engine error).
 	SiteScratchAlloc = "serve/scratch.alloc"
+	// SiteWALAppend guards every frame write of the ingest WAL: torn
+	// writes here are the crash-mid-append a replay must truncate, and
+	// write errors are the full disk an Append must surface before
+	// acknowledging durability.
+	SiteWALAppend = "ingest/wal.append"
+	// SiteWALSync guards the group-commit fsync in the ingest WAL. A
+	// failed sync means none of the records in the batch may be
+	// acknowledged — the batch is the durability unit.
+	SiteWALSync = "ingest/wal.fsync"
+	// SiteWALReplay guards the segment reads of WAL recovery: a flapping
+	// disk during boot replay, which must fail the open (transient)
+	// rather than silently truncate acknowledged records.
+	SiteWALReplay = "ingest/wal.replay"
 )
 
 // ErrInjected is the default error delivered by an armed site whose Plan

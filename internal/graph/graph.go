@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"csrplus/internal/sparse"
@@ -16,6 +17,11 @@ import (
 
 // ErrEmpty is returned (wrapped) for operations that need at least one node.
 var ErrEmpty = errors.New("graph: empty graph")
+
+// ErrBadWeight is returned (wrapped) by NewWeighted and the weighted
+// readers for edge weights with no random-surfer reading: non-positive,
+// NaN, or infinite — including duplicates whose sum lands there.
+var ErrBadWeight = errors.New("graph: bad edge weight")
 
 // Graph is a directed graph over nodes 0..N-1 whose adjacency is held in
 // CSR with entry (u, v) = 1 for each edge u -> v. Parallel edges collapse
@@ -45,8 +51,9 @@ func New(coo *sparse.COO) *Graph {
 func NewWeighted(coo *sparse.COO) (*Graph, error) {
 	m := coo.ToCSR()
 	for i, v := range m.Val {
-		if v <= 0 {
-			return nil, fmt.Errorf("graph: NewWeighted: entry %d has non-positive weight %v", i, v)
+		// !(v > 0) also catches NaN, which v <= 0 would wave through.
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("graph: NewWeighted: entry %d has weight %v: %w", i, v, ErrBadWeight)
 		}
 	}
 	return &Graph{adj: m, weighted: true}, nil

@@ -165,6 +165,62 @@ func TestReadMalformed(t *testing.T) {
 	}
 }
 
+func TestReadRejectsHostileInput(t *testing.T) {
+	// Truncated records (a crash mid-write leaves a partial last line).
+	for _, in := range []string{"0 1\n2\n", "0 1\n2 ", "0\n"} {
+		if _, err := Read(strings.NewReader(in), 3); !errors.Is(err, sparse.ErrMalformed) {
+			t.Fatalf("Read(%q) = %v, want ErrMalformed", in, err)
+		}
+	}
+	// Out-of-range node ids are typed, not silently clamped or dropped.
+	for _, in := range []string{"0 3\n", "3 0\n", "-1 0\n"} {
+		if _, err := Read(strings.NewReader(in), 3); !errors.Is(err, sparse.ErrIndex) {
+			t.Fatalf("Read(%q) = %v, want ErrIndex", in, err)
+		}
+	}
+}
+
+func TestReadWeightedRejectsHostileInput(t *testing.T) {
+	for _, in := range []string{"0 1\n", "0 1 2.5\n1 2\n"} {
+		if _, err := ReadWeighted(strings.NewReader(in), 3); !errors.Is(err, sparse.ErrMalformed) {
+			t.Fatalf("ReadWeighted(%q) = %v, want ErrMalformed", in, err)
+		}
+	}
+	if _, err := ReadWeighted(strings.NewReader("0 3 1.0\n"), 3); !errors.Is(err, sparse.ErrIndex) {
+		t.Fatalf("out-of-range id: %v, want ErrIndex", err)
+	}
+	// Weights without a random-surfer reading: NaN, ±Inf, zero, negative.
+	for _, in := range []string{"0 1 NaN\n", "0 1 Inf\n", "0 1 -Inf\n", "0 1 0\n", "0 1 -2\n", "0 1 x\n"} {
+		if _, err := ReadWeighted(strings.NewReader(in), 3); !errors.Is(err, sparse.ErrMalformed) {
+			t.Fatalf("ReadWeighted(%q) = %v, want ErrMalformed", in, err)
+		}
+	}
+}
+
+func TestNewWeightedRejectsNonFiniteSums(t *testing.T) {
+	// The reader blocks literal NaN/Inf, but programmatic COO input (and
+	// duplicate sums that overflow) must be caught by NewWeighted itself.
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -1} {
+		coo := sparse.NewCOO(2, 2)
+		if err := coo.Add(0, 1, w); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewWeighted(coo); !errors.Is(err, ErrBadWeight) {
+			t.Fatalf("NewWeighted(weight %v) = %v, want ErrBadWeight", w, err)
+		}
+	}
+	// Duplicates summing past the float range land on +Inf.
+	coo := sparse.NewCOO(2, 2)
+	for i := 0; i < 2; i++ {
+		if err := coo.Add(0, 1, math.MaxFloat64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewWeighted(coo); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("overflowing duplicate sum: %v, want ErrBadWeight", err)
+	}
+}
+
 func TestErdosRenyi(t *testing.T) {
 	g, err := ErdosRenyi(100, 500, 1)
 	if err != nil {

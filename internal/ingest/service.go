@@ -1,0 +1,313 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"csrplus/internal/core"
+	"csrplus/internal/graph"
+)
+
+// ErrBadEdge wraps every edge-validation failure of Append: out-of-range
+// endpoints, non-positive or non-finite weights. Bad edges are rejected
+// BEFORE they reach the log — the WAL only ever holds edges that applied
+// cleanly once, which is what makes replay unconditional.
+var ErrBadEdge = errors.New("ingest: bad edge")
+
+// ErrNotReady is returned by Append before Recover has replayed the log:
+// accepting writes with the tail unreplayed could hand out sequence
+// numbers below already-logged ones.
+var ErrNotReady = errors.New("ingest: recovery not finished")
+
+// Edge is one streamed edge insertion. Weight is ignored (forced to 1)
+// on unweighted graphs; on weighted graphs it must be positive and
+// finite, and duplicate edges accumulate weight.
+type Edge struct {
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Config configures a Service.
+type Config struct {
+	// Dir is the WAL directory (created if missing).
+	Dir string
+	// WAL tunes the log segmentation; zero values use defaults.
+	WAL WALOptions
+	// DriftBudget is the entrywise drift bound past which the serving
+	// factors are considered stale enough to rebuild: answers are marked
+	// degraded and the rebuild trigger fires. <= 0 disables both (drift
+	// still accrues and is reported honestly).
+	DriftBudget float64
+}
+
+// Stats is the service's observable state for /stats and csrstat.
+type Stats struct {
+	Ready      bool    `json:"ready"`
+	LastSeq    uint64  `json:"last_seq"`
+	DurableSeq uint64  `json:"durable_seq"`
+	LiveEdges  int64   `json:"live_edges"`
+	Applied    int64   `json:"edges_since_factors"`
+	Drift      float64 `json:"drift_bound"`
+	Base       float64 `json:"drift_baseline"`
+	Budget     float64 `json:"drift_budget,omitempty"`
+	Exceeded   bool    `json:"budget_exceeded"`
+	Rebuilding bool    `json:"rebuilding"`
+	TornBytes  int64   `json:"torn_bytes,omitempty"`
+}
+
+// Service is the durable streaming-ingestion pipeline: validate →
+// WAL-append (ack only after fsync) → apply to the incremental dynamic
+// state → accrue drift → trigger a rebuild when the budget is spent.
+//
+// Lifecycle: NewService (cold, rejects appends) → Recover (opens the
+// WAL, replays it onto the boot factors' graph, turns ready) → Append /
+// Cut / rebuilds → Close. The recovery split exists so a server can
+// expose /readyz as not-ready while a long tail replays.
+type Service struct {
+	cfg    Config
+	walSeq uint64 // WAL sequence the boot factors already cover
+
+	mu  sync.Mutex // guards dyn, base, pendingBase, and WAL-order of applies
+	dyn *core.Dynamic
+	wal *WAL
+	// base is the serving generation's drift baseline: the total drift
+	// at the cut its factors were built from (0 for the boot factors).
+	// pendingBase stages the next cut's baseline until its rebuild
+	// commits — a failed rebuild must leave base untouched.
+	base, pendingBase float64
+
+	driftBits   atomic.Uint64 // float64 bits of dyn's total drift
+	lastApplied atomic.Uint64
+	ready       atomic.Bool
+	rebuilding  atomic.Bool
+	trigger     atomic.Pointer[func()]
+}
+
+// NewService builds the cold service over the boot graph and the factors
+// serving it. The graph must be the same static base the factors'
+// lineage started from — the WAL replay in Recover layers every
+// streamed edge back on top of it. The index must carry exact f64
+// factors; quantized tiers cannot be incrementally maintained.
+func NewService(g *graph.Graph, ix *core.Index, cfg Config) (*Service, error) {
+	dyn, err := core.NewDynamic(g, ix)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	return &Service{cfg: cfg, walSeq: ix.WalSeq(), dyn: dyn}, nil
+}
+
+// Recover opens the WAL and replays it in sequence order onto the
+// dynamic state: records the boot factors already cover (seq at or
+// below the snapshot's recorded WAL sequence) rebuild graph structure
+// without charging drift; the tail above it is charged like live
+// traffic. On return the service is ready and appendable. Replay is
+// idempotent against at-least-once delivery because unweighted
+// duplicate edges are no-ops and the graph materialisation is
+// order-canonical.
+func (s *Service) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return errors.New("ingest: Recover called twice")
+	}
+	wal, err := Open(s.cfg.Dir, s.cfg.WAL, func(rec Record) error {
+		src, dst := int(rec.Src), int(rec.Dst)
+		if _, _, err := s.dyn.ApplyEdge(src, dst, rec.Weight, rec.Seq > s.walSeq); err != nil {
+			return fmt.Errorf("replaying seq %d (%d -> %d): %w", rec.Seq, src, dst, err)
+		}
+		s.lastApplied.Store(rec.Seq)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	s.driftBits.Store(math.Float64bits(s.dyn.Drift()))
+	s.ready.Store(true)
+	return nil
+}
+
+// Ready reports whether Recover has completed: the serving process may
+// advertise readiness only once the WAL tail is inside the graph.
+func (s *Service) Ready() bool { return s.ready.Load() }
+
+// SetRebuildTrigger installs the function fired (once per budget-exceed
+// episode, on its own goroutine) when accrued drift passes the budget.
+// The function must end by calling RebuildDone.
+func (s *Service) SetRebuildTrigger(fn func()) { s.trigger.Store(&fn) }
+
+// Append validates the batch, logs it durably (the call returns only
+// after fsync), applies it to the dynamic state and returns the last
+// assigned sequence plus the serving generation's total drift bound.
+// On a validation error nothing is logged or applied. Batches are
+// atomic in the log but independent as edges: replay applies each edge
+// on its own.
+func (s *Service) Append(edges []Edge) (seq uint64, drift float64, err error) {
+	if !s.ready.Load() {
+		return 0, 0, ErrNotReady
+	}
+	if len(edges) == 0 {
+		return s.lastApplied.Load(), s.DriftBound(), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]Record, len(edges))
+	for i, e := range edges {
+		if e.Src < 0 || e.Src >= s.dyn.N() || e.Dst < 0 || e.Dst >= s.dyn.N() {
+			return 0, 0, fmt.Errorf("%w: (%d, %d) outside [0, %d)", ErrBadEdge, e.Src, e.Dst, s.dyn.N())
+		}
+		w := e.Weight
+		if s.dyn.Weighted() {
+			if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+				return 0, 0, fmt.Errorf("%w: (%d, %d) weight %v must be positive and finite", ErrBadEdge, e.Src, e.Dst, w)
+			}
+		} else {
+			w = 1
+		}
+		recs[i] = Record{Src: uint32(e.Src), Dst: uint32(e.Dst), Weight: w}
+	}
+	last, werr := s.wal.Append(recs)
+	if werr != nil && last == 0 {
+		// The batch never committed (a torn write was cut back to the
+		// previous frame boundary): state and log still agree, the
+		// caller just retries.
+		return 0, 0, werr
+	}
+	// Apply. On werr == nil the batch is durable; on werr != nil with
+	// last > 0 it reached the log but durability is unconfirmed, and the
+	// state must cover everything a restart's replay might surface — so
+	// apply anyway, then fail the call (the client retries; replayed and
+	// retried duplicates are no-ops). Validation passed, so the only
+	// conceivable apply error is a bug — surface it, the log and state
+	// now disagree.
+	for _, r := range recs {
+		if _, _, err := s.dyn.ApplyEdge(int(r.Src), int(r.Dst), r.Weight, true); err != nil {
+			return 0, 0, fmt.Errorf("ingest: logged edge failed to apply: %w", err)
+		}
+	}
+	s.lastApplied.Store(last)
+	total := s.dyn.Drift()
+	s.driftBits.Store(math.Float64bits(total))
+	gen := total - s.base
+	if werr != nil {
+		return 0, 0, fmt.Errorf("ingest: batch logged but durability unconfirmed, retry: %w", werr)
+	}
+	if s.cfg.DriftBudget > 0 && gen > s.cfg.DriftBudget {
+		s.fireRebuild()
+	}
+	return last, gen, nil
+}
+
+// fireRebuild starts the installed rebuild trigger unless one is
+// already in flight. Callers hold s.mu or run at boot before traffic.
+func (s *Service) fireRebuild() {
+	fn := s.trigger.Load()
+	if fn == nil || *fn == nil {
+		return
+	}
+	if s.rebuilding.CompareAndSwap(false, true) {
+		go (*fn)()
+	}
+}
+
+// TriggerIfExceeded fires the rebuild trigger when the replayed boot
+// tail alone already spent the budget — the post-Recover check a server
+// runs once its reload manager exists.
+func (s *Service) TriggerIfExceeded() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.DriftBudget > 0 && math.Float64frombits(s.driftBits.Load())-s.base > s.cfg.DriftBudget {
+		s.fireRebuild()
+	}
+}
+
+// Cut materialises the live graph for a rebuild and returns it with the
+// last applied sequence and the total drift at the cut. The returned
+// drift is the new generation's baseline: pass it to DriftFrom for the
+// candidate's closure. The cut baseline is staged; it becomes the
+// serving baseline only when RebuildDone(true) commits it.
+func (s *Service) Cut() (*graph.Graph, uint64, float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.dyn.MaterializeGraph()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	d := s.dyn.Drift()
+	s.pendingBase = d
+	return g, s.lastApplied.Load(), d, nil
+}
+
+// RebuildDone ends a rebuild episode. committed=true promotes the last
+// Cut's drift baseline — the new generation's factors absorb everything
+// up to that cut; committed=false leaves the old baseline (and the old
+// generation's honest drift accounting) untouched so the next append
+// past budget re-fires the trigger.
+func (s *Service) RebuildDone(committed bool) {
+	s.mu.Lock()
+	if committed {
+		s.base = s.pendingBase
+	}
+	s.mu.Unlock()
+	s.rebuilding.Store(false)
+}
+
+// DriftBound returns the serving generation's current drift bound.
+func (s *Service) DriftBound() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return math.Float64frombits(s.driftBits.Load()) - s.base
+}
+
+// DriftFrom returns a closure reporting the drift accrued past the
+// baseline d0 and whether it exceeds the budget — the serve.DriftFunc
+// for a generation whose factors were cut at total drift d0. Cheap and
+// concurrency-safe: called on every response.
+func (s *Service) DriftFrom(d0 float64) func() (float64, bool) {
+	budget := s.cfg.DriftBudget
+	return func() (float64, bool) {
+		d := math.Float64frombits(s.driftBits.Load()) - d0
+		if d < 0 {
+			d = 0
+		}
+		return d, budget > 0 && d > budget
+	}
+}
+
+// Stats snapshots the observable state.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Ready:      s.ready.Load(),
+		LastSeq:    s.lastApplied.Load(),
+		Budget:     s.cfg.DriftBudget,
+		Rebuilding: s.rebuilding.Load(),
+	}
+	s.mu.Lock()
+	st.Base = s.base
+	st.Drift = math.Float64frombits(s.driftBits.Load()) - s.base
+	if s.dyn != nil {
+		st.LiveEdges = s.dyn.M()
+		st.Applied = s.dyn.Edges()
+	}
+	if s.wal != nil {
+		st.DurableSeq = s.wal.DurableSeq()
+		st.TornBytes = s.wal.TornBytes()
+	}
+	s.mu.Unlock()
+	st.Exceeded = st.Budget > 0 && st.Drift > st.Budget
+	return st
+}
+
+// Close closes the WAL; further appends fail with ErrClosed.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}

@@ -80,6 +80,13 @@ type Candidate struct {
 	// companion (shard.Router.Scores).
 	TopK   serve.DirectTopKFunc
 	Scores serve.DirectScoreFunc
+	// Drift, when set, reports the generation's live ingestion drift
+	// bound (serve.DriftFunc): streamed edges applied after this
+	// candidate's factors were cut taint its answers, and the server
+	// composes the bound into every response's error_bound. The closure
+	// must be anchored to THIS candidate's cut point — a failed or
+	// refused swap leaves the previous generation's closure untouched.
+	Drift serve.DriftFunc
 	// Meta describes the candidate for /admin/index and logs.
 	Meta Meta
 	// Release, when set, frees resources the generation pins for its
@@ -401,6 +408,7 @@ func (m *Manager) runOnce(ctx context.Context) (Status, error) {
 		gen = m.server.SwapRanked(serve.Ranked{
 			N: cand.N, Rank: cand.Rank, Bound: cand.Bound,
 			Query: cand.RankQuery, TopK: cand.TopK, Scores: cand.Scores,
+			Drift: cand.Drift,
 		})
 	} else {
 		gen = m.server.SwapMat(cand.N, cand.Query)

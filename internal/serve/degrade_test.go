@@ -283,3 +283,56 @@ func TestBatchContextSurvivesPartialAbandonment(t *testing.T) {
 		t.Fatal("surviving caller never answered")
 	}
 }
+
+// TestDriftTaintsAnswers: a generation with a Drift func composes the
+// live drift bound into every answer — including cache hits, which must
+// report drift as of NOW, not as of the entry's insert — and an
+// exhausted drift budget marks answers Degraded even at full rank.
+func TestDriftTaintsAnswers(t *testing.T) {
+	var bound float64
+	var exceeded bool
+	e := fakeRanked(16, 8)
+	e.Drift = func() (float64, bool) { return bound, exceeded }
+	sv := NewRanked(e, Config{Linger: -1, Cache: cache.New(8)})
+	defer sv.Close()
+
+	res, err := sv.Search(context.Background(), []int{3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Info.Degraded || res.Info.DriftBound != 0 || res.Info.ErrorBound != 0 {
+		t.Fatalf("zero drift tainted the answer: %+v", res.Info)
+	}
+
+	bound = 0.25
+	res, err = sv.Search(context.Background(), []int{3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("second identical search missed the cache")
+	}
+	if res.Info.DriftBound != 0.25 || res.Info.ErrorBound != 0.25 {
+		t.Fatalf("cache hit not tagged with live drift: %+v", res.Info)
+	}
+	if res.Info.Degraded {
+		t.Fatalf("drift inside budget marked degraded: %+v", res.Info)
+	}
+
+	exceeded = true
+	res, err = sv.Search(context.Background(), []int{3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Info.Degraded || res.Info.DriftBound != 0.25 {
+		t.Fatalf("exhausted drift budget not surfaced: %+v", res.Info)
+	}
+
+	pr, err := sv.Score(context.Background(), []int{3}, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Info.Degraded || pr.Info.DriftBound != 0.25 || pr.Info.ErrorBound != 0.25 {
+		t.Fatalf("score path not tainted: %+v", pr.Info)
+	}
+}

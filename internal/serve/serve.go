@@ -166,6 +166,11 @@ type QueryInfo struct {
 	// MissingShards counts shards that could not contribute to this
 	// answer (wire backends only); > 0 implies Degraded.
 	MissingShards int `json:"missing_shards,omitempty"`
+	// DriftBound is the streaming-ingestion drift bound of the serving
+	// generation: how far any score may sit from the live graph's exact
+	// value because edges arrived after the factors were built. Already
+	// included in ErrorBound. 0 when the backend has no ingestion.
+	DriftBound float64 `json:"drift_bound,omitempty"`
 }
 
 // SearchResult is TopK's full-fidelity result shape.
@@ -195,6 +200,7 @@ type backend struct {
 	batcher      *Batcher
 	topkFn       DirectTopKFunc  // non-nil routes Search around the batcher
 	scoresFn     DirectScoreFunc // non-nil routes Score around the batcher
+	drift        DriftFunc       // non-nil taints answers with ingestion drift
 }
 
 // Server answers top-k and similarity requests over one engine, batching
@@ -295,7 +301,19 @@ type Ranked struct {
 	// the column batcher. Scores does the same for Score/Similarity.
 	TopK   DirectTopKFunc
 	Scores DirectScoreFunc
+	// Drift, when non-nil, reports the live ingestion drift bound for
+	// this generation's factors (see DriftFunc). Every answer composes
+	// it into ErrorBound; exceeded additionally marks answers Degraded.
+	Drift DriftFunc
 }
+
+// DriftFunc reports how far a generation's factors may have drifted
+// from the live graph because of streamed edge insertions applied since
+// the factors were built: an entrywise score bound, and whether the
+// operator's drift budget is exhausted (a rebuild is due or in flight).
+// Called on every response — implementations must be cheap and safe for
+// concurrent use.
+type DriftFunc func() (bound float64, exceeded bool)
 
 // NewMat is New for a scratch-aware engine: every engine pass borrows an
 // n x maxBatch-capacity matrix from a sync.Pool instead of allocating
@@ -401,12 +419,12 @@ func stubQuery(context.Context, []int, int) ([][]float64, error) {
 // (they are already unreachable: cache keys embed the generation).
 // Returns 0 without swapping when the server is already closed.
 func (s *Server) Swap(n int, queryFn QueryFunc) uint64 {
-	return s.swapBackend(n, 0, nil, wrapQuery(queryFn), nil, nil)
+	return s.swapBackend(n, 0, nil, wrapQuery(queryFn), nil, nil, nil)
 }
 
 // SwapMat is Swap for a scratch-aware engine (see NewMat).
 func (s *Server) SwapMat(n int, queryFn MatQueryFunc) uint64 {
-	return s.swapBackend(n, 0, nil, wrapMatQuery(queryFn), nil, nil)
+	return s.swapBackend(n, 0, nil, wrapMatQuery(queryFn), nil, nil, nil)
 }
 
 // SwapRanked is Swap for an engine with rank structure (see NewRanked).
@@ -415,10 +433,10 @@ func (s *Server) SwapRanked(e Ranked) uint64 {
 	if e.Query != nil {
 		queryFn = wrapRankQuery(e.Query)
 	}
-	return s.swapBackend(e.N, e.Rank, e.Bound, queryFn, e.TopK, e.Scores)
+	return s.swapBackend(e.N, e.Rank, e.Bound, queryFn, e.TopK, e.Scores, e.Drift)
 }
 
-func (s *Server) swapBackend(n, rank int, bound func(int) float64, queryFn batchQueryFunc, topkFn DirectTopKFunc, scoresFn DirectScoreFunc) uint64 {
+func (s *Server) swapBackend(n, rank int, bound func(int) float64, queryFn batchQueryFunc, topkFn DirectTopKFunc, scoresFn DirectScoreFunc, driftFn DriftFunc) uint64 {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	if s.closed {
@@ -447,6 +465,7 @@ func (s *Server) swapBackend(n, rank int, bound func(int) float64, queryFn batch
 		batcher:      newBatcher(queryFn, s.cfg.MaxBatch, s.cfg.Linger, s.cfg.MaxPending, s.cfg.Workers, s.cfg.StrictLinger, s.metrics, degradedRank, overloadDepth),
 		topkFn:       topkFn,
 		scoresFn:     scoresFn,
+		drift:        driftFn,
 	}
 	old := s.be.Swap(nb)
 	s.metrics.SetGeneration(s.gen)
@@ -555,19 +574,30 @@ func (s *Server) columns(ctx context.Context, nodes []int, degrade bool) (*backe
 	}
 }
 
-// info tags a response with the rank that answered it, counting degraded
-// answers in the metrics registry.
+// info tags a response with the rank that answered it and the
+// generation's live ingestion drift, counting degraded answers in the
+// metrics registry. Drift composes additively into ErrorBound — the
+// same rule the truncation and quantization bounds follow — and an
+// exhausted drift budget marks the answer Degraded even at full rank.
 func (s *Server) info(be *backend, rank int) QueryInfo {
-	if rank <= 0 {
-		return QueryInfo{FullRank: be.rank}
+	info := QueryInfo{FullRank: be.rank}
+	if rank > 0 {
+		s.metrics.degraded.Add(1)
+		info.Degraded = true
+		info.EffectiveRank = rank
+		info.ErrorBound = be.bound(rank)
 	}
-	s.metrics.degraded.Add(1)
-	return QueryInfo{
-		Degraded:      true,
-		EffectiveRank: rank,
-		FullRank:      be.rank,
-		ErrorBound:    be.bound(rank),
+	if be.drift != nil {
+		if d, exceeded := be.drift(); d > 0 || exceeded {
+			info.DriftBound = d
+			info.ErrorBound += d
+			if exceeded && !info.Degraded {
+				s.metrics.degraded.Add(1)
+				info.Degraded = true
+			}
+		}
 	}
+	return info
 }
 
 // TopK returns the k nodes most similar to the query set (aggregate
@@ -601,7 +631,10 @@ func (s *Server) Search(ctx context.Context, queries []int, k int) (SearchResult
 	if s.cfg.Cache != nil {
 		if v, ok := s.cfg.Cache.Get(topKKey(be.gen, queries, k)); ok {
 			s.metrics.Latency.Observe(time.Since(start).Seconds())
-			return SearchResult{Matches: v.([]Match), Cached: true, Info: QueryInfo{FullRank: be.rank}}, nil
+			// A cached entry was exact when computed, but drift is a
+			// property of the factors against the *live* graph: tag it
+			// with the bound as of now, not as of the entry's insert.
+			return SearchResult{Matches: v.([]Match), Cached: true, Info: s.info(be, 0)}, nil
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -53,8 +54,8 @@ func ReadEdgeList(r io.Reader, n int) (*COO, error) {
 
 // ReadWeightedEdgeList parses a whitespace-separated weighted edge list
 // ("src dst weight" per line, '#' comments and blank lines ignored) into
-// a COO matrix. Node ids must be in [0, n); weights must parse as floats
-// (duplicates sum on conversion).
+// a COO matrix. Node ids must be in [0, n); weights must parse as positive
+// finite floats (duplicates sum on conversion).
 func ReadWeightedEdgeList(r io.Reader, n int) (*COO, error) {
 	coo := NewCOO(n, n)
 	sc := bufio.NewScanner(r)
@@ -81,6 +82,11 @@ func ReadWeightedEdgeList(r io.Reader, n int) (*COO, error) {
 		w, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: bad weight %q: %w", line, fields[2], ErrMalformed)
+		}
+		// ParseFloat happily returns NaN and ±Inf; none of them (nor a
+		// non-positive weight) has a random-surfer reading downstream.
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return nil, fmt.Errorf("line %d: weight %q must be positive and finite: %w", line, fields[2], ErrMalformed)
 		}
 		if err := coo.Add(u, v, w); err != nil {
 			return nil, fmt.Errorf("line %d: %w", line, err)

@@ -270,8 +270,8 @@ func TestWorkerAuthAndValidation(t *testing.T) {
 	if code := post("/admin/reload", "", ""); code != http.StatusUnauthorized {
 		t.Fatalf("reload without token: %d, want 401", code)
 	}
-	if code := post("/admin/reload", "Bearer wrong", ""); code != http.StatusUnauthorized {
-		t.Fatalf("reload with bad token: %d, want 401", code)
+	if code := post("/admin/reload", "Bearer wrong", ""); code != http.StatusForbidden {
+		t.Fatalf("reload with bad token: %d, want 403", code)
 	}
 	// The right token passes auth; the reload itself fails (no snapshot
 	// dir behind this worker), which must surface as 500, not an auth code.

@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 
+	"csrplus/internal/auth"
 	"csrplus/internal/core"
 	"csrplus/internal/dense"
 	"csrplus/internal/reload"
@@ -231,15 +231,9 @@ func (w *Worker) handleReload(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
-	if w.cfg.AdminToken == "" {
-		writeError(rw, http.StatusForbidden, errors.New("admin endpoints disabled: no admin token configured"))
-		return
-	}
-	auth := r.Header.Get("Authorization")
-	const prefix = "Bearer "
-	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix ||
-		subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(w.cfg.AdminToken)) != 1 {
-		writeError(rw, http.StatusUnauthorized, errors.New("bad admin token"))
+	if !auth.Require(rw, r, w.cfg.AdminToken, func(rw http.ResponseWriter, status int, msg string) {
+		writeError(rw, status, errors.New(msg))
+	}) {
 		return
 	}
 	resp, err := w.Reload()
